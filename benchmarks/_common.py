@@ -1,0 +1,56 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every benchmark:
+
+* runs at a laptop-scale default size, switchable to the paper's full
+  experiment sizes with ``REPRO_FULL_SCALE=1``;
+* prints a table with the paper's reported value next to ours (visible
+  even under pytest capture, via ``capsys.disabled()``);
+* saves its series as JSON under ``benchmarks/results/`` so
+  EXPERIMENTS.md can be regenerated from artefacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    """Whether the paper-scale sizes were requested."""
+    return os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0", "false")
+
+
+def scaled(default: int, full: int) -> int:
+    """Pick the experiment size for the current scale."""
+    return full if full_scale() else default
+
+
+def emit(capsys, title: str, lines: Iterable[str]) -> None:
+    """Print a benchmark report, bypassing pytest's capture."""
+    with capsys.disabled():
+        print()
+        print(f"=== {title} " + "=" * max(0, 70 - len(title)))
+        for line in lines:
+            print(line)
+
+
+def save_results(name: str, payload: Dict[str, Any]) -> Path:
+    """Persist a benchmark's series for EXPERIMENTS.md bookkeeping."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    payload = dict(payload)
+    payload["full_scale"] = full_scale()
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=float)
+    return path
+
+
+def format_row(label: str, paper: str, measured: str, note: str = "") -> str:
+    """One aligned paper-vs-measured table row."""
+    row = f"  {label:<28} paper: {paper:<14} ours: {measured:<14}"
+    return row + (f" {note}" if note else "")

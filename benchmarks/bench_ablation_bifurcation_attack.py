@@ -1,0 +1,62 @@
+"""Ablation 7: how much modeling resistance does noise bifurcation buy?
+
+Ref [6]'s scheme hides which challenge produced which response bit,
+injecting ~(d-1)/(2d) label noise into anything an eavesdropper can
+collect (25 % at d = 2).  The paper argues this "makes modeling attacks
+more difficult" but relaxes the authentication criterion.  This bench
+measures both sides on a 2-XOR PUF:
+
+* train the MLP on (a) clean harvested stable CRPs and (b) the
+  attacker's view of noise-bifurcation transcripts, equal budgets;
+* report accuracy vs budget for both, plus the honest/impostor margins
+  of the bifurcation protocol itself.
+"""
+
+
+
+
+from repro.experiments.attacks import run_bifurcation_attack as run_experiment
+
+from _common import emit, format_row, save_results, scaled
+
+N_STAGES = 32
+N_PUFS = 2
+
+
+
+def test_ablation_bifurcation_attack(benchmark, capsys):
+    budgets = [2000, 8000, scaled(20_000, 100_000)]
+    result = benchmark.pedantic(
+        run_experiment, args=(budgets,), rounds=1, iterations=1
+    )
+    lines = [
+        f"  2-XOR PUF; MLP attack on clean vs bifurcated transcripts:",
+    ]
+    for row in result["series"]:
+        lines.append(
+            format_row(
+                f"budget {row['budget']}",
+                "bifurcation slows attack",
+                f"clean {row['clean']:.1%}",
+                f"bifurcated {row['bifurcated']:.1%}",
+            )
+        )
+    lines.append(
+        format_row(
+            "protocol cost", "criterion relaxed",
+            f"honest match {result['honest_match']:.1%}",
+            f"vs guess {result['guess_baseline']:.0%}",
+        )
+    )
+    emit(capsys, "Abl-7 -- noise bifurcation vs the MLP attack", lines)
+    save_results("ablation_bifurcation_attack", result)
+    first = result["series"][0]
+    last = result["series"][-1]
+    # The label noise hurts the attacker at every budget...
+    assert first["bifurcated"] < first["clean"] - 0.05
+    assert last["bifurcated"] < last["clean"]
+    # ...but the attack climbs back as transcripts accumulate (the
+    # reason the paper still caps its trust in the scheme), while the
+    # honest margin over a guessing device stays thin.
+    assert last["bifurcated"] > first["bifurcated"] + 0.1
+    assert result["honest_match"] > 0.9

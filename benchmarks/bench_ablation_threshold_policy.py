@@ -1,0 +1,55 @@
+"""Ablation 4: three-category thresholds vs the traditional 0.5 cut.
+
+Paper Sec. 4: "The traditional two-category approach decides the binary
+response by simply applying a threshold of 0.5 which is prone to
+flipping errors."  This ablation quantifies that: for CRPs *used in
+authentication* under each policy, how often does the chip's one-shot
+response disagree with the server's prediction?
+
+* two-category: every challenge is usable; predicted bit = (pred > 0.5);
+* three-category (base thresholds): only model-stable CRPs usable;
+* three-category + beta adjustment: the paper's deployed policy.
+"""
+
+
+
+
+from repro.experiments.thresholds import run_threshold_policy as run_experiment
+
+from _common import emit, format_row, save_results, scaled
+
+N_STAGES = 32
+
+
+
+def test_ablation_threshold_policy(benchmark, capsys):
+    n_eval = scaled(100_000, 1_000_000)
+    policies = benchmark.pedantic(
+        run_experiment, args=(n_eval,), rounds=1, iterations=1
+    )
+    lines = [f"  one PUF, {n_eval} one-shot authentication bits per policy"]
+    for name, row in policies.items():
+        lines.append(
+            format_row(
+                name,
+                "3-cat beats 0.5 cut",
+                f"err {row['error_rate']:.4%}",
+                f"usable {row['usable_fraction']:.1%}",
+            )
+        )
+    emit(capsys, "Abl-4 -- threshold policy flip errors", lines)
+    save_results("ablation_threshold_policy", policies)
+    # The flip-error ordering the paper's design rests on:
+    assert (
+        policies["three_category_beta"]["error_rate"]
+        <= policies["three_category"]["error_rate"]
+    )
+    assert (
+        policies["three_category"]["error_rate"]
+        < policies["two_category"]["error_rate"] / 5
+    )
+    # The price: fewer usable CRPs.
+    assert (
+        policies["three_category_beta"]["usable_fraction"]
+        < policies["two_category"]["usable_fraction"]
+    )

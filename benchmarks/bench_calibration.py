@@ -1,0 +1,88 @@
+"""Calibration validation: the stability integral vs simulated silicon.
+
+The entire substitution argument of this reproduction (DESIGN.md Sec. 2)
+rests on one inverse problem: given a target stable fraction, find the
+noise-to-delay-spread ratio whose exact stability integral produces it.
+This bench closes the loop empirically across the whole operating
+range: for each target from 60 % to 95 %, calibrate a PUF, measure its
+actual 100 k-read stable fraction on fresh challenges, and compare.
+
+Any systematic gap here would propagate into every reproduced figure,
+so the tolerance is tight (the residual is pure sampling + per-instance
+process variation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crp.challenges import random_challenges
+from repro.silicon.arbiter import ArbiterPuf
+from repro.silicon.counters import measure_soft_responses
+from repro.silicon.delays import expected_delay_std
+from repro.silicon.noise import PAPER_N_TRIALS, calibrate_noise_sigma
+
+from _common import emit, format_row, save_results, scaled
+
+N_STAGES = 32
+TARGETS = (0.60, 0.70, 0.80, 0.90, 0.95)
+
+
+def run_experiment(n_challenges: int, n_chips: int, seed: int = 0):
+    series = []
+    for target in TARGETS:
+        sigma = calibrate_noise_sigma(
+            expected_delay_std(N_STAGES), target_stable_fraction=target
+        )
+        fractions = []
+        for chip_index in range(n_chips):
+            puf = ArbiterPuf.create(
+                N_STAGES, seed=seed + chip_index, noise_sigma=sigma
+            )
+            challenges = random_challenges(
+                n_challenges, N_STAGES, seed=seed + 100 + chip_index
+            )
+            measured = measure_soft_responses(
+                puf, challenges, PAPER_N_TRIALS,
+                rng=np.random.default_rng(seed + 200 + chip_index),
+            )
+            fractions.append(measured.stable_fraction)
+        series.append(
+            {
+                "target": target,
+                "noise_sigma": sigma,
+                "measured_mean": float(np.mean(fractions)),
+                "measured_std": float(np.std(fractions)),
+            }
+        )
+    return {"n_challenges": n_challenges, "n_chips": n_chips, "series": series}
+
+
+def test_calibration_sweep(benchmark, capsys):
+    n_challenges = scaled(20_000, 200_000)
+    n_chips = scaled(6, 10)
+    result = benchmark.pedantic(
+        run_experiment, args=(n_challenges, n_chips), rounds=1, iterations=1
+    )
+    lines = [
+        f"  {n_chips} chips x {n_challenges} challenges x {PAPER_N_TRIALS} "
+        "reads per target:",
+    ]
+    for row in result["series"]:
+        lines.append(
+            format_row(
+                f"target {row['target']:.0%}",
+                f"{row['target']:.1%}",
+                f"{row['measured_mean']:.1%}",
+                f"(chip-to-chip sd {row['measured_std']:.1%}, "
+                f"sigma_n {row['noise_sigma']:.3f})",
+            )
+        )
+    emit(capsys, "Calibration -- stability integral vs simulated silicon", lines)
+    save_results("calibration", result)
+    for row in result["series"]:
+        assert row["measured_mean"] == pytest.approx(row["target"], abs=0.04)
+    # Noise sigma must fall as the stability demand rises.
+    sigmas = [row["noise_sigma"] for row in result["series"]]
+    assert all(a > b for a, b in zip(sigmas, sigmas[1:]))

@@ -1,0 +1,43 @@
+"""Figure 3: measured stable-CRP fraction vs XOR width n.
+
+Paper setup: same 1 M x 100 k measurement, composing per-PUF stability
+masks for n = 1..10.  Reported: the fraction follows ~0.800**n, with
+10.9 % of CRPs stable for the 10-input XOR PUF.
+"""
+
+
+
+from repro.silicon.noise import PAPER_N_TRIALS
+
+from repro.experiments.stability import run_fig03 as run_experiment
+
+from _common import emit, format_row, save_results, scaled
+
+N_STAGES = 32
+N_PUFS = 10
+
+
+
+def test_fig03_stable_fraction_vs_n(benchmark, capsys):
+    n_challenges = scaled(100_000, 1_000_000)
+    result = benchmark.pedantic(
+        run_experiment, args=(n_challenges,), rounds=1, iterations=1
+    )
+    fractions = {int(k): v for k, v in result["fractions"].items()}
+    lines = [
+        f"  {n_challenges} challenges x {PAPER_N_TRIALS} trials, n = 1..{N_PUFS}",
+        format_row("decay base", "0.800", f"{result['decay_base']:.3f}"),
+    ]
+    for n in sorted(fractions):
+        lines.append(
+            format_row(
+                f"stable fraction (n={n})",
+                f"{0.800**n:.1%}",
+                f"{fractions[n]:.1%}",
+            )
+        )
+    lines.append(format_row("stable at n=10", "10.9 %", f"{fractions[10]:.1%}"))
+    emit(capsys, "Fig. 3 -- stable CRPs vs number of XOR-ed PUFs", lines)
+    save_results("fig03", result)
+    assert abs(result["decay_base"] - 0.800) < 0.05
+    assert abs(fractions[10] - 0.109) < 0.06

@@ -1,0 +1,52 @@
+"""Figure 10: stable-CRP fraction vs training-set size.
+
+Paper setup: training sets from 500 to 10 000 CRPs; after threshold
+adjustment, the model-predicted stable fraction on a 1 M test set
+saturates around ~60 %, against ~80 % measured; the paper settles on
+5 000 CRPs (4.3 ms fit) as the cost/accuracy knee.
+"""
+
+
+
+
+from repro.experiments.thresholds import run_fig10 as run_experiment
+
+from _common import emit, format_row, save_results, scaled
+
+N_STAGES = 32
+TRAIN_SIZES = (500, 1000, 2000, 5000, 10_000)
+
+
+
+def test_fig10_training_set_size(benchmark, capsys):
+    n_test = scaled(100_000, 1_000_000)
+    result = benchmark.pedantic(
+        run_experiment, args=(n_test, 30_000), rounds=1, iterations=1
+    )
+    lines = [
+        f"  test set {n_test} CRPs; thresholds beta-adjusted per size",
+        format_row(
+            "measured stable", "~80 %", f"{result['measured_stable']:.1%}"
+        ),
+    ]
+    for point in result["series"]:
+        lines.append(
+            format_row(
+                f"predicted stable @ {point['train_size']}",
+                "saturates ~60 %",
+                f"{point['predicted_stable']:.1%}",
+                f"(fit {point['fit_ms']:.1f} ms)",
+            )
+        )
+    emit(capsys, "Fig. 10 -- stable fraction vs training-set size", lines)
+    save_results("fig10", result)
+    fractions = [p["predicted_stable"] for p in result["series"]]
+    # Grows from the smallest to the knee, then saturates...
+    assert fractions[-2] > fractions[0] - 0.02
+    saturation = fractions[-1]
+    # ...below the measured fraction, in the paper's 60 +/- 15 % band.
+    assert saturation < result["measured_stable"]
+    assert abs(saturation - 0.60) < 0.15
+    # The paper's 5 000-CRP knee fits in milliseconds.
+    knee = next(p for p in result["series"] if p["train_size"] == 5000)
+    assert knee["fit_ms"] < 100

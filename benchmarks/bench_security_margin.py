@@ -1,0 +1,65 @@
+"""Security-margin extrapolation: making "n >= 10" arithmetic.
+
+Turns the Fig.-4 reading into a number: measure the CRP budget the MLP
+attack needs to reach 90 % per XOR width, fit the geometric growth of
+that requirement, intersect it with the attacker's stable-CRP supply
+(harvest * 0.800**n), and report the crossover width.
+
+Paper: requirement curves for n < 10 stay under 100 k CRPs while n = 10
+does not ("more than 10 individual PUFs are needed ... to be considered
+secure"); with a 1 M-challenge harvest the supply at n = 10 is ~10.9 %
+* 1 M ~ 10^5, right at the requirement -- the paper's design point.
+"""
+
+
+from repro.analysis.attack_cost import stable_crp_supply
+from repro.experiments.attacks import run_security_margin as run_experiment
+
+from _common import emit, format_row, full_scale, save_results, scaled
+
+N_STAGES = 32
+TARGET_ACCURACY = 0.90
+
+
+
+def test_security_margin(benchmark, capsys):
+    n_values = [3, 4, 5, 6, 7] if full_scale() else [3, 4, 5, 6]
+    pool = scaled(150_000, 1_000_000)
+    result = benchmark.pedantic(
+        run_experiment, args=(n_values, pool), rounds=1, iterations=1
+    )
+    lines = [f"  90 %-accuracy CRP requirement per width (pool {pool}):"]
+    for n_key, req in result["requirements"].items():
+        req_text = f"{req:,.0f}" if req else "not reached"
+        supply = stable_crp_supply(int(n_key), 1_000_000)
+        lines.append(
+            format_row(
+                f"n={n_key}", "--", req_text, f"(1M-harvest supply {supply:,.0f})"
+            )
+        )
+    lines.extend(
+        [
+            format_row(
+                "requirement growth / width", "geometric",
+                f"x{result['growth_factor']:.2f} per PUF",
+            ),
+            format_row(
+                "extrapolated need @ n=10", "> usable supply",
+                f"{result['extrapolated_n10']:,.0f} CRPs",
+            ),
+            format_row(
+                "crossover (1M harvest)", "n = 10",
+                f"n = {result['crossover_1M']}",
+            ),
+            format_row(
+                "crossover (100M harvest)", "a few wider",
+                f"n = {result['crossover_100M']}",
+            ),
+        ]
+    )
+    emit(capsys, "Security margin -- requirement vs stable-CRP supply", lines)
+    save_results("security_margin", result)
+    assert result["growth_factor"] > 1.5
+    assert result["crossover_1M"] is not None
+    assert 6 <= result["crossover_1M"] <= 14
+    assert result["crossover_100M"] > result["crossover_1M"]

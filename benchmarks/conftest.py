@@ -1,0 +1,5 @@
+"""Benchmark collection settings.
+
+Keeping a conftest here puts ``benchmarks/`` on ``sys.path`` so the
+bench modules can share ``_common`` without being a package.
+"""

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Modeling-attack study: how XOR width buys security (Fig. 4).
+
+Sweeps the number of XOR-ed PUFs and the training-CRP budget for two
+attacks -- the paper's MLP (35-25-25, L-BFGS) and the Ruhrmair-style
+product-of-linears logistic attack -- reproducing the paper's security
+argument at example scale: accuracy collapses toward coin-flipping as
+n grows at a fixed CRP budget.
+
+Run:  python examples/modeling_attack_study.py  [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.attacks import (
+    MlpClassifier,
+    XorLogisticAttack,
+    collect_stable_xor_crps,
+    learning_curve,
+)
+from repro.silicon.xorpuf import XorArbiterPuf
+
+N_STAGES = 32
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full", action="store_true",
+        help="larger sweep (n up to 8, 100k-CRP pools); takes minutes",
+    )
+    args = parser.parse_args()
+
+    n_values = (2, 3, 4, 5, 6, 8) if args.full else (2, 3, 4, 5)
+    pool = 200_000 if args.full else 60_000
+    sizes = (2000, 10_000, 40_000) if args.full else (2000, 10_000)
+
+    print(f"{'n':>3} {'attack':<14} " + " ".join(f"{s:>9}" for s in sizes))
+    print("-" * (20 + 10 * len(sizes)))
+    for n in n_values:
+        xor_puf = XorArbiterPuf.create(n, N_STAGES, seed=100 + n)
+        train, test = collect_stable_xor_crps(xor_puf, pool, 100_000, seed=n)
+        usable = [s for s in sizes if s <= len(train)]
+        for label, factory in (
+            ("MLP 35-25-25", lambda: MlpClassifier(seed=1, max_iter=250)),
+            (
+                "XOR-logistic",
+                lambda: XorLogisticAttack(n, seed=2, n_restarts=3, max_iter=250),
+            ),
+        ):
+            results = learning_curve(factory, train, test, usable, seed=3)
+            cells = {r.n_train: f"{r.accuracy:8.1%}" for r in results}
+            row = " ".join(cells.get(s, "      --") for s in sizes)
+            print(f"{n:>3} {label:<14} {row}")
+    print(
+        "\nReading: each column is a training budget of stable CRPs; the\n"
+        "paper's conclusion (Sec. 2.3) is that n >= 10 keeps every attack\n"
+        "near 50% at practical budgets, because the stable-CRP supply\n"
+        "itself shrinks like 0.8**n while the learning problem hardens\n"
+        "exponentially."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Process-variation study: wafers, entropy, and impostor budgets.
+
+The paper's security quotes assume its 10 chips are statistically
+independent devices.  This example examines that assumption with the
+library's process-physics extensions:
+
+1. fabricate two 3x3 wafers -- independent dies vs spatially correlated
+   dies -- and plot inter-chip Hamming distance against die distance;
+2. check the response-stream quality metrics (entropy rate, avalanche)
+   that any authentication scheme leans on;
+3. translate neighbour-die similarity into the zero-HD protocol's
+   false-accept budget via the analytic FAR model.
+
+Run:  python examples/process_variation_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.entropy import challenge_sensitivity, shannon_entropy_rate
+from repro.analysis.protocol_design import challenges_for_far, false_accept_rate
+from repro.crp.challenges import random_challenges
+from repro.silicon.wafer import fabricate_wafer, uniqueness_vs_distance
+
+N_STAGES = 32
+N_PUFS = 4
+
+
+def main() -> None:
+    print("fabricating two 3x3 wafers (independent vs correlated process)...")
+    independent = fabricate_wafer(
+        3, 3, N_PUFS, N_STAGES, wafer_fraction=0.0, spatial_fraction=0.0, seed=61
+    )
+    correlated = fabricate_wafer(
+        3, 3, N_PUFS, N_STAGES,
+        wafer_fraction=0.1, spatial_fraction=0.4, correlation_length=2.0,
+        seed=61,
+    )
+
+    # Constituent-level similarity: compare PUF #0 of neighbouring dies.
+    print("\nconstituent-level (single PUF) Hamming distance, adjacent dies:")
+    challenges0 = random_challenges(4000, N_STAGES, seed=65)
+
+    def constituent_hd(wafer):
+        a = wafer.chips[0].oracle().pufs[0].noise_free_response(challenges0)
+        b = wafer.chips[1].oracle().pufs[0].noise_free_response(challenges0)
+        return float((a != b).mean())
+
+    print(f"  independent wafer: {constituent_hd(independent):.3f}")
+    print(f"  correlated wafer:  {constituent_hd(correlated):.3f}  "
+          "(<-- neighbouring dies share process gradients)")
+
+    # Chip-level (XOR output) similarity: the XOR decorrelates.
+    print("\nchip-level (4-XOR output) Hamming distance vs die distance:")
+    print(f"  {'distance':>9} {'independent':>12} {'correlated':>11}")
+    curve_i = uniqueness_vs_distance(independent, 3000, seed=62)
+    curve_c = uniqueness_vs_distance(correlated, 3000, seed=62)
+    for distance in sorted(curve_i):
+        print(
+            f"  {distance:>9.3f} {curve_i[distance]:>12.3f} "
+            f"{curve_c[distance]:>11.3f}"
+        )
+    print(
+        "  => the XOR does double duty: per-constituent similarity eps\n"
+        "     shrinks to ~2**(n-1) * eps**n at the XOR output, so even the\n"
+        "     correlated wafer's chips look independent at n = 4.  (Run\n"
+        "     benchmarks/bench_ablation_wafer.py for the single-PUF case,\n"
+        "     where neighbour HD drops to ~0.3.)"
+    )
+
+    print("\nresponse-quality metrics (one correlated-wafer chip):")
+    chip = correlated.chips[4]  # centre die
+    challenges = random_challenges(40_000, N_STAGES, seed=63)
+    bits = chip.oracle().noise_free_response(challenges)
+    print(f"  entropy rate (6-bit blocks):   "
+          f"{shannon_entropy_rate(bits, block_size=6):.3f} bits/bit (ideal 1.0)")
+    avalanche = challenge_sensitivity(chip.oracle(), 8000, seed=64)
+    print(f"  avalanche (1-bit challenge flip): {avalanche:.3f} (ideal 0.5)")
+
+    print("\nimpostor budgets under the 64-bit zero-HD policy:")
+    # Budget against the worst case: a neighbour die at the CONSTITUENT
+    # level of a hypothetical n=1 deployment, and the XOR-4 chip level.
+    neighbour_hd = constituent_hd(correlated)
+    xor_neighbour_hd = curve_c[min(curve_c)]
+    for label, match in (
+        ("unrelated chip", 0.5),
+        (f"neighbour die, n=1 (HD {neighbour_hd:.2f})", 1.0 - neighbour_hd),
+        (f"neighbour die, n=4 (HD {xor_neighbour_hd:.2f})", 1.0 - xor_neighbour_hd),
+    ):
+        far = false_accept_rate(64, 0, impostor_match_probability=match)
+        need = challenges_for_far(1e-18, impostor_match_probability=match)
+        need_text = f"{need} challenges" if need else "unreachable at 100k"
+        print(f"  {label:<28} FAR {far:.2e}; for FAR<=1e-18 need {need_text}")
+    print(
+        "\n=> on a correlated process, quoting 2**-n against 'an impostor'\n"
+        "   overstates the margin against the most likely impostor -- the\n"
+        "   die that shared a reticle with the target.  Budget session\n"
+        "   lengths from measured neighbour match rates instead."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Voltage/temperature robustness study (Figs. 11-12, Sec. 5.2).
+
+Compares three CRP-selection policies on the same chip across the
+paper's nine 0.8-1.0 V x 0-60 degC corners:
+
+* no selection (random challenges);
+* model selection with nominal-only beta adjustment (Sec. 5.1);
+* model selection with corner-validated betas (Sec. 5.2).
+
+For each policy: what fraction of selected CRPs flips at each corner in
+a one-shot read?  The paper's point: the corner-validated thresholds
+keep the flip count at zero everywhere, enabling zero-HD authentication
+without per-corner chip testing at enrollment.
+
+Run:  python examples/voltage_temperature_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.enrollment import enroll_chip
+from repro.crp.challenges import random_challenges
+from repro.silicon.chip import PufChip
+from repro.silicon.environment import paper_corner_grid
+
+N_STAGES = 32
+N_PUFS = 4
+N_SELECTED = 3000
+
+
+def flip_rate(chip, challenges, predicted, condition, seed):
+    responses = chip.xor_response(challenges, condition)
+    return float((responses != predicted).mean())
+
+
+def main() -> None:
+    # Two identical chips (same seed) so we can enroll the same silicon
+    # under the two validation policies.
+    chip_nominal = PufChip.create(N_PUFS, N_STAGES, seed=31, chip_id="vt-demo")
+    chip_corner = PufChip.create(N_PUFS, N_STAGES, seed=31, chip_id="vt-demo")
+
+    print("enrolling with nominal-only validation (Sec. 5.1)...")
+    record_nominal = enroll_chip(
+        chip_nominal, n_enroll_challenges=5000,
+        n_validation_challenges=20_000, seed=32,
+    )
+    print(f"  betas: {record_nominal.betas}")
+
+    print("enrolling with 9-corner validation (Sec. 5.2)...")
+    record_corner = enroll_chip(
+        chip_corner, n_enroll_challenges=5000,
+        n_validation_challenges=20_000,
+        validation_conditions=paper_corner_grid(), seed=32,
+    )
+    print(f"  betas: {record_corner.betas}  (more stringent)")
+
+    # Select CRPs under each policy, plus a random-challenge control.
+    sel_nominal, pred_nominal = record_nominal.selector().select(N_SELECTED, seed=33)
+    sel_corner, pred_corner = record_corner.selector().select(N_SELECTED, seed=33)
+    control = random_challenges(N_SELECTED, N_STAGES, seed=34)
+    pred_control = record_corner.xor_model.predict_xor_response(control)
+
+    print(f"\n{'condition':<12} {'random':>10} {'nominal-beta':>14} {'corner-beta':>13}")
+    print("-" * 52)
+    totals = np.zeros(3)
+    for condition in paper_corner_grid():
+        rates = (
+            flip_rate(chip_corner, control, pred_control, condition, 35),
+            flip_rate(chip_nominal, sel_nominal, pred_nominal, condition, 36),
+            flip_rate(chip_corner, sel_corner, pred_corner, condition, 37),
+        )
+        totals += rates
+        print(
+            f"{str(condition):<12} {rates[0]:>10.3%} {rates[1]:>14.4%} "
+            f"{rates[2]:>13.4%}"
+        )
+    print("-" * 52)
+    print(
+        f"{'mean':<12} {totals[0] / 9:>10.3%} {totals[1] / 9:>14.4%} "
+        f"{totals[2] / 9:>13.4%}"
+    )
+    print(
+        "\nReading: random challenges flip a few percent of bits (model\n"
+        "error + marginal CRPs); nominal-beta selection is already clean\n"
+        "at nominal but can leak flips at corners; corner-validated betas\n"
+        "(the paper's deployed policy) hold zero-HD everywhere."
+    )
+
+
+if __name__ == "__main__":
+    main()

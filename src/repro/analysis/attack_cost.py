@@ -1,0 +1,133 @@
+"""Attack-cost extrapolation: operationalising the "n >= 10" conclusion.
+
+The paper's security argument reads a family of learning curves
+(Fig. 4) and concludes that "more than 10 individual PUFs are needed".
+This module turns that reading into arithmetic:
+
+1. from each width's learning curve, interpolate the training-CRP
+   budget needed to reach a target accuracy (:func:`crps_to_reach`);
+2. the per-width budgets grow geometrically -- fit ``log(budget)``
+   against ``n`` (:func:`fit_requirement_growth`);
+3. the attacker's *supply* of stable CRPs shrinks as
+   ``harvest * 0.8**n`` (:func:`stable_crp_supply`);
+4. the width where the requirement overtakes the supply is the design
+   point (:func:`security_crossover_width`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_in_range, check_positive_int
+
+__all__ = [
+    "crps_to_reach",
+    "RequirementGrowth",
+    "fit_requirement_growth",
+    "stable_crp_supply",
+    "security_crossover_width",
+]
+
+
+def crps_to_reach(
+    train_sizes: Sequence[int],
+    accuracies: Sequence[float],
+    target: float,
+) -> Optional[float]:
+    """Training-set size at which a learning curve crosses *target*.
+
+    Log-linear interpolation between the bracketing measured points;
+    ``None`` if the curve never reaches the target (the attack failed
+    at every measured budget).  The curve is first made monotone by a
+    running maximum, since learning curves are noisy but fundamentally
+    non-decreasing in data.
+    """
+    sizes = np.asarray(train_sizes, dtype=np.float64)
+    accs = np.asarray(accuracies, dtype=np.float64)
+    if sizes.shape != accs.shape or sizes.ndim != 1 or len(sizes) == 0:
+        raise ValueError("train_sizes and accuracies must be matching 1-D arrays")
+    if not (np.diff(sizes) > 0).all():
+        raise ValueError("train_sizes must be strictly increasing")
+    check_in_range(target, "target", 0.0, 1.0, inclusive=False)
+    accs = np.maximum.accumulate(accs)
+    if accs[-1] < target:
+        return None
+    index = int(np.argmax(accs >= target))
+    if index == 0:
+        return float(sizes[0])
+    x0, x1 = np.log(sizes[index - 1]), np.log(sizes[index])
+    y0, y1 = accs[index - 1], accs[index]
+    fraction = (target - y0) / (y1 - y0) if y1 > y0 else 1.0
+    return float(np.exp(x0 + fraction * (x1 - x0)))
+
+
+@dataclasses.dataclass(frozen=True)
+class RequirementGrowth:
+    """Fitted geometric growth of the attack's CRP requirement.
+
+    ``requirement(n) ~ amplitude * factor**n``.
+    """
+
+    factor: float
+    amplitude: float
+    n_points: int
+
+    def requirement(self, n: float) -> float:
+        """Extrapolated CRP requirement at width *n*."""
+        return self.amplitude * self.factor ** float(n)
+
+
+def fit_requirement_growth(
+    requirements_by_n: Dict[int, float],
+) -> RequirementGrowth:
+    """Fit ``log(requirement)`` against n over the measured widths."""
+    items = [(n, r) for n, r in requirements_by_n.items() if r is not None and r > 0]
+    if len(items) < 2:
+        raise ValueError(
+            "need at least two widths with successful attacks to fit growth"
+        )
+    ns = np.array([n for n, _ in items], dtype=np.float64)
+    logs = np.log([r for _, r in items])
+    slope, intercept = np.polyfit(ns, logs, 1)
+    return RequirementGrowth(
+        factor=float(np.exp(slope)),
+        amplitude=float(np.exp(intercept)),
+        n_points=len(items),
+    )
+
+
+def stable_crp_supply(
+    n: float,
+    harvest_budget: int,
+    stable_base: float = 0.800,
+) -> float:
+    """Stable CRPs an attacker gets from measuring *harvest_budget* challenges.
+
+    Only challenges stable on *every* constituent yield usable training
+    labels (the paper trains and tests on stable CRPs only), so the
+    supply decays as ``stable_base**n`` -- Fig. 3's law.
+    """
+    check_positive_int(harvest_budget, "harvest_budget")
+    check_in_range(stable_base, "stable_base", 0.0, 1.0, inclusive=False)
+    return harvest_budget * stable_base ** float(n)
+
+
+def security_crossover_width(
+    growth: RequirementGrowth,
+    harvest_budget: int,
+    *,
+    stable_base: float = 0.800,
+    max_n: int = 64,
+) -> Optional[int]:
+    """Smallest width where the requirement exceeds the attacker's supply.
+
+    Returns ``None`` if no width up to *max_n* is safe (requirement
+    growth slower than supply decay -- an alarm, not a number).
+    """
+    for n in range(1, check_positive_int(max_n, "max_n") + 1):
+        if growth.requirement(n) > stable_crp_supply(n, harvest_budget, stable_base):
+            return n
+    return None

@@ -1,0 +1,115 @@
+"""Response-entropy diagnostics for PUF output streams.
+
+Standard statistical checks on response bit-strings, complementing the
+Hamming-distance metrics: if an XOR PUF's responses were predictable
+from simple structure (bias, serial correlation, short patterns), no
+authentication policy could save it.  Used by the quality tests and
+available for user studies.
+
+* :func:`shannon_entropy_rate` -- block-entropy estimate of bits per
+  response bit (ideal 1.0);
+* :func:`autocorrelation` -- serial correlation of the response stream
+  at given lags (ideal ~0);
+* :func:`challenge_sensitivity` -- avalanche metric: probability that
+  flipping one random challenge bit flips the response (ideal 0.5 for
+  a strong PUF; single arbiter PUFs are known to fall short on the
+  last stages, which XOR-ing repairs).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import (
+    as_challenge_array,
+    check_positive_int,
+    is_binary_array,
+)
+
+__all__ = ["shannon_entropy_rate", "autocorrelation", "challenge_sensitivity"]
+
+
+def shannon_entropy_rate(responses: np.ndarray, block_size: int = 8) -> float:
+    """Block-entropy estimate of the response stream, in bits per bit.
+
+    Splits the stream into non-overlapping *block_size*-bit words and
+    computes the empirical Shannon entropy of the word distribution
+    divided by the block size.  Needs several times ``2**block_size``
+    samples to be meaningful; raises otherwise.
+    """
+    responses = np.asarray(responses)
+    if responses.ndim != 1 or not is_binary_array(responses):
+        raise ValueError("responses must be a 1-D 0/1 array")
+    block_size = check_positive_int(block_size, "block_size")
+    n_blocks = len(responses) // block_size
+    if n_blocks < 4 * (1 << block_size):
+        raise ValueError(
+            f"need at least {4 * (1 << block_size)} blocks of {block_size} bits "
+            f"for a usable estimate, got {n_blocks}"
+        )
+    words = responses[: n_blocks * block_size].reshape(n_blocks, block_size)
+    weights = (1 << np.arange(block_size))[::-1]
+    codes = words @ weights
+    counts = np.bincount(codes, minlength=1 << block_size)
+    probabilities = counts[counts > 0] / n_blocks
+    entropy = float(-(probabilities * np.log2(probabilities)).sum())
+    return entropy / block_size
+
+
+def autocorrelation(responses: np.ndarray, lags: Sequence[int]) -> np.ndarray:
+    """Serial correlation of the +/-1-coded response stream at *lags*."""
+    responses = np.asarray(responses)
+    if responses.ndim != 1 or not is_binary_array(responses):
+        raise ValueError("responses must be a 1-D 0/1 array")
+    signed = 2.0 * responses - 1.0
+    signed = signed - signed.mean()
+    denom = float(signed @ signed)
+    out = []
+    for lag in lags:
+        lag = check_positive_int(lag, "lag")
+        if lag >= len(signed):
+            raise ValueError(f"lag {lag} exceeds stream length {len(signed)}")
+        out.append(float(signed[:-lag] @ signed[lag:]) / denom if denom else 0.0)
+    return np.array(out)
+
+
+def challenge_sensitivity(
+    puf,
+    n_challenges: int,
+    *,
+    bit_index: int | None = None,
+    seed: SeedLike = None,
+) -> float:
+    """Avalanche probability: one flipped challenge bit flips the response.
+
+    Parameters
+    ----------
+    puf:
+        Anything with ``noise_free_response(challenges)`` and
+        ``n_stages`` (an :class:`~repro.silicon.arbiter.ArbiterPuf` or
+        :class:`~repro.silicon.xorpuf.XorArbiterPuf`).
+    n_challenges:
+        Challenge pairs to test.
+    bit_index:
+        Which challenge bit to flip; ``None`` picks a fresh random
+        position per pair.
+    """
+    check_positive_int(n_challenges, "n_challenges")
+    rng = as_generator(seed)
+    challenges = rng.integers(0, 2, size=(n_challenges, puf.n_stages), dtype=np.int8)
+    flipped = challenges.copy()
+    if bit_index is None:
+        positions = rng.integers(0, puf.n_stages, size=n_challenges)
+    else:
+        if not 0 <= bit_index < puf.n_stages:
+            raise ValueError(
+                f"bit_index {bit_index} outside [0, {puf.n_stages})"
+            )
+        positions = np.full(n_challenges, bit_index)
+    flipped[np.arange(n_challenges), positions] ^= 1
+    base = puf.noise_free_response(as_challenge_array(challenges))
+    alt = puf.noise_free_response(as_challenge_array(flipped))
+    return float((base != alt).mean())

@@ -1,0 +1,145 @@
+"""Stability analysis of soft responses (Figs. 2, 3, 12).
+
+Tools for the paper's central stability quantities:
+
+* soft-response histograms and the Pr(stable 0) / Pr(stable 1) split of
+  Fig. 2,
+* stable-CRP fraction of an n-input XOR PUF composed from per-PUF
+  stability masks, and the 0.800**n decay of Fig. 3,
+* the analytic counterpart via the noise model, used to cross-check
+  the Monte-Carlo measurements.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.statistics import fit_exponential_decay, wilson_interval
+from repro.crp.dataset import SoftResponseDataset
+from repro.silicon.counters import soft_response_histogram
+from repro.silicon.noise import stable_probability
+
+__all__ = [
+    "StabilitySummary",
+    "summarize_soft_responses",
+    "xor_stable_fraction",
+    "stable_fraction_by_n",
+    "analytic_stable_fraction_by_n",
+    "decay_base",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class StabilitySummary:
+    """Fig.-2-style summary of one soft-response dataset.
+
+    Attributes
+    ----------
+    n_challenges:
+        Dataset size.
+    stable_zero_fraction / stable_one_fraction:
+        Challenges whose counter read exactly 0 / exactly T (the
+        paper's 39.7 % / 40.1 %).
+    stable_fraction:
+        Their sum (paper: ~80 %).
+    histogram_centers / histogram_fractions:
+        The 0.01-binned soft-response histogram.
+    """
+
+    n_challenges: int
+    stable_zero_fraction: float
+    stable_one_fraction: float
+    histogram_centers: np.ndarray
+    histogram_fractions: np.ndarray
+
+    @property
+    def stable_fraction(self) -> float:
+        return self.stable_zero_fraction + self.stable_one_fraction
+
+    def stable_confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Wilson interval for the stable fraction."""
+        successes = int(round(self.stable_fraction * self.n_challenges))
+        return wilson_interval(successes, self.n_challenges, z)
+
+
+def summarize_soft_responses(
+    dataset: SoftResponseDataset,
+    bin_size: float = 0.01,
+) -> StabilitySummary:
+    """Compute the Fig.-2 summary for one PUF's soft responses."""
+    counts = np.rint(dataset.soft_responses * dataset.n_trials)
+    n = len(dataset)
+    centers, fractions = soft_response_histogram(dataset.soft_responses, bin_size)
+    return StabilitySummary(
+        n_challenges=n,
+        stable_zero_fraction=float((counts == 0).mean()) if n else float("nan"),
+        stable_one_fraction=float((counts == dataset.n_trials).mean()) if n else float("nan"),
+        histogram_centers=centers,
+        histogram_fractions=fractions,
+    )
+
+
+def xor_stable_fraction(per_puf_datasets: Sequence[SoftResponseDataset]) -> float:
+    """Fraction of challenges 100 %-stable on *every* constituent PUF.
+
+    The datasets must share one challenge matrix (same campaign); the
+    XOR PUF's response for a challenge is stable iff every constituent
+    is stable on it.
+    """
+    if not per_puf_datasets:
+        raise ValueError("need at least one per-PUF dataset")
+    sizes = {len(d) for d in per_puf_datasets}
+    if len(sizes) != 1:
+        raise ValueError(f"datasets have differing sizes: {sizes}")
+    mask = per_puf_datasets[0].stable_mask
+    for dataset in per_puf_datasets[1:]:
+        mask = mask & dataset.stable_mask
+    return float(mask.mean()) if mask.size else float("nan")
+
+
+def stable_fraction_by_n(
+    per_puf_datasets: Sequence[SoftResponseDataset],
+    n_values: Optional[Sequence[int]] = None,
+) -> Dict[int, float]:
+    """Stable-CRP fraction of the n-input XOR PUF for each n (Fig. 3).
+
+    ``n_values`` defaults to ``1..len(per_puf_datasets)``; each n uses
+    the first n constituents, mirroring the paper's reuse of the same
+    silicon across XOR widths.
+    """
+    n_max = len(per_puf_datasets)
+    n_values = list(range(1, n_max + 1)) if n_values is None else list(n_values)
+    out: Dict[int, float] = {}
+    for n in n_values:
+        if not 1 <= n <= n_max:
+            raise ValueError(f"n={n} outside [1, {n_max}]")
+        out[n] = xor_stable_fraction(per_puf_datasets[:n])
+    return out
+
+
+def analytic_stable_fraction_by_n(
+    sigma_ratio: float,
+    n_trials: int,
+    n_values: Sequence[int],
+) -> Dict[int, float]:
+    """Model-predicted Fig.-3 curve: ``stable_probability ** n``.
+
+    Valid when constituents are statistically independent (the paper
+    observes "negligible correlation between the individual PUFs").
+    """
+    base = stable_probability(sigma_ratio, n_trials)
+    return {int(n): base ** int(n) for n in n_values}
+
+
+def decay_base(fractions_by_n: Dict[int, float]) -> float:
+    """Fit ``fraction ~ base**n`` and return the base (paper: 0.800).
+
+    Thin wrapper over
+    :func:`repro.analysis.statistics.fit_exponential_decay`.
+    """
+    ns = np.array(sorted(fractions_by_n))
+    fractions = np.array([fractions_by_n[int(n)] for n in ns])
+    return fit_exponential_decay(ns, fractions).base

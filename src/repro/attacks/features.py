@@ -1,0 +1,47 @@
+"""Attacker-side feature pipeline.
+
+Every attack in this package consumes parity-transformed challenges
+(the "transformed challenge vectors ... widely used method for linear
+MUX arbiter PUF modeling" of the paper) and 1-bit responses.  This
+module centralises the dataset-to-matrix conversion so harness code and
+user scripts do not duplicate it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.crp.dataset import CrpDataset
+from repro.crp.transform import parity_features
+
+__all__ = ["attack_matrix", "attack_matrices"]
+
+
+def attack_matrix(dataset: CrpDataset) -> Tuple[np.ndarray, np.ndarray]:
+    """(features, responses) ready for an attack's ``fit``/``score``.
+
+    Features are the parity transform of the challenges; responses stay
+    as {0, 1} int8.
+    """
+    return parity_features(dataset.challenges), dataset.responses
+
+
+def attack_matrices(
+    train: CrpDataset,
+    test: CrpDataset,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(train features, train responses, test features, test responses).
+
+    Validates that the two sets share a challenge width before paying
+    for the transforms.
+    """
+    if train.n_stages != test.n_stages:
+        raise ValueError(
+            f"train ({train.n_stages} stages) and test ({test.n_stages} "
+            "stages) challenge widths differ"
+        )
+    train_x, train_y = attack_matrix(train)
+    test_x, test_y = attack_matrix(test)
+    return train_x, train_y, test_x, test_y

@@ -1,0 +1,159 @@
+"""Product-of-linears logistic attack on XOR PUFs (Ruhrmair model, ref [3]).
+
+For an n-input XOR PUF the signed response is the sign of the product of
+the constituents' delay differences.  Ruhrmair et al. relax each sign to
+a tanh and train the differentiable surrogate
+
+    m(c) = prod_l tanh(w_l . phi(c)),      Pr(r = 1) = (1 - m) / 2
+
+with logistic loss.  The landscape is non-convex, so the attack restarts
+from several random initialisations and keeps the best training loss.
+This is the second attack baseline next to the paper's MLP; the paper's
+n >= 10 security recommendation should hold against both.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from repro.utils.rng import SeedLike, derive_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = ["XorLogisticAttack"]
+
+_EPS = 1e-12
+
+
+class XorLogisticAttack:
+    """Gradient attack on an n-XOR PUF via the tanh-product surrogate.
+
+    Parameters
+    ----------
+    n_pufs:
+        Number of constituent PUFs assumed by the model (must match the
+        target for the attack to converge).
+    n_restarts:
+        Independent random initialisations; the best final training
+        loss wins.
+    max_iter:
+        L-BFGS iteration budget per restart.
+    seed:
+        Root seed for the restarts.
+
+    Attributes
+    ----------
+    weights_:
+        ``(n_pufs, n_features)`` learned constituent weights.
+    restart_losses_:
+        Final training loss of each restart (diagnostic).
+    """
+
+    def __init__(
+        self,
+        n_pufs: int,
+        *,
+        n_restarts: int = 5,
+        max_iter: int = 400,
+        seed: SeedLike = None,
+    ) -> None:
+        self.n_pufs = check_positive_int(n_pufs, "n_pufs")
+        self.n_restarts = check_positive_int(n_restarts, "n_restarts")
+        self.max_iter = check_positive_int(max_iter, "max_iter")
+        self.seed = seed
+        self.weights_: Optional[np.ndarray] = None
+        self.restart_losses_: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Loss and gradient
+    # ------------------------------------------------------------------
+    def _loss_grad(
+        self,
+        theta: np.ndarray,
+        features: np.ndarray,
+        targets_pm1: np.ndarray,
+    ) -> Tuple[float, np.ndarray]:
+        n, d = features.shape
+        w = theta.reshape(self.n_pufs, d)
+        scores = features @ w.T                     # (n, L)
+        tanhs = np.tanh(scores)                     # (n, L)
+        product = tanhs.prod(axis=1)                # (n,) = -E[signed response]
+        # Signed model response m = product; Pr(r=1) = (1 - m)/2, so the
+        # logistic margin for target y in {-1,+1} is -y * atanh-free form;
+        # we use the squared-error-free logistic on z = -m mapped via
+        # probability p = (1 - m)/2:
+        #   loss = -log p      if y = +1  (r = 1)
+        #   loss = -log (1-p)  if y = -1
+        p = np.clip((1.0 - product) / 2.0, _EPS, 1.0 - _EPS)
+        y01 = (targets_pm1 > 0)
+        loss = float(-(np.log(p[y01]).sum() + np.log(1.0 - p[~y01]).sum()) / n)
+        # d loss / d product:
+        dl_dp = np.where(y01, -1.0 / p, 1.0 / (1.0 - p)) / n
+        dl_dprod = dl_dp * (-0.5)
+        # d product / d score_l = (prod_{j != l} tanh_j) * (1 - tanh_l^2)
+        grad_w = np.empty_like(w)
+        for layer in range(self.n_pufs):
+            others = np.ones(n)
+            for j in range(self.n_pufs):
+                if j != layer:
+                    others = others * tanhs[:, j]
+            d_score = dl_dprod * others * (1.0 - tanhs[:, layer] ** 2)
+            grad_w[layer] = d_score @ features
+        return loss, grad_w.ravel()
+
+    # ------------------------------------------------------------------
+    # Estimator API
+    # ------------------------------------------------------------------
+    def fit(self, features: np.ndarray, responses: np.ndarray) -> "XorLogisticAttack":
+        """Train on parity features and {0, 1} XOR responses."""
+        features = np.ascontiguousarray(features, dtype=np.float64)
+        responses = np.asarray(responses)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got ndim={features.ndim}")
+        if responses.shape != (len(features),):
+            raise ValueError(
+                f"responses shape {responses.shape} does not match "
+                f"{len(features)} feature rows"
+            )
+        targets = 2.0 * responses.astype(np.float64) - 1.0
+        d = features.shape[1]
+        best_loss, best_theta = np.inf, None
+        self.restart_losses_ = []
+        for restart in range(self.n_restarts):
+            rng = derive_generator(self.seed, "restart", restart)
+            theta0 = rng.normal(0.0, 1.0 / np.sqrt(d), size=self.n_pufs * d)
+            result = optimize.minimize(
+                self._loss_grad,
+                theta0,
+                args=(features, targets),
+                jac=True,
+                method="L-BFGS-B",
+                options={"maxiter": self.max_iter},
+            )
+            self.restart_losses_.append(float(result.fun))
+            if result.fun < best_loss:
+                best_loss, best_theta = float(result.fun), result.x
+        self.weights_ = best_theta.reshape(self.n_pufs, d)
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Signed model response; negative means predicted XOR = 1."""
+        if self.weights_ is None:
+            raise RuntimeError("attack is not fitted; call fit() first")
+        features = np.asarray(features, dtype=np.float64)
+        return np.tanh(features @ self.weights_.T).prod(axis=1)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Hard {0, 1} XOR predictions."""
+        return (self.decision_function(features) < 0).astype(np.int8)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """``Pr(xor response = 1)`` per row."""
+        return (1.0 - self.decision_function(features)) / 2.0
+
+    def score(self, features: np.ndarray, responses: np.ndarray) -> float:
+        """Prediction accuracy on a labelled set."""
+        responses = np.asarray(responses)
+        return float((self.predict(features) == responses).mean())

@@ -1,0 +1,47 @@
+"""Prior-work authentication schemes used as comparison baselines.
+
+* :mod:`repro.baselines.measurement_selection` -- ref [1]: stable-CRP
+  tables from pure measurement.
+* :mod:`repro.baselines.majority_vote` -- conventional HD-tolerant
+  authentication with response majority voting.
+* :mod:`repro.baselines.noise_bifurcation` -- ref [6]: decimated
+  responses with relaxed matching.
+* :mod:`repro.baselines.lockdown` -- ref [7]: nonce-derived challenges
+  with a lifetime session budget.
+"""
+
+from repro.baselines.lockdown import (
+    LockdownBudgetError,
+    LockdownDevice,
+    lockdown_authenticate,
+)
+from repro.baselines.majority_vote import (
+    MajorityVoteRecord,
+    authenticate_majority_vote,
+    enroll_majority_vote,
+)
+from repro.baselines.measurement_selection import (
+    MeasuredCrpTable,
+    authenticate_from_table,
+    enroll_measured_table,
+)
+from repro.baselines.noise_bifurcation import (
+    NoiseBifurcationSession,
+    attacker_view,
+    run_noise_bifurcation_session,
+)
+
+__all__ = [
+    "LockdownBudgetError",
+    "LockdownDevice",
+    "lockdown_authenticate",
+    "MajorityVoteRecord",
+    "authenticate_majority_vote",
+    "enroll_majority_vote",
+    "MeasuredCrpTable",
+    "authenticate_from_table",
+    "enroll_measured_table",
+    "NoiseBifurcationSession",
+    "attacker_view",
+    "run_noise_bifurcation_session",
+]

@@ -1,0 +1,148 @@
+"""Noise-bifurcation authentication (ref [6]: Yu et al., HOST 2014).
+
+The idea: hide which challenge produced which response.  Challenges are
+grouped in blocks of ``d`` (the decimation factor); for each block the
+device evaluates all ``d`` challenges but returns **one** response bit,
+for a block-private random position it never reveals.
+
+* The **server**, holding the full delay model, predicts all ``d``
+  responses per block and accepts a returned bit if it matches *any*
+  of them.  An honest device always matches; a guessing impostor
+  matches a block with probability ``1 - 2**-d`` -- 75 % for
+  ``d = 2`` -- so the acceptance threshold must sit far above 50 % and
+  "a higher number of CRPs" is needed for the same confidence, the
+  drawback the paper points out.
+* The **attacker** sees (block challenges, one unattributed bit).  The
+  canonical attack training set assigns the returned bit to every
+  challenge of its block, which injects label noise ~ (d-1)/(2d)
+  (25 % for d = 2) and slows model convergence.
+
+Implemented against the library's chip/oracle interfaces so the
+baseline benchmarks can compare equal-error-rate CRP budgets and attack
+learning curves with the paper's scheme.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.model import XorPufModel
+from repro.crp.challenges import random_challenges
+from repro.crp.dataset import CrpDataset
+from repro.silicon.chip import PufChip
+from repro.silicon.environment import NOMINAL_CONDITION, OperatingCondition
+from repro.utils.rng import SeedLike, derive_generator
+from repro.utils.validation import check_positive_int, check_probability
+
+__all__ = [
+    "NoiseBifurcationSession",
+    "run_noise_bifurcation_session",
+    "attacker_view",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class NoiseBifurcationSession:
+    """Transcript plus verdict of one noise-bifurcation authentication.
+
+    Attributes
+    ----------
+    approved:
+        Server verdict.
+    n_blocks:
+        Challenge blocks exchanged.
+    match_fraction:
+        Blocks whose returned bit matched one of the server's
+        predictions.
+    threshold:
+        Acceptance threshold on the match fraction.
+    challenges:
+        ``(n_blocks, d, k)`` challenges sent (public).
+    returned_bits:
+        ``(n_blocks,)`` device bits (public).
+    """
+
+    approved: bool
+    n_blocks: int
+    match_fraction: float
+    threshold: float
+    challenges: np.ndarray
+    returned_bits: np.ndarray
+
+    @property
+    def decimation(self) -> int:
+        return self.challenges.shape[1]
+
+
+def run_noise_bifurcation_session(
+    chip: PufChip,
+    server_model: XorPufModel,
+    n_blocks: int,
+    *,
+    decimation: int = 2,
+    threshold: float = 0.90,
+    condition: OperatingCondition = NOMINAL_CONDITION,
+    seed: SeedLike = None,
+) -> NoiseBifurcationSession:
+    """One authentication session of the ref-[6] protocol.
+
+    Parameters
+    ----------
+    chip:
+        The (deployed) device; only its XOR output is used.
+    server_model:
+        The server's delay model of the claimed identity (noise
+        bifurcation, like the paper's scheme, assumes the server stores
+        delay parameters rather than CRP tables).
+    n_blocks:
+        Number of d-challenge blocks; one bit is returned per block.
+    decimation:
+        Block size d.
+    threshold:
+        Minimum match fraction for approval.  Must exceed the random
+        baseline ``1 - 2**-d`` (75 % for d = 2, since a guessing device
+        only fails a block when all d predictions coincide on the
+        opposite bit), so thresholds near 0.9 are typical.
+    """
+    n_blocks = check_positive_int(n_blocks, "n_blocks")
+    decimation = check_positive_int(decimation, "decimation")
+    check_probability(threshold, "threshold")
+    flat = random_challenges(
+        n_blocks * decimation, chip.n_stages, derive_generator(seed, "challenges")
+    )
+    challenges = flat.reshape(n_blocks, decimation, chip.n_stages)
+
+    # Device side: evaluate everything, return one bit per block from a
+    # private random position.
+    responses = chip.xor_response(flat, condition).reshape(n_blocks, decimation)
+    positions = derive_generator(seed, "device").integers(0, decimation, size=n_blocks)
+    returned = responses[np.arange(n_blocks), positions]
+
+    # Server side: a bit matches if any prediction in its block equals it.
+    predicted = server_model.predict_xor_response(flat).reshape(n_blocks, decimation)
+    matches = (predicted == returned[:, np.newaxis]).any(axis=1)
+    match_fraction = float(matches.mean())
+    return NoiseBifurcationSession(
+        approved=match_fraction >= threshold,
+        n_blocks=n_blocks,
+        match_fraction=match_fraction,
+        threshold=threshold,
+        challenges=challenges,
+        returned_bits=returned,
+    )
+
+
+def attacker_view(session: NoiseBifurcationSession) -> CrpDataset:
+    """The attacker's best training set from a public transcript.
+
+    Attributes every returned bit to **each** challenge of its block
+    (the attacker cannot know the true position), which injects the
+    scheme's characteristic label noise of roughly ``(d-1)/(2d)``.
+    """
+    n_blocks, decimation, k = session.challenges.shape
+    challenges = session.challenges.reshape(n_blocks * decimation, k)
+    labels = np.repeat(session.returned_bits, decimation)
+    return CrpDataset(challenges, labels)

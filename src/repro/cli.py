@@ -1,0 +1,240 @@
+"""Command-line interface to the reproduction's main experiments.
+
+Lets a user exercise the library without writing Python::
+
+    repro-puf stability  --n-pufs 10 --challenges 50000
+    repro-puf enroll     --n-pufs 4 --corners
+    repro-puf attack     --n-pufs 4 --train 20000
+    repro-puf auth       --n-pufs 4 --sessions 20 --corners
+    repro-puf aging      --n-pufs 4 --amplitude 0.3
+
+(Installed as ``repro-puf``; also runnable as ``python -m repro.cli``.)
+Each subcommand prints a compact report and exits non-zero on failure,
+so the CLI doubles as a smoke test in CI pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.stability import stable_fraction_by_n
+from repro.attacks.features import attack_matrices
+from repro.attacks.harness import collect_stable_xor_crps
+from repro.attacks.mlp import MlpClassifier
+from repro.core.enrollment import enroll_chip
+from repro.core.server import AuthenticationServer
+from repro.crp.challenges import random_challenges
+from repro.silicon.aging import AgingModel, age_chip
+from repro.silicon.chip import PufChip
+from repro.silicon.counters import measure_soft_responses
+from repro.silicon.environment import paper_corner_grid
+from repro.silicon.xorpuf import XorArbiterPuf
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-puf`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-puf",
+        description="XOR arbiter PUF reproduction experiments (DAC'17).",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stability", help="stable-CRP fraction vs XOR width (Fig. 3)")
+    p.add_argument("--n-pufs", type=int, default=10)
+    p.add_argument("--n-stages", type=int, default=32)
+    p.add_argument("--challenges", type=int, default=20_000)
+    p.add_argument("--trials", type=int, default=100_000)
+
+    p = sub.add_parser("enroll", help="run the Fig.-6 enrollment and print the record")
+    p.add_argument("--n-pufs", type=int, default=4)
+    p.add_argument("--n-stages", type=int, default=32)
+    p.add_argument("--train", type=int, default=5000)
+    p.add_argument("--validation", type=int, default=20_000)
+    p.add_argument("--corners", action="store_true",
+                   help="validate betas across the 9 V/T corners")
+    p.add_argument("--save", metavar="PATH", help="write the record to an .npz file")
+
+    p = sub.add_parser("attack", help="MLP modeling attack on stable CRPs (Fig. 4)")
+    p.add_argument("--n-pufs", type=int, default=4)
+    p.add_argument("--n-stages", type=int, default=32)
+    p.add_argument("--train", type=int, default=10_000)
+    p.add_argument("--pool", type=int, default=60_000)
+
+    p = sub.add_parser("auth", help="zero-HD authentication sessions (Fig. 7)")
+    p.add_argument("--n-pufs", type=int, default=4)
+    p.add_argument("--n-stages", type=int, default=32)
+    p.add_argument("--sessions", type=int, default=10)
+    p.add_argument("--challenges", type=int, default=64)
+    p.add_argument("--corners", action="store_true",
+                   help="rotate sessions through the 9 V/T corners")
+
+    p = sub.add_parser("aging", help="selected-CRP flips over an aging life")
+    p.add_argument("--n-pufs", type=int, default=4)
+    p.add_argument("--n-stages", type=int, default=32)
+    p.add_argument("--amplitude", type=float, default=0.3)
+    p.add_argument("--selected", type=int, default=10_000)
+
+    p = sub.add_parser(
+        "figure",
+        help="run a paper-figure experiment by name and print its JSON",
+    )
+    p.add_argument(
+        "name",
+        choices=sorted(_FIGURE_RUNNERS),
+        help="experiment to run (see repro.experiments)",
+    )
+    p.add_argument(
+        "--full", action="store_true",
+        help="paper-scale sizes instead of quick defaults",
+    )
+    return parser
+
+
+def _cmd_stability(args: argparse.Namespace) -> int:
+    xor_puf = XorArbiterPuf.create(args.n_pufs, args.n_stages, seed=args.seed)
+    challenges = random_challenges(args.challenges, args.n_stages, seed=args.seed + 1)
+    per_puf = [
+        measure_soft_responses(
+            puf, challenges, args.trials, rng=np.random.default_rng(args.seed + 2 + i)
+        )
+        for i, puf in enumerate(xor_puf.pufs)
+    ]
+    fractions = stable_fraction_by_n(per_puf)
+    from repro.viz import ascii_decay_table
+
+    print(ascii_decay_table(fractions, reference_base=0.8))
+    return 0
+
+
+def _cmd_enroll(args: argparse.Namespace) -> int:
+    chip = PufChip.create(args.n_pufs, args.n_stages, seed=args.seed, chip_id="cli")
+    conditions = paper_corner_grid() if args.corners else None
+    record = enroll_chip(
+        chip,
+        n_enroll_challenges=args.train,
+        n_validation_challenges=args.validation,
+        validation_conditions=conditions,
+        seed=args.seed + 1,
+    )
+    print(f"enrolled {chip.chip_id}: betas {record.betas}")
+    for index, pair in enumerate(record.adjusted_pairs):
+        print(f"  PUF #{index}: {pair}")
+    test = random_challenges(20_000, args.n_stages, seed=args.seed + 2)
+    print(f"predicted stable fraction: "
+          f"{record.selector().predicted_stable_fraction(test):.1%}")
+    if args.save:
+        record.save(args.save)
+        print(f"record written to {args.save}")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    xor_puf = XorArbiterPuf.create(args.n_pufs, args.n_stages, seed=args.seed)
+    train, test = collect_stable_xor_crps(
+        xor_puf, args.pool, 100_000, seed=args.seed + 1
+    )
+    size = min(args.train, len(train))
+    train_x, train_y, test_x, test_y = attack_matrices(
+        train.subset(np.arange(size)), test
+    )
+    attack = MlpClassifier(seed=args.seed + 2, max_iter=300).fit(train_x, train_y)
+    accuracy = attack.score(test_x, test_y)
+    print(f"stable CRPs: train {len(train)} (used {size}), test {len(test)}")
+    print(f"MLP 35-25-25 accuracy: {accuracy:.2%} "
+          f"({1000 * attack.fit_seconds_ / size:.3f} ms/CRP)")
+    return 0
+
+
+def _cmd_auth(args: argparse.Namespace) -> int:
+    chip = PufChip.create(args.n_pufs, args.n_stages, seed=args.seed, chip_id="cli")
+    server = AuthenticationServer()
+    server.enroll(
+        chip,
+        seed=args.seed + 1,
+        n_enroll_challenges=5000,
+        n_validation_challenges=20_000,
+        validation_conditions=paper_corner_grid() if args.corners else None,
+    )
+    corners = paper_corner_grid()
+    failures = 0
+    for session in range(args.sessions):
+        condition = corners[session % 9] if args.corners else corners[4]
+        result = server.authenticate(
+            chip, n_challenges=args.challenges,
+            condition=condition, seed=args.seed + 10 + session,
+        )
+        print(f"session {session}: {result}")
+        failures += not result.approved
+    print(f"{args.sessions - failures}/{args.sessions} sessions approved")
+    return 1 if failures else 0
+
+
+def _cmd_aging(args: argparse.Namespace) -> int:
+    chip = PufChip.create(args.n_pufs, args.n_stages, seed=args.seed, chip_id="cli")
+    record = enroll_chip(
+        chip, n_enroll_challenges=5000, n_validation_challenges=20_000,
+        seed=args.seed + 1,
+    )
+    challenges, predicted = record.selector().select(args.selected, seed=args.seed + 2)
+    model = AgingModel(amplitude=args.amplitude)
+    print(f"{'hours':>9} {'flip rate':>10}")
+    for hours in (0.0, 8760.0, 43_800.0, 87_600.0):
+        aged = age_chip(chip, hours, model, seed=args.seed + 3)
+        flips = (aged.xor_response(challenges) != predicted).mean()
+        print(f"{hours:>9.0f} {flips:>10.4%}")
+    return 0
+
+
+#: Figure experiments runnable via ``repro-puf figure <name>``:
+#: name -> (runner import path, quick kwargs, paper-scale kwargs).
+_FIGURE_RUNNERS = {
+    "fig02": ("run_fig02", {"n_challenges": 50_000}, {"n_challenges": 1_000_000}),
+    "fig03": ("run_fig03", {"n_challenges": 20_000}, {"n_challenges": 1_000_000}),
+    "fig08": ("run_fig08", {}, {}),
+    "fig09": ("run_fig09", {"n_test": 30_000}, {"n_test": 1_000_000}),
+    "fig10": ("run_fig10", {"n_test": 30_000}, {"n_test": 1_000_000}),
+    "fig11": ("run_fig11", {"n_test": 15_000}, {"n_test": 1_000_000}),
+    "fig12": ("run_fig12", {"n_eval": 20_000, "n_validation": 10_000},
+              {"n_eval": 1_000_000}),
+}
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    import json
+
+    import repro.experiments as experiments
+
+    runner_name, quick, full = _FIGURE_RUNNERS[args.name]
+    runner = getattr(experiments, runner_name)
+    kwargs = dict(full if args.full else quick)
+    kwargs["seed"] = args.seed
+    result = runner(**kwargs)
+    print(json.dumps(result, indent=2, default=float))
+    return 0
+
+
+_COMMANDS = {
+    "stability": _cmd_stability,
+    "enroll": _cmd_enroll,
+    "attack": _cmd_attack,
+    "auth": _cmd_auth,
+    "aging": _cmd_aging,
+    "figure": _cmd_figure,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""The paper's contribution: model-assisted XOR PUF authentication.
+
+Linear-regression delay-parameter extraction from soft responses
+(Sec. 4), three-category thresholding (Fig. 8), beta threshold
+adjustment (Sec. 5), model-assisted challenge selection and the
+zero-Hamming-distance authentication protocol (Figs. 6-7).
+"""
+
+from repro.core.adjustment import (
+    BetaFactors,
+    BetaSearchError,
+    conservative_betas,
+    find_beta_factors,
+)
+from repro.core.authentication import (
+    ZERO_HAMMING_DISTANCE,
+    AuthResult,
+    Responder,
+    authenticate,
+)
+from repro.core.enrollment import (
+    PAPER_ENROLL_CHALLENGES,
+    EnrollmentRecord,
+    enroll_chip,
+)
+from repro.core.model import REGRESSION_METHODS, LinearPufModel, XorPufModel
+from repro.core.regression import RegressionReport, fit_soft_response_model
+from repro.core.salvage import SalvageRecord, authenticate_salvage, enroll_salvage
+from repro.core.selection import ChallengeSelector, SelectionExhaustedError
+from repro.core.server import (
+    AuthenticationServer,
+    IdentificationResult,
+    ModelResponder,
+    UnknownChipError,
+)
+from repro.core.thresholds import (
+    DegenerateThresholdsError,
+    ResponseCategory,
+    ThresholdPair,
+    category_to_bit,
+    classify_predictions,
+    determine_thresholds,
+)
+
+__all__ = [
+    "BetaFactors",
+    "BetaSearchError",
+    "conservative_betas",
+    "find_beta_factors",
+    "ZERO_HAMMING_DISTANCE",
+    "AuthResult",
+    "Responder",
+    "authenticate",
+    "PAPER_ENROLL_CHALLENGES",
+    "EnrollmentRecord",
+    "enroll_chip",
+    "REGRESSION_METHODS",
+    "LinearPufModel",
+    "XorPufModel",
+    "RegressionReport",
+    "fit_soft_response_model",
+    "SalvageRecord",
+    "authenticate_salvage",
+    "enroll_salvage",
+    "ChallengeSelector",
+    "SelectionExhaustedError",
+    "AuthenticationServer",
+    "IdentificationResult",
+    "ModelResponder",
+    "UnknownChipError",
+    "DegenerateThresholdsError",
+    "ResponseCategory",
+    "ThresholdPair",
+    "category_to_bit",
+    "classify_predictions",
+    "determine_thresholds",
+]

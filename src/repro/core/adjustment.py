@@ -1,0 +1,172 @@
+"""Threshold-level adjustment via beta scaling factors (paper Sec. 5).
+
+Thresholds derived from a 5 000-challenge training set may admit CRPs
+that flip on unseen challenges or at other voltage/temperature corners.
+The paper therefore tightens them multiplicatively:
+
+    Thr(0)_adjust = beta0 * Thr(0)_train     (beta0 <= 1)
+    Thr(1)_adjust = beta1 * Thr(1)_train     (beta1 >= 1)
+
+"We gradually decrease beta0 and increase beta1, until all unstable
+responses are filtered out" on a validation measurement set -- which
+may span several operating conditions (Sec. 5.2 / Fig. 11: the same
+procedure with corner measurements yields more stringent betas).
+
+For fleets, the paper picks one conservative pair for all chips: the
+smallest beta0 and largest beta1 seen on a sample of chips (their
+silicon gave beta0 in [0.74, 0.93] and beta1 in [1.04, 1.08], choosing
+0.74 / 1.08).  :func:`conservative_betas` implements that reduction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.core.model import LinearPufModel
+from repro.core.thresholds import (
+    ResponseCategory,
+    ThresholdPair,
+    classify_predictions,
+)
+from repro.crp.dataset import SoftResponseDataset
+
+__all__ = ["BetaFactors", "find_beta_factors", "conservative_betas", "BetaSearchError"]
+
+
+class BetaSearchError(RuntimeError):
+    """Raised when the beta search cannot filter out every unstable CRP."""
+
+
+@dataclasses.dataclass(frozen=True)
+class BetaFactors:
+    """The ``(beta0, beta1)`` threshold scaling pair.
+
+    ``beta0 <= 1`` tightens the stable-0 threshold; ``beta1 >= 1``
+    tightens the stable-1 threshold.
+    """
+
+    beta0: float = 1.0
+    beta1: float = 1.0
+
+    def __post_init__(self) -> None:
+        beta0, beta1 = float(self.beta0), float(self.beta1)
+        if not 0.0 < beta0 <= 1.0:
+            raise ValueError(f"beta0 must lie in (0, 1], got {beta0}")
+        if beta1 < 1.0:
+            raise ValueError(f"beta1 must be >= 1, got {beta1}")
+        object.__setattr__(self, "beta0", beta0)
+        object.__setattr__(self, "beta1", beta1)
+
+    def apply(self, pair: ThresholdPair) -> ThresholdPair:
+        """Scaled threshold pair."""
+        return pair.scale(self.beta0, self.beta1)
+
+    def __str__(self) -> str:
+        return f"beta0={self.beta0:.2f}, beta1={self.beta1:.2f}"
+
+
+def _offending_sides(
+    predicted: np.ndarray,
+    stable_zero_measured: np.ndarray,
+    stable_one_measured: np.ndarray,
+    pair: ThresholdPair,
+) -> tuple[bool, bool]:
+    """Which sides still classify a measured-unstable CRP as stable.
+
+    A prediction offends on the 0 side if it falls below the (scaled)
+    Thr(0) without being measured perfectly stable at 0 *in every
+    provided condition*; symmetrically for the 1 side.
+    """
+    categories = classify_predictions(predicted, pair)
+    offend0 = bool(
+        ((categories == ResponseCategory.STABLE_ZERO) & ~stable_zero_measured).any()
+    )
+    offend1 = bool(
+        ((categories == ResponseCategory.STABLE_ONE) & ~stable_one_measured).any()
+    )
+    return offend0, offend1
+
+
+def find_beta_factors(
+    model: LinearPufModel,
+    base_pair: ThresholdPair,
+    validation_sets: Sequence[SoftResponseDataset],
+    *,
+    step: float = 0.01,
+    beta0_floor: float = 0.01,
+    beta1_cap: float = 4.0,
+) -> BetaFactors:
+    """Search the beta pair for one PUF against validation measurements.
+
+    Parameters
+    ----------
+    model:
+        The PUF's enrollment model.
+    base_pair:
+        Training-set thresholds from
+        :func:`repro.core.thresholds.determine_thresholds`.
+    validation_sets:
+        Soft-response measurements of the *same* challenge matrix, one
+        per operating condition (a single nominal set reproduces
+        Sec. 5.1; the 9-corner sweep reproduces Sec. 5.2).  A CRP only
+        counts as measured-stable if it is stable in **every** set.
+    step:
+        Beta granularity (the paper reports 2-decimal betas).
+    beta0_floor / beta1_cap:
+        Search bounds; exceeding them raises :class:`BetaSearchError`
+        (meaning the model cannot separate stable from unstable CRPs
+        on this data).
+
+    Notes
+    -----
+    Both betas start at 1.00 and only the offending side is tightened
+    each iteration, so the result is the *least* stringent pair (on the
+    step grid) that filters out every unstable validation CRP --
+    exactly the paper's trial-and-error guideline.
+    """
+    if not validation_sets:
+        raise ValueError("validation_sets must not be empty")
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    first = validation_sets[0]
+    for dataset in validation_sets[1:]:
+        if len(dataset) != len(first):
+            raise ValueError("validation sets must share one challenge matrix")
+    predicted = model.predict_soft(first.challenges)
+
+    stable_zero = np.ones(len(first), dtype=bool)
+    stable_one = np.ones(len(first), dtype=bool)
+    for dataset in validation_sets:
+        counts = np.rint(dataset.soft_responses * dataset.n_trials)
+        stable_zero &= counts == 0
+        stable_one &= counts == dataset.n_trials
+
+    beta0, beta1 = 1.0, 1.0
+    while True:
+        pair = base_pair.scale(beta0, beta1)
+        offend0, offend1 = _offending_sides(predicted, stable_zero, stable_one, pair)
+        if not offend0 and not offend1:
+            return BetaFactors(round(beta0, 10), round(beta1, 10))
+        if offend0:
+            beta0 -= step
+        if offend1:
+            beta1 += step
+        if beta0 < beta0_floor or beta1 > beta1_cap:
+            raise BetaSearchError(
+                f"beta search exhausted (beta0={beta0:.3f}, beta1={beta1:.3f}); "
+                "the model cannot filter all unstable validation CRPs"
+            )
+
+
+def conservative_betas(factors: Iterable[BetaFactors]) -> BetaFactors:
+    """Fleet-wide conservative pair: min beta0, max beta1 (paper Sec. 5.1)."""
+    factor_list: List[BetaFactors] = list(factors)
+    if not factor_list:
+        raise ValueError("need at least one BetaFactors to aggregate")
+    return BetaFactors(
+        beta0=min(f.beta0 for f in factor_list),
+        beta1=max(f.beta1 for f in factor_list),
+    )

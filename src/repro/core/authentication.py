@@ -1,0 +1,124 @@
+"""The authentication protocol (Fig. 7) with the zero-HD policy.
+
+The server selects challenges predicted stable on every individual PUF,
+sends them to the chip, samples the XOR response **once** per challenge
+("one-time sampling" -- legitimate because selected CRPs never flip),
+and compares against its own predictions.  Because the selected CRPs
+are extremely stable, the paper imposes the most stringent criterion
+possible: the device is approved only on a **perfect match** (zero
+Hamming distance).  The tolerance is configurable for comparison
+studies, but the default reproduces the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Protocol
+
+import numpy as np
+
+from repro.core.selection import ChallengeSelector
+from repro.silicon.environment import NOMINAL_CONDITION, OperatingCondition
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Responder", "AuthResult", "authenticate", "ZERO_HAMMING_DISTANCE"]
+
+#: The paper's approval criterion: no mismatched bit is tolerated.
+ZERO_HAMMING_DISTANCE = 0
+
+
+class Responder(Protocol):
+    """Anything that answers challenges like a deployed chip."""
+
+    def xor_response(
+        self,
+        challenges: np.ndarray,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+    ) -> np.ndarray:
+        """One-shot 1-bit responses to *challenges*."""
+        ...
+
+
+@dataclasses.dataclass(frozen=True)
+class AuthResult:
+    """Outcome of one authentication session.
+
+    Attributes
+    ----------
+    approved:
+        Server verdict.
+    n_challenges:
+        Challenges exchanged.
+    n_mismatches:
+        Bits where the device response differed from the prediction.
+    tolerance:
+        Mismatch budget that was applied (0 = paper's policy).
+    condition:
+        Operating condition the device responded under.
+    """
+
+    approved: bool
+    n_challenges: int
+    n_mismatches: int
+    tolerance: int
+    condition: OperatingCondition
+
+    @property
+    def hamming_distance(self) -> float:
+        """Normalised Hamming distance between response and prediction."""
+        return self.n_mismatches / self.n_challenges if self.n_challenges else 0.0
+
+    def __str__(self) -> str:
+        verdict = "APPROVED" if self.approved else "DENIED"
+        return (
+            f"{verdict}: {self.n_mismatches}/{self.n_challenges} mismatches "
+            f"(tolerance {self.tolerance}) at {self.condition}"
+        )
+
+
+def authenticate(
+    responder: Responder,
+    selector: ChallengeSelector,
+    n_challenges: int,
+    *,
+    tolerance: int = ZERO_HAMMING_DISTANCE,
+    condition: OperatingCondition = NOMINAL_CONDITION,
+    seed: SeedLike = None,
+) -> AuthResult:
+    """Run one Fig.-7 authentication session.
+
+    Parameters
+    ----------
+    responder:
+        The device under authentication (a deployed
+        :class:`~repro.silicon.chip.PufChip`, an impostor chip, or an
+        attacker's model wrapped as a responder).
+    selector:
+        The server's challenge selector for the *claimed* identity.
+    n_challenges:
+        Number of stable challenges to exchange.
+    tolerance:
+        Maximum mismatches still approved; the paper's policy is 0.
+    condition:
+        Operating condition at the device (unknown to the server).
+    seed:
+        Seed of the server's challenge search.
+    """
+    n_challenges = check_positive_int(n_challenges, "n_challenges")
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    challenges, predicted = selector.select(n_challenges, seed)
+    responses = np.asarray(responder.xor_response(challenges, condition))
+    if responses.shape != predicted.shape:
+        raise ValueError(
+            f"responder returned shape {responses.shape}, expected {predicted.shape}"
+        )
+    n_mismatches = int((responses != predicted).sum())
+    return AuthResult(
+        approved=n_mismatches <= tolerance,
+        n_challenges=n_challenges,
+        n_mismatches=n_mismatches,
+        tolerance=tolerance,
+        condition=condition,
+    )

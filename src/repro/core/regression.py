@@ -1,0 +1,176 @@
+"""Linear-regression extraction of delay parameters (paper Sec. 4).
+
+The paper's key enrollment step: fit the linear additive delay model to
+*soft responses* measured through the fuse-gated counters.  Two
+differences from the classical modeling attacks are called out in the
+paper and preserved here:
+
+1. **Linear regression instead of logistic regression** -- the measured
+   soft responses are fractional, not binary, so ordinary least squares
+   over the parity features applies directly (and trains in
+   milliseconds: the paper reports 4.3 ms for 5 000 CRPs).
+2. The predictions will later be split into **three categories**
+   (stable 0 / unstable / stable 1) rather than two -- see
+   :mod:`repro.core.thresholds`.
+
+Two alternative extractors are provided for the ablation benchmarks:
+``probit`` (OLS on inverse-CDF-transformed soft responses, recovering
+the delay parameters in physical units up to the noise sigma) and
+``mle`` (binomial maximum likelihood -- logistic regression with
+fractional targets, the statistically efficient way to consume counter
+data).  The paper's method is ``linear``; its virtue is simplicity and
+a closed-form millisecond fit.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import optimize, special, stats
+
+from repro.core.model import LinearPufModel, REGRESSION_METHODS
+from repro.crp.dataset import SoftResponseDataset
+from repro.crp.transform import parity_features
+from repro.utils.validation import as_challenge_array
+
+__all__ = ["fit_soft_response_model", "RegressionReport"]
+
+
+class RegressionReport:
+    """Fit metadata: timing and residual diagnostics.
+
+    Attributes
+    ----------
+    fit_seconds:
+        Wall-clock time of the least-squares solve (the paper's
+        4.3 ms-for-5000-CRPs metric).
+    residual_rms:
+        RMS residual of the regression on its own training targets.
+    n_train:
+        Training rows used.
+    """
+
+    def __init__(self, fit_seconds: float, residual_rms: float, n_train: int) -> None:
+        self.fit_seconds = fit_seconds
+        self.residual_rms = residual_rms
+        self.n_train = n_train
+
+    def __repr__(self) -> str:
+        return (
+            f"RegressionReport(n_train={self.n_train}, "
+            f"fit_seconds={self.fit_seconds:.4g}, "
+            f"residual_rms={self.residual_rms:.4g})"
+        )
+
+
+def _probit_targets(soft: np.ndarray, n_trials: int) -> np.ndarray:
+    """Inverse-CDF transform with saturation clamping.
+
+    Soft responses of exactly 0 or 1 carry only the information "at
+    least this biased"; they are clamped to half a count inside the
+    counter's resolution before the probit, the standard continuity
+    correction.
+    """
+    half_count = 0.5 / n_trials
+    clipped = np.clip(soft, half_count, 1.0 - half_count)
+    return stats.norm.ppf(clipped)
+
+
+def fit_soft_response_model(
+    dataset: SoftResponseDataset,
+    *,
+    method: str = "linear",
+    rcond: Optional[float] = None,
+) -> Tuple[LinearPufModel, RegressionReport]:
+    """Fit one PUF's delay parameters from measured soft responses.
+
+    Parameters
+    ----------
+    dataset:
+        Enrollment measurements of a *single* arbiter PUF.
+    method:
+        ``"linear"`` -- OLS directly on the fractional soft responses
+        (the paper's method); ``"probit"`` -- OLS on inverse-CDF
+        transformed soft responses; ``"mle"`` -- binomial maximum
+        likelihood (logistic regression with fractional targets).
+    rcond:
+        Cut-off for small singular values, passed to
+        :func:`numpy.linalg.lstsq`.
+
+    Returns
+    -------
+    (model, report):
+        The learned :class:`~repro.core.model.LinearPufModel` and fit
+        diagnostics.
+    """
+    if method not in REGRESSION_METHODS:
+        raise ValueError(
+            f"unknown method {method!r}; choose from {REGRESSION_METHODS}"
+        )
+    if len(dataset) == 0:
+        raise ValueError("cannot fit a model on an empty dataset")
+    challenges = as_challenge_array(dataset.challenges)
+    features = parity_features(challenges)
+    if len(dataset) < features.shape[1]:
+        raise ValueError(
+            f"need at least {features.shape[1]} soft responses to identify "
+            f"{features.shape[1]} delay parameters, got {len(dataset)}"
+        )
+    start = time.perf_counter()
+    if method == "mle":
+        weights = _fit_binomial_mle(features, dataset.soft_responses)
+        fit_seconds = time.perf_counter() - start
+        residuals = special.expit(features @ weights) - dataset.soft_responses
+    else:
+        if method == "linear":
+            targets = dataset.soft_responses
+        else:
+            targets = _probit_targets(dataset.soft_responses, dataset.n_trials)
+        weights, _, _, _ = np.linalg.lstsq(features, targets, rcond=rcond)
+        fit_seconds = time.perf_counter() - start
+        residuals = features @ weights - targets
+
+    report = RegressionReport(
+        fit_seconds=fit_seconds,
+        residual_rms=float(np.sqrt(np.mean(residuals**2))),
+        n_train=len(dataset),
+    )
+    return LinearPufModel(weights, method), report
+
+
+def _fit_binomial_mle(
+    features: np.ndarray,
+    soft_responses: np.ndarray,
+    *,
+    alpha: float = 1e-6,
+    max_iter: int = 300,
+) -> np.ndarray:
+    """Logistic regression with fractional targets (binomial MLE).
+
+    Minimises the mean Bernoulli cross-entropy between the fractional
+    soft responses and ``sigmoid(phi . w)`` -- the efficient estimator
+    for counter data: interior fractions pin down the scale while
+    saturated ones contribute one-sided evidence instead of a clamped
+    pseudo-observation.
+    """
+    n = len(features)
+    soft = np.asarray(soft_responses, dtype=np.float64)
+
+    def loss_grad(w: np.ndarray):
+        z = features @ w
+        # Stable BCE: -[s*z - softplus(z)] summed; softplus via logaddexp.
+        loss = float(np.mean(np.logaddexp(0.0, z) - soft * z))
+        loss += 0.5 * alpha / n * float(w @ w)
+        grad = features.T @ (special.expit(z) - soft) / n + alpha / n * w
+        return loss, grad
+
+    result = optimize.minimize(
+        loss_grad,
+        np.zeros(features.shape[1]),
+        jac=True,
+        method="L-BFGS-B",
+        options={"maxiter": max_iter},
+    )
+    return result.x

@@ -1,0 +1,240 @@
+"""The authentication server and its enrollment database.
+
+Ties the pieces of :mod:`repro.core` into the deployment objects a
+system integrator would use: an :class:`AuthenticationServer` that
+stores :class:`~repro.core.enrollment.EnrollmentRecord` entries (delay
+parameters + thresholds -- not CRP tables) and runs Fig.-7 sessions,
+and a :class:`ModelResponder` adapter that lets an attacker's learned
+model masquerade as a device, for security evaluations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.core.authentication import (
+    AuthResult,
+    Responder,
+    ZERO_HAMMING_DISTANCE,
+    authenticate,
+)
+from repro.core.enrollment import EnrollmentRecord, enroll_chip
+from repro.core.selection import ChallengeSelector
+from repro.crp.transform import parity_features
+from repro.silicon.chip import PufChip
+from repro.silicon.environment import NOMINAL_CONDITION, OperatingCondition
+from repro.utils.rng import SeedLike, derive_generator
+
+__all__ = [
+    "AuthenticationServer",
+    "IdentificationResult",
+    "ModelResponder",
+    "UnknownChipError",
+]
+
+
+class UnknownChipError(KeyError):
+    """Raised for authentication attempts against an unenrolled identity."""
+
+
+class AuthenticationServer:
+    """Server-side database and protocol driver.
+
+    Parameters
+    ----------
+    records:
+        Optional initial ``chip_id -> EnrollmentRecord`` mapping.
+    """
+
+    def __init__(self, records: Optional[Mapping[str, EnrollmentRecord]] = None) -> None:
+        self._records: Dict[str, EnrollmentRecord] = dict(records or {})
+        self._selectors: Dict[str, ChallengeSelector] = {}
+
+    # ------------------------------------------------------------------
+    # Database management
+    # ------------------------------------------------------------------
+    @property
+    def enrolled_ids(self) -> list[str]:
+        """Identifiers of all enrolled chips."""
+        return sorted(self._records)
+
+    def record(self, chip_id: str) -> EnrollmentRecord:
+        """The stored record for *chip_id*."""
+        try:
+            return self._records[chip_id]
+        except KeyError:
+            raise UnknownChipError(
+                f"chip {chip_id!r} is not enrolled; known: {self.enrolled_ids}"
+            ) from None
+
+    def register(self, record: EnrollmentRecord) -> None:
+        """Store (or replace) an enrollment record."""
+        self._records[record.chip_id] = record
+        self._selectors.pop(record.chip_id, None)
+
+    def enroll(self, chip: PufChip, seed: SeedLike = None, **kwargs) -> EnrollmentRecord:
+        """Enroll *chip* (see :func:`repro.core.enrollment.enroll_chip`)
+        and store the record."""
+        record = enroll_chip(chip, seed=seed, **kwargs)
+        self.register(record)
+        return record
+
+    def selector(self, chip_id: str) -> ChallengeSelector:
+        """Cached challenge selector for one identity."""
+        if chip_id not in self._selectors:
+            self._selectors[chip_id] = self.record(chip_id).selector()
+        return self._selectors[chip_id]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save_database(self, directory) -> None:
+        """Write every enrollment record into *directory* (one .npz each).
+
+        File names are derived from chip ids; ids must therefore be
+        filesystem-safe (the library's ``chip-N`` convention is).
+        """
+        from pathlib import Path
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for chip_id, record in self._records.items():
+            record.save(directory / f"{chip_id}.npz")
+
+    @classmethod
+    def load_database(cls, directory) -> "AuthenticationServer":
+        """Rebuild a server from a :meth:`save_database` directory."""
+        from pathlib import Path
+
+        directory = Path(directory)
+        if not directory.is_dir():
+            raise FileNotFoundError(f"no database directory at {directory}")
+        records = {}
+        for path in sorted(directory.glob("*.npz")):
+            record = EnrollmentRecord.load(path)
+            records[record.chip_id] = record
+        return cls(records)
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def authenticate(
+        self,
+        responder: Responder,
+        *,
+        claimed_id: Optional[str] = None,
+        n_challenges: int = 64,
+        tolerance: int = ZERO_HAMMING_DISTANCE,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+        seed: SeedLike = None,
+    ) -> AuthResult:
+        """Authenticate *responder* against a claimed identity.
+
+        ``claimed_id`` defaults to the responder's own ``chip_id``
+        attribute (the honest case); pass a different id to model an
+        impostor presenting someone else's identity.
+        """
+        if claimed_id is None:
+            claimed_id = getattr(responder, "chip_id", None)
+            if claimed_id is None:
+                raise ValueError(
+                    "responder has no chip_id attribute; pass claimed_id explicitly"
+                )
+        return authenticate(
+            responder,
+            self.selector(claimed_id),
+            n_challenges,
+            tolerance=tolerance,
+            condition=condition,
+            seed=derive_generator(seed, "auth", claimed_id),
+        )
+
+    def identify(
+        self,
+        responder: Responder,
+        *,
+        n_challenges: int = 64,
+        min_match_fraction: float = 0.95,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+        seed: SeedLike = None,
+    ) -> IdentificationResult:
+        """1:N identification: which enrolled chip is this device?
+
+        Runs one selected-challenge block per enrolled identity (each
+        identity's own models pick its challenges) and scores the
+        device's answers against each prediction.  The genuine chip
+        matches its own record perfectly; every other record sees a
+        ~50 % coin-flip agreement, so the gap is unambiguous whenever
+        ``n_challenges`` is more than a few dozen.
+
+        Returns an :class:`IdentificationResult`; ``chip_id`` is
+        ``None`` when no identity clears *min_match_fraction* (an
+        unenrolled or heavily degraded device).
+        """
+        if not self._records:
+            raise UnknownChipError("no identities enrolled")
+        scores: Dict[str, float] = {}
+        for chip_id in self.enrolled_ids:
+            challenges, predicted = self.selector(chip_id).select(
+                n_challenges, derive_generator(seed, "identify", chip_id)
+            )
+            responses = np.asarray(responder.xor_response(challenges, condition))
+            scores[chip_id] = float((responses == predicted).mean())
+        best_id = max(scores, key=scores.get)
+        best_score = scores[best_id]
+        return IdentificationResult(
+            chip_id=best_id if best_score >= min_match_fraction else None,
+            match_fraction=best_score,
+            scores=scores,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class IdentificationResult:
+    """Outcome of a 1:N identification sweep.
+
+    Attributes
+    ----------
+    chip_id:
+        Best-matching enrolled identity, or ``None`` if nothing cleared
+        the match threshold.
+    match_fraction:
+        Per-challenge agreement of the best candidate.
+    scores:
+        ``chip_id -> match fraction`` for every enrolled identity.
+    """
+
+    chip_id: Optional[str]
+    match_fraction: float
+    scores: Dict[str, float]
+
+
+class ModelResponder:
+    """Adapter: answer challenges from an attacker's learned model.
+
+    Wraps any estimator with a ``predict(features)`` method (an MLP or
+    logistic attack) so it can be driven through the authentication
+    protocol -- the paper's security claim is precisely that such a
+    responder should fail against a >= 10-XOR PUF.
+    """
+
+    def __init__(self, model, chip_id: str = "attacker") -> None:
+        if not hasattr(model, "predict"):
+            raise TypeError("model must expose a predict(features) method")
+        self._model = model
+        self.chip_id = chip_id
+
+    def xor_response(
+        self,
+        challenges: np.ndarray,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+    ) -> np.ndarray:
+        """Model predictions in place of silicon responses.
+
+        The operating condition is ignored: a software clone has no
+        physics.
+        """
+        return np.asarray(self._model.predict(parity_features(challenges)))

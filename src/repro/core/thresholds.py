@@ -1,0 +1,163 @@
+"""Three-category thresholding of model predictions (paper Sec. 4, Fig. 8).
+
+The traditional modeling approach splits predictions at 0.5 into two
+classes, which is "prone to flipping errors" near the boundary.  The
+paper instead derives two thresholds from the training set:
+
+* ``Thr(0)`` -- the *lowest* predicted soft response among challenges
+  whose **measured** soft response is greater than 0.00 (i.e. not
+  perfectly stable at 0).  Predictions strictly below ``Thr(0)`` are
+  classified **stable 0**.
+* ``Thr(1)`` -- the *highest* predicted soft response among challenges
+  whose measured soft response is less than 1.00.  Predictions strictly
+  above ``Thr(1)`` are classified **stable 1**.
+* Everything in between is **unstable** and will never be used for
+  authentication.
+
+Challenges that are stable in measurement but fall inside the model's
+unstable band are *deliberately discarded*: the paper treats them as
+marginally stable and "likely to become unstable with voltage and
+temperature variation".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Tuple
+
+import numpy as np
+
+from repro.crp.dataset import SoftResponseDataset
+from repro.utils.validation import as_float_array
+
+__all__ = [
+    "ResponseCategory",
+    "ThresholdPair",
+    "determine_thresholds",
+    "classify_predictions",
+    "category_to_bit",
+    "DegenerateThresholdsError",
+]
+
+
+class DegenerateThresholdsError(ValueError):
+    """Raised when the training data cannot support a threshold pair."""
+
+
+class ResponseCategory(enum.IntEnum):
+    """Prediction categories of the paper's three-way classification."""
+
+    STABLE_ZERO = 0
+    UNSTABLE = 1
+    STABLE_ONE = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class ThresholdPair:
+    """The ``(Thr(0), Thr(1))`` pair on the predicted-soft-response axis.
+
+    Attributes
+    ----------
+    thr0:
+        Predictions strictly below this are stable 0.
+    thr1:
+        Predictions strictly above this are stable 1.
+    """
+
+    thr0: float
+    thr1: float
+
+    def __post_init__(self) -> None:
+        thr0, thr1 = float(self.thr0), float(self.thr1)
+        if not thr0 < thr1:
+            raise DegenerateThresholdsError(
+                f"Thr(0)={thr0} must be strictly below Thr(1)={thr1}"
+            )
+        object.__setattr__(self, "thr0", thr0)
+        object.__setattr__(self, "thr1", thr1)
+
+    def scale(self, beta0: float, beta1: float) -> "ThresholdPair":
+        """The paper's threshold adjustment: ``(beta0*Thr(0), beta1*Thr(1))``.
+
+        ``beta0 < 1`` tightens the stable-0 side and ``beta1 > 1`` the
+        stable-1 side *provided both thresholds are positive*, which is
+        the regime of the paper's data (predicted soft responses are
+        centred around 0.5 with the unstable band straddling it).  A
+        non-positive ``Thr(0)`` would silently invert the stringency
+        semantics, so it is rejected.
+        """
+        if beta0 <= 0 or beta1 <= 0:
+            raise ValueError(f"beta factors must be positive, got {beta0}, {beta1}")
+        if self.thr0 <= 0:
+            raise DegenerateThresholdsError(
+                f"multiplicative scaling requires Thr(0) > 0, got {self.thr0}; "
+                "the model's unstable band is not on the positive axis"
+            )
+        return ThresholdPair(self.thr0 * beta0, self.thr1 * beta1)
+
+    def __str__(self) -> str:
+        return f"Thr(0)={self.thr0:.4f}, Thr(1)={self.thr1:.4f}"
+
+
+def determine_thresholds(
+    predicted_soft: np.ndarray,
+    measured: SoftResponseDataset,
+) -> ThresholdPair:
+    """Derive ``(Thr(0), Thr(1))`` from training predictions vs measurements.
+
+    Parameters
+    ----------
+    predicted_soft:
+        Model predictions for the training challenges (same order as
+        *measured*).
+    measured:
+        The soft-response measurements the model was trained on.
+
+    Raises
+    ------
+    DegenerateThresholdsError
+        If every training challenge is measured-stable on one side
+        (no threshold evidence) or the derived pair is inverted.
+    """
+    predicted = as_float_array(predicted_soft, "predicted_soft", ndim=1)
+    if len(predicted) != len(measured):
+        raise ValueError(
+            f"{len(predicted)} predictions but {len(measured)} measurements"
+        )
+    counts = np.rint(measured.soft_responses * measured.n_trials)
+    not_stable_zero = counts > 0
+    not_stable_one = counts < measured.n_trials
+    if not not_stable_zero.any() or not not_stable_one.any():
+        raise DegenerateThresholdsError(
+            "training set lacks evidence for one side: every challenge is "
+            "measured-stable at 0 or at 1; enlarge the training set"
+        )
+    thr0 = float(predicted[not_stable_zero].min())
+    thr1 = float(predicted[not_stable_one].max())
+    return ThresholdPair(thr0, thr1)
+
+
+def classify_predictions(
+    predicted_soft: np.ndarray,
+    thresholds: ThresholdPair,
+) -> np.ndarray:
+    """Three-way classification of predictions (array of ResponseCategory).
+
+    Returns an int8 array with values from :class:`ResponseCategory`.
+    """
+    predicted = as_float_array(predicted_soft, "predicted_soft")
+    categories = np.full(predicted.shape, ResponseCategory.UNSTABLE, dtype=np.int8)
+    categories[predicted < thresholds.thr0] = ResponseCategory.STABLE_ZERO
+    categories[predicted > thresholds.thr1] = ResponseCategory.STABLE_ONE
+    return categories
+
+
+def category_to_bit(categories: np.ndarray) -> np.ndarray:
+    """Predicted response bit for stable categories (0 or 1).
+
+    Unstable entries are mapped to 0 by convention; callers must mask
+    them out first (selection code never queries unstable challenges).
+    """
+    categories = np.asarray(categories)
+    return (categories == ResponseCategory.STABLE_ONE).astype(np.int8)

@@ -1,0 +1,238 @@
+"""Containers for challenge-response-pair (CRP) datasets.
+
+Two dataset flavours mirror the two measurement modes of the paper:
+
+* :class:`CrpDataset` holds hard (1-bit) responses, as seen by a server
+  or an attacker during authentication.
+* :class:`SoftResponseDataset` holds *soft responses*: the fraction of
+  ``1`` outcomes over ``n_trials`` repeated evaluations of the same
+  challenge (the paper's on-chip-counter measurement with
+  ``n_trials = 100_000``).
+
+Both support train/test splitting, stability filtering with the paper's
+"first/last histogram bin" criterion, and ``.npz`` round-trips.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import (
+    as_challenge_array,
+    check_positive_int,
+    is_binary_array,
+)
+
+__all__ = [
+    "CrpDataset",
+    "SoftResponseDataset",
+    "is_stable_soft",
+    "train_test_split_indices",
+]
+
+
+def is_stable_soft(
+    soft_responses: np.ndarray,
+    n_trials: int,
+) -> np.ndarray:
+    """Boolean mask of "100 % stable" soft responses.
+
+    The paper calls a challenge stable when the counter over *n_trials*
+    repetitions reads exactly 0 or exactly *n_trials* — i.e. the soft
+    response lands in the first (0.00) or last (1.00) histogram bin with
+    no flips at all.
+    """
+    n_trials = check_positive_int(n_trials, "n_trials")
+    soft = np.asarray(soft_responses, dtype=np.float64)
+    counts = np.rint(soft * n_trials)
+    return (counts == 0) | (counts == n_trials)
+
+
+def train_test_split_indices(
+    n: int,
+    train_fraction: float,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Random index split of ``range(n)`` into (train, test).
+
+    The paper's attack experiments use a 90 % / 10 % split of the 1 M
+    measured challenges before stability filtering.
+    """
+    n = check_positive_int(n, "n")
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    rng = as_generator(seed)
+    order = rng.permutation(n)
+    n_train = int(round(n * train_fraction))
+    n_train = min(max(n_train, 1), n - 1)
+    return np.sort(order[:n_train]), np.sort(order[n_train:])
+
+
+@dataclasses.dataclass(frozen=True)
+class CrpDataset:
+    """An immutable set of challenges with hard 1-bit responses.
+
+    Attributes
+    ----------
+    challenges:
+        ``(n, k)`` int8 array of {0, 1} challenge bits.
+    responses:
+        ``(n,)`` int8 array of {0, 1} responses.
+    """
+
+    challenges: np.ndarray
+    responses: np.ndarray
+
+    def __post_init__(self) -> None:
+        challenges = as_challenge_array(self.challenges)
+        responses = np.asarray(self.responses)
+        if responses.ndim != 1:
+            raise ValueError(f"responses must be 1-D, got ndim={responses.ndim}")
+        if len(responses) != len(challenges):
+            raise ValueError(
+                f"{len(challenges)} challenges but {len(responses)} responses"
+            )
+        if responses.size and not is_binary_array(responses):
+            raise ValueError("responses must contain only 0/1 bits")
+        object.__setattr__(self, "challenges", challenges)
+        object.__setattr__(self, "responses", responses.astype(np.int8, copy=False))
+
+    def __len__(self) -> int:
+        return len(self.responses)
+
+    @property
+    def n_stages(self) -> int:
+        """Challenge width in bits."""
+        return self.challenges.shape[1]
+
+    def subset(self, indices: np.ndarray) -> "CrpDataset":
+        """Row-select a new dataset (indices or boolean mask)."""
+        return CrpDataset(self.challenges[indices], self.responses[indices])
+
+    def split(
+        self,
+        train_fraction: float = 0.9,
+        seed: SeedLike = None,
+    ) -> Tuple["CrpDataset", "CrpDataset"]:
+        """Random (train, test) split."""
+        tr, te = train_test_split_indices(len(self), train_fraction, seed)
+        return self.subset(tr), self.subset(te)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Serialise to a compressed ``.npz`` file."""
+        np.savez_compressed(
+            Path(path), challenges=self.challenges, responses=self.responses
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CrpDataset":
+        """Load a dataset previously written by :meth:`save`."""
+        with np.load(Path(path)) as data:
+            return cls(data["challenges"], data["responses"])
+
+
+@dataclasses.dataclass(frozen=True)
+class SoftResponseDataset:
+    """Challenges with fractional soft responses from repeated evaluation.
+
+    Attributes
+    ----------
+    challenges:
+        ``(n, k)`` int8 array of {0, 1} challenge bits.
+    soft_responses:
+        ``(n,)`` float64 array in [0, 1]: fraction of ``1`` outcomes.
+    n_trials:
+        Number of repeated evaluations behind each soft response
+        (100 000 in the paper).
+    """
+
+    challenges: np.ndarray
+    soft_responses: np.ndarray
+    n_trials: int
+
+    def __post_init__(self) -> None:
+        challenges = as_challenge_array(self.challenges)
+        soft = np.asarray(self.soft_responses, dtype=np.float64)
+        if soft.ndim != 1:
+            raise ValueError(f"soft_responses must be 1-D, got ndim={soft.ndim}")
+        if len(soft) != len(challenges):
+            raise ValueError(
+                f"{len(challenges)} challenges but {len(soft)} soft responses"
+            )
+        if soft.size and (soft.min() < 0.0 or soft.max() > 1.0):
+            raise ValueError("soft responses must lie in [0, 1]")
+        n_trials = check_positive_int(self.n_trials, "n_trials")
+        object.__setattr__(self, "challenges", challenges)
+        object.__setattr__(self, "soft_responses", soft)
+        object.__setattr__(self, "n_trials", n_trials)
+
+    def __len__(self) -> int:
+        return len(self.soft_responses)
+
+    @property
+    def n_stages(self) -> int:
+        """Challenge width in bits."""
+        return self.challenges.shape[1]
+
+    @property
+    def stable_mask(self) -> np.ndarray:
+        """Boolean mask of 100 %-stable rows (soft response exactly 0 or 1)."""
+        return is_stable_soft(self.soft_responses, self.n_trials)
+
+    @property
+    def stable_fraction(self) -> float:
+        """Fraction of rows that are 100 % stable."""
+        if len(self) == 0:
+            return float("nan")
+        return float(self.stable_mask.mean())
+
+    def hard_responses(self) -> np.ndarray:
+        """Round soft responses to 1-bit responses (ties broken toward 1)."""
+        return (self.soft_responses >= 0.5).astype(np.int8)
+
+    def to_crp_dataset(self) -> CrpDataset:
+        """Collapse to hard responses (majority over the trials)."""
+        return CrpDataset(self.challenges, self.hard_responses())
+
+    def subset(self, indices: np.ndarray) -> "SoftResponseDataset":
+        """Row-select a new dataset (indices or boolean mask)."""
+        return SoftResponseDataset(
+            self.challenges[indices], self.soft_responses[indices], self.n_trials
+        )
+
+    def stable_subset(self) -> "SoftResponseDataset":
+        """Only the 100 %-stable rows."""
+        return self.subset(self.stable_mask)
+
+    def split(
+        self,
+        train_fraction: float = 0.9,
+        seed: SeedLike = None,
+    ) -> Tuple["SoftResponseDataset", "SoftResponseDataset"]:
+        """Random (train, test) split."""
+        tr, te = train_test_split_indices(len(self), train_fraction, seed)
+        return self.subset(tr), self.subset(te)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Serialise to a compressed ``.npz`` file."""
+        np.savez_compressed(
+            Path(path),
+            challenges=self.challenges,
+            soft_responses=self.soft_responses,
+            n_trials=np.int64(self.n_trials),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SoftResponseDataset":
+        """Load a dataset previously written by :meth:`save`."""
+        with np.load(Path(path)) as data:
+            return cls(
+                data["challenges"],
+                data["soft_responses"],
+                int(data["n_trials"]),
+            )

@@ -1,0 +1,127 @@
+"""Plain-text interchange for CRP and soft-response datasets.
+
+Research groups exchange PUF measurements as flat text tables (pypuf,
+the modeling-attack artifact sets, chip-tester exports).  This module
+reads and writes a simple CSV dialect so externally measured data can
+flow straight into the library's attacks and enrollment code:
+
+* CRP files: one row per challenge, ``k`` comma-separated challenge
+  bits followed by the response bit;
+* soft-response files: ``k`` challenge bits followed by the fractional
+  soft response, with the trial count recorded on a ``# n_trials=``
+  header line.
+
+Both writers emit a commented header so files are self-describing; both
+readers validate shape and value ranges loudly rather than guessing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.crp.dataset import CrpDataset, SoftResponseDataset
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "save_crps_csv",
+    "load_crps_csv",
+    "save_soft_responses_csv",
+    "load_soft_responses_csv",
+]
+
+_PathLike = Union[str, Path]
+
+
+def save_crps_csv(dataset: CrpDataset, path: _PathLike) -> None:
+    """Write a hard-response dataset as ``c_1,...,c_k,response`` rows."""
+    path = Path(path)
+    k = dataset.n_stages
+    header = (
+        f"# repro CRP export: n_stages={k} n_rows={len(dataset)}\n"
+        f"# columns: c_0..c_{k - 1}, response\n"
+    )
+    table = np.column_stack([dataset.challenges, dataset.responses])
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(header)
+        np.savetxt(handle, table, fmt="%d", delimiter=",")
+
+
+def load_crps_csv(path: _PathLike) -> CrpDataset:
+    """Read a file written by :func:`save_crps_csv` (or compatible).
+
+    Any comment lines (``#``) are skipped; every data row must hold the
+    same number of 0/1 integers, the last being the response.
+    """
+    path = Path(path)
+    table = np.loadtxt(path, delimiter=",", comments="#", dtype=np.int64, ndmin=2)
+    if table.shape[1] < 2:
+        raise ValueError(
+            f"{path} rows must hold at least one challenge bit and a response"
+        )
+    return CrpDataset(table[:, :-1].astype(np.int8), table[:, -1].astype(np.int8))
+
+
+def save_soft_responses_csv(dataset: SoftResponseDataset, path: _PathLike) -> None:
+    """Write a soft-response dataset as ``c_1,...,c_k,soft`` rows.
+
+    The counter depth is stored on a header line and restored by
+    :func:`load_soft_responses_csv`.
+    """
+    path = Path(path)
+    k = dataset.n_stages
+    header = (
+        f"# repro soft-response export: n_stages={k} n_rows={len(dataset)}\n"
+        f"# n_trials={dataset.n_trials}\n"
+        f"# columns: c_0..c_{k - 1}, soft_response\n"
+    )
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(header)
+        for challenge, soft in zip(dataset.challenges, dataset.soft_responses):
+            bits = ",".join(str(int(bit)) for bit in challenge)
+            handle.write(f"{bits},{float(soft)!r}\n")
+
+
+def load_soft_responses_csv(
+    path: _PathLike,
+    n_trials: int | None = None,
+) -> SoftResponseDataset:
+    """Read a file written by :func:`save_soft_responses_csv`.
+
+    Parameters
+    ----------
+    path:
+        Input file.
+    n_trials:
+        Counter depth; if omitted it must appear on a ``# n_trials=``
+        header line.
+    """
+    path = Path(path)
+    header_trials: int | None = None
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            if not line.startswith("#"):
+                break
+            stripped = line[1:].strip()
+            if stripped.startswith("n_trials="):
+                header_trials = int(stripped.split("=", 1)[1])
+    if n_trials is None:
+        if header_trials is None:
+            raise ValueError(
+                f"{path} has no '# n_trials=' header; pass n_trials explicitly"
+            )
+        n_trials = header_trials
+    check_positive_int(n_trials, "n_trials")
+    table = np.loadtxt(path, delimiter=",", comments="#", ndmin=2)
+    if table.shape[1] < 2:
+        raise ValueError(
+            f"{path} rows must hold at least one challenge bit and a soft response"
+        )
+    challenges = table[:, :-1]
+    if not np.isin(challenges, (0.0, 1.0)).all():
+        raise ValueError(f"{path} challenge columns must be 0/1")
+    return SoftResponseDataset(
+        challenges.astype(np.int8), table[:, -1], n_trials
+    )

@@ -1,0 +1,76 @@
+"""The linear-additive-model challenge transform (parity feature map).
+
+For a ``k``-stage MUX arbiter PUF with challenge bits
+``c = (c_1, ..., c_k)`` in {0, 1}, the delay difference at the arbiter is
+linear not in ``c`` but in the *transformed challenge vector* ``phi(c)``
+[Ruhrmair et al.; refs 1-3 of the paper]:
+
+    b_j     = 1 - 2*c_j                      (challenge bit in +/-1 form)
+    phi_i   = prod_{j=i}^{k} b_j             for i = 1..k
+    phi_k+1 = 1                              (bias / arbiter offset term)
+
+so that ``delta(c) = w . phi(c)`` for a weight vector ``w`` of ``k + 1``
+delay parameters.  Every learning component in the paper (the linear
+regression of Sec. 4 and the MLP attack of Sec. 2.3) operates on
+``phi(c)``, which is why this transform lives in the shared ``crp``
+substrate rather than with either consumer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import as_challenge_array
+
+__all__ = [
+    "to_signed",
+    "from_signed",
+    "parity_features",
+    "n_features",
+]
+
+
+def to_signed(challenges: np.ndarray) -> np.ndarray:
+    """Map {0, 1} challenge bits to the {+1, -1} convention (0 -> +1)."""
+    challenges = as_challenge_array(challenges)
+    return (1 - 2 * challenges.astype(np.int16)).astype(np.int8)
+
+
+def from_signed(signed: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`to_signed`: map {+1, -1} back to {0, 1}."""
+    signed = np.asarray(signed)
+    if signed.size and not np.isin(signed, (-1, 1)).all():
+        raise ValueError("signed challenge bits must be +/-1")
+    return ((1 - signed) // 2).astype(np.int8)
+
+
+def n_features(n_stages: int) -> int:
+    """Feature dimensionality of the parity transform: ``k + 1``."""
+    if n_stages <= 0:
+        raise ValueError(f"n_stages must be positive, got {n_stages}")
+    return n_stages + 1
+
+
+def parity_features(challenges: np.ndarray) -> np.ndarray:
+    """Compute the parity feature matrix ``phi`` for a batch of challenges.
+
+    Parameters
+    ----------
+    challenges:
+        Array of shape ``(n, k)`` with {0, 1} entries (a single 1-D
+        challenge is also accepted).
+
+    Returns
+    -------
+    numpy.ndarray
+        Float64 array of shape ``(n, k + 1)``; column ``i < k`` holds the
+        suffix product ``prod_{j>=i} (1 - 2 c_j)`` and the final column is
+        the constant 1.
+    """
+    signed = to_signed(challenges).astype(np.float64)
+    n, k = signed.shape
+    phi = np.ones((n, k + 1), dtype=np.float64)
+    # Suffix products: phi[:, i] = signed[:, i] * signed[:, i+1] * ... * signed[:, k-1]
+    np.cumprod(signed[:, ::-1], axis=1, out=signed[:, ::-1])
+    phi[:, :k] = signed
+    return phi

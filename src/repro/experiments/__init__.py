@@ -1,0 +1,89 @@
+"""Programmatic runners for every reproduced figure and ablation.
+
+This package is the Python API behind the ``benchmarks/`` directory:
+each function runs one of the paper's evaluation elements (or one of
+the reproduction's ablations) at a caller-chosen scale and returns a
+JSON-serialisable dict.  The benchmarks are thin wrappers that pick
+default sizes, print paper-vs-measured tables and archive the results.
+
+Quick map (see DESIGN.md Sec. 4 for the full experiment index):
+
+========================  ==============================================
+function                  reproduces
+========================  ==============================================
+``run_fig02``             soft-response histogram (39.7 % / 40.1 %)
+``run_fig03``             0.800**n stable-fraction decay
+``run_fig04``             MLP attack learning curves vs n
+``run_fig08``             three-category thresholds
+``run_fig09``             per-chip / fleet beta search at nominal
+``run_fig10``             predicted-stable vs training-set size
+``run_fig11``             beta adjustment across V/T corners
+``run_fig12``             measured / nominal / V-T stable decay vs n
+``run_training_speed``    0.395 ms/CRP claim
+``run_zero_hd_authentication``  protocol error rates
+``run_regression_methods``      Abl-1 extraction comparison
+``run_soft_vs_hard``            Abl-2 counters' value
+``run_baseline_comparison``     Abl-3 scheme comparison
+``run_threshold_policy``        Abl-4 flip-error comparison
+``run_aging_study``             Abl-5 aging lifetimes
+``run_salvage_comparison``      Abl-6 XOR-level salvage
+``run_bifurcation_attack``      Abl-7 ref-[6] attack slowdown
+``run_security_margin``         Sec-1 "n >= 10" crossover
+``run_reliability_defense``     Sec-2 ref-[9] attack vs protocol
+``run_feedforward_comparison``  Abl-8 width vs structure hardening
+========================  ==============================================
+"""
+
+from repro.experiments.feedforward import DEFAULT_LOOPS, run_feedforward_comparison
+from repro.experiments.attacks import (
+    run_bifurcation_attack,
+    run_fig04,
+    run_reliability_defense,
+    run_security_margin,
+    run_training_speed,
+)
+from repro.experiments.protocols import (
+    AGING_HOURS,
+    run_aging_study,
+    run_baseline_comparison,
+    run_salvage_comparison,
+    run_zero_hd_authentication,
+)
+from repro.experiments.regression import run_regression_methods, run_soft_vs_hard
+from repro.experiments.stability import N_STAGES, run_fig02, run_fig03
+from repro.experiments.thresholds import (
+    PAPER_TRAIN_SIZE,
+    run_fig08,
+    run_fig09,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_threshold_policy,
+)
+
+__all__ = [
+    "DEFAULT_LOOPS",
+    "run_feedforward_comparison",
+    "run_bifurcation_attack",
+    "run_fig04",
+    "run_reliability_defense",
+    "run_security_margin",
+    "run_training_speed",
+    "AGING_HOURS",
+    "run_aging_study",
+    "run_baseline_comparison",
+    "run_salvage_comparison",
+    "run_zero_hd_authentication",
+    "run_regression_methods",
+    "run_soft_vs_hard",
+    "N_STAGES",
+    "run_fig02",
+    "run_fig03",
+    "run_fig08",
+    "run_fig09",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_threshold_policy",
+    "PAPER_TRAIN_SIZE",
+]

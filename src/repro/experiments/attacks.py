@@ -1,0 +1,253 @@
+"""Attack experiments: Fig. 4, training speed, security margins.
+
+Programmatic runners behind the attack-side benchmarks (Fig. 4, the
+ms-per-CRP claim, the "n >= 10" crossover arithmetic, the reliability
+attack defence and the noise-bifurcation slowdown).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.attack_cost import (
+    crps_to_reach,
+    fit_requirement_growth,
+    security_crossover_width,
+)
+from repro.attacks.features import attack_matrices, attack_matrix
+from repro.attacks.harness import collect_stable_xor_crps, learning_curve
+from repro.attacks.mlp import MlpClassifier
+from repro.attacks.reliability import ReliabilityAttack, estimate_reliability
+from repro.baselines.noise_bifurcation import (
+    attacker_view,
+    run_noise_bifurcation_session,
+)
+from repro.core.enrollment import enroll_chip
+from repro.crp.challenges import random_challenges
+from repro.crp.transform import parity_features
+from repro.silicon.chip import PufChip
+from repro.silicon.noise import PAPER_N_TRIALS
+from repro.silicon.xorpuf import XorArbiterPuf
+
+from repro.experiments.stability import N_STAGES
+
+__all__ = [
+    "run_fig04",
+    "run_training_speed",
+    "run_security_margin",
+    "run_reliability_defense",
+    "run_bifurcation_attack",
+]
+
+
+def run_fig04(
+    n_values: Sequence[int],
+    n_challenge_pool: int,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Fig. 4: MLP attack learning curves per XOR width.
+
+    For each width, harvests stable CRPs with the paper's 90/10 recipe
+    and sweeps nested training sizes.  Returns ``pool`` and ``curves``
+    (str(n) -> list of {n_train, accuracy, ms_per_crp}).
+    """
+    xor_puf = XorArbiterPuf.create(max(n_values), N_STAGES, seed=seed)
+    curves: Dict[str, list] = {}
+    for n in n_values:
+        train, test = collect_stable_xor_crps(
+            xor_puf.subset(n), n_challenge_pool, PAPER_N_TRIALS, seed=seed + n
+        )
+        sizes = [
+            s for s in (1000, 4000, 10_000, 25_000, 100_000, 400_000)
+            if s <= len(train)
+        ] or [len(train)]
+        results = learning_curve(
+            lambda: MlpClassifier(seed=seed + 100 + n, max_iter=300),
+            train,
+            test,
+            sizes,
+            seed=seed + 200 + n,
+        )
+        curves[str(n)] = [
+            {
+                "n_train": r.n_train,
+                "accuracy": r.accuracy,
+                "ms_per_crp": r.ms_per_crp,
+            }
+            for r in results
+        ]
+    return {"pool": n_challenge_pool, "curves": curves}
+
+
+def run_training_speed(
+    n_train: int,
+    n_values: Sequence[int],
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """T-text-1: ms-per-CRP of the MLP attack and its n-dependence.
+
+    Paper: 0.395 ms/CRP, "only a weak function of n".  Returns per-n
+    dicts with ``n_train``, ``ms_per_crp``, ``accuracy``,
+    ``iterations``.
+    """
+    per_n = {}
+    for n in n_values:
+        xor_puf = XorArbiterPuf.create(n, N_STAGES, seed=seed + n)
+        pool = int(n_train / (0.9 * 0.8**n)) + 4000
+        train, test = collect_stable_xor_crps(
+            xor_puf, pool, PAPER_N_TRIALS, seed=seed + 50 + n
+        )
+        size = min(n_train, len(train))
+        train_x, train_y, test_x, test_y = attack_matrices(
+            train.subset(np.arange(size)), test
+        )
+        attack = MlpClassifier(seed=seed + 100 + n, max_iter=300)
+        attack.fit(train_x, train_y)
+        per_n[str(n)] = {
+            "n_train": size,
+            "ms_per_crp": 1000.0 * attack.fit_seconds_ / size,
+            "accuracy": attack.score(test_x, test_y),
+            "iterations": attack.n_iter_,
+        }
+    return per_n
+
+
+def run_security_margin(
+    n_values: Sequence[int],
+    pool: int,
+    target_accuracy: float = 0.90,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Sec-1: fit the attack's CRP-requirement growth, find the crossover.
+
+    Returns per-width requirements, the fitted geometric growth
+    (``growth_factor``), the extrapolated n = 10 requirement, and the
+    crossover widths for 1 M and 100 M challenge harvests.
+    """
+    xor_puf = XorArbiterPuf.create(max(n_values), N_STAGES, seed=seed)
+    requirements = {}
+    for n in n_values:
+        train, test = collect_stable_xor_crps(
+            xor_puf.subset(n), pool, PAPER_N_TRIALS, seed=seed + n
+        )
+        sizes = [
+            s for s in (500, 1500, 4000, 10_000, 25_000, 60_000, 150_000)
+            if s <= len(train)
+        ]
+        results = learning_curve(
+            lambda: MlpClassifier(seed=seed + 100 + n, max_iter=300),
+            train, test, sizes, seed=seed + 200 + n,
+        )
+        requirements[n] = crps_to_reach(
+            [r.n_train for r in results],
+            [r.accuracy for r in results],
+            target_accuracy,
+        )
+    growth = fit_requirement_growth(requirements)
+    return {
+        "requirements": {str(n): requirements[n] for n in requirements},
+        "growth_factor": growth.factor,
+        "growth_amplitude": growth.amplitude,
+        "extrapolated_n10": growth.requirement(10),
+        "crossover_1M": security_crossover_width(growth, 1_000_000),
+        "crossover_100M": security_crossover_width(growth, 100_000_000),
+    }
+
+
+def run_reliability_defense(
+    n_harvest: int,
+    n_queries: int = 15,
+    n_pufs: int = 2,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Sec-2: Becker's reliability attack on an open chip vs the protocol.
+
+    Returns the open-chip recovery/accuracy and the protocol-side
+    reliability variance plus whether the protocol-fed attack failed.
+    """
+    chip = PufChip.create(n_pufs, N_STAGES, seed=seed, chip_id="rel-exp")
+    record = enroll_chip(
+        chip, n_enroll_challenges=3000, n_validation_challenges=10_000,
+        seed=seed + 1,
+    )
+    test_ch = random_challenges(5000, N_STAGES, seed=seed + 2)
+    truth = chip.oracle().noise_free_response(test_ch)
+
+    open_ch = random_challenges(n_harvest, N_STAGES, seed=seed + 3)
+    bits, h = estimate_reliability(chip, open_ch, n_queries)
+    open_attack = ReliabilityAttack(n_pufs, seed=seed + 4)
+    open_attack.fit(open_ch, h, bits)
+    open_accuracy = open_attack.score(test_ch, truth)
+
+    selected_ch, _ = record.selector().select(min(n_harvest, 20_000), seed=seed + 5)
+    _, h_selected = estimate_reliability(chip, selected_ch, n_queries)
+    protocol_failed = False
+    try:
+        ReliabilityAttack(n_pufs, seed=seed + 6).fit(
+            selected_ch, h_selected, chip.xor_response(selected_ch)
+        )
+    except (ValueError, RuntimeError):
+        protocol_failed = True
+    return {
+        "n_harvest": n_harvest,
+        "n_queries": n_queries,
+        "open_recovered": open_attack.n_recovered,
+        "open_accuracy": open_accuracy,
+        "open_reliability_variance": float(h.var()),
+        "protocol_reliability_variance": float(h_selected.var()),
+        "protocol_attack_failed": protocol_failed,
+    }
+
+
+def run_bifurcation_attack(
+    budgets: Sequence[int],
+    n_pufs: int = 2,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Abl-7: MLP attack on clean vs noise-bifurcated transcripts.
+
+    Returns a per-budget ``series`` of {budget, clean, bifurcated}
+    accuracies plus the honest-device match fraction of the protocol.
+    """
+    chip = PufChip.create(n_pufs, N_STAGES, seed=seed, chip_id="bif-exp")
+    record = enroll_chip(
+        chip, n_enroll_challenges=3000, n_validation_challenges=10_000,
+        seed=seed + 1,
+    )
+    test_ch = random_challenges(10_000, N_STAGES, seed=seed + 2)
+    truth = chip.oracle().noise_free_response(test_ch)
+    test_phi = parity_features(test_ch)
+
+    clean_train, _ = collect_stable_xor_crps(
+        chip.oracle(), int(max(budgets) / (0.9 * 0.8**n_pufs)) + 5000,
+        PAPER_N_TRIALS, seed=seed + 3,
+    )
+    session = run_noise_bifurcation_session(
+        chip, record.xor_model, (max(budgets) + 1) // 2 + 500, seed=seed + 4
+    )
+    noisy_view = attacker_view(session)
+
+    series: List[Dict[str, float]] = []
+    for budget in budgets:
+        clean_x, clean_y = attack_matrix(clean_train.subset(np.arange(budget)))
+        clean_acc = (
+            MlpClassifier(seed=seed + 5, max_iter=250)
+            .fit(clean_x, clean_y)
+            .score(test_phi, truth)
+        )
+        noisy_x, noisy_y = attack_matrix(noisy_view.subset(np.arange(budget)))
+        noisy_acc = (
+            MlpClassifier(seed=seed + 6, max_iter=250)
+            .fit(noisy_x, noisy_y)
+            .score(test_phi, truth)
+        )
+        series.append(
+            {"budget": budget, "clean": clean_acc, "bifurcated": noisy_acc}
+        )
+    return {
+        "series": series,
+        "honest_match": session.match_fraction,
+        "guess_baseline": 0.75,
+    }

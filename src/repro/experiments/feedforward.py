@@ -1,0 +1,103 @@
+"""Feed-forward ablation: structural vs width-based hardening.
+
+The paper hardens its PUF by XOR *width* (more parallel linear PUFs);
+its ref [1] studies feed-forward *structure* (nonlinear constituents).
+This experiment compares the two axes at equal n on three measures:
+
+* **stability**: fraction of challenges whose XOR output never flips
+  over a Monte-Carlo repetition budget (feed-forward adds intermediate
+  arbiters, each a fresh noise source);
+* **linear-attack resistance**: accuracy of a logistic model on parity
+  features (feed-forward breaks the linear model per constituent);
+* **MLP-attack resistance**: the paper's actual attack, which can
+  express some nonlinearity.
+
+Expected shape (and the reason the paper chose width): feed-forward
+buys per-constituent nonlinearity but pays stability at the same coin
+-- while XOR width buys security *faster* than it costs stability once
+the attack's CRP requirement growth (x2+ per PUF) is accounted for.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.logistic import LogisticAttack
+from repro.attacks.mlp import MlpClassifier
+from repro.crp.challenges import random_challenges
+from repro.crp.transform import parity_features
+from repro.silicon.feedforward import FeedForwardXorPuf
+from repro.silicon.xorpuf import XorArbiterPuf
+
+from repro.experiments.stability import N_STAGES
+
+__all__ = ["run_feedforward_comparison", "DEFAULT_LOOPS"]
+
+#: Loop topology used by the feed-forward constituents: five taps spread
+#: over the chain, each driving a stage eight positions downstream.
+DEFAULT_LOOPS: Tuple[Tuple[int, int], ...] = (
+    (2, 10),
+    (7, 15),
+    (12, 20),
+    (17, 25),
+    (22, 30),
+)
+
+
+def _stability(puf, n_challenges: int, n_trials: int, seed: int) -> float:
+    """Fraction of challenges whose XOR output never flips in n_trials."""
+    challenges = random_challenges(n_challenges, N_STAGES, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    counts = np.zeros(n_challenges, dtype=np.int64)
+    for _ in range(n_trials):
+        counts += puf.eval(challenges, rng=rng)
+    return float(((counts == 0) | (counts == n_trials)).mean())
+
+
+def _attack_accuracies(
+    puf, n_train: int, seed: int
+) -> Tuple[float, float]:
+    """(logistic, MLP) accuracies on noise-free responses."""
+    train_ch = random_challenges(n_train, N_STAGES, seed=seed)
+    train_y = puf.noise_free_response(train_ch)
+    test_ch = random_challenges(8000, N_STAGES, seed=seed + 1)
+    test_y = puf.noise_free_response(test_ch)
+    train_x, test_x = parity_features(train_ch), parity_features(test_ch)
+    logistic = LogisticAttack(seed=seed + 2).fit(train_x, train_y)
+    mlp = MlpClassifier(seed=seed + 3, max_iter=250).fit(train_x, train_y)
+    return (
+        float(logistic.score(test_x, test_y)),
+        float(mlp.score(test_x, test_y)),
+    )
+
+
+def run_feedforward_comparison(
+    n_values: Sequence[int] = (1, 2),
+    n_train: int = 15_000,
+    n_stability_challenges: int = 2000,
+    n_stability_trials: int = 101,
+    loops: Sequence[Tuple[int, int]] = DEFAULT_LOOPS,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Compare linear-XOR and feed-forward-XOR PUFs at equal widths.
+
+    Returns per-width rows for both structures with ``stability``,
+    ``logistic_accuracy`` and ``mlp_accuracy``.
+    """
+    results: Dict[str, Any] = {"linear": {}, "feedforward": {}}
+    for n in n_values:
+        linear = XorArbiterPuf.create(n, N_STAGES, seed=seed + n)
+        ff = FeedForwardXorPuf.create(n, N_STAGES, loops, seed=seed + 50 + n)
+        for name, puf in (("linear", linear), ("feedforward", ff)):
+            log_acc, mlp_acc = _attack_accuracies(puf, n_train, seed + 100 + n)
+            results[name][str(n)] = {
+                "stability": _stability(
+                    puf, n_stability_challenges, n_stability_trials,
+                    seed + 200 + n,
+                ),
+                "logistic_accuracy": log_acc,
+                "mlp_accuracy": mlp_acc,
+            }
+    return results

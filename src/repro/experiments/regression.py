@@ -1,0 +1,101 @@
+"""Regression experiments: extraction methods and soft-vs-hard value.
+
+Programmatic runners behind the Abl-1 and Abl-2 benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from repro.attacks.logistic import LogisticAttack
+from repro.core.regression import fit_soft_response_model
+from repro.crp.challenges import random_challenges
+from repro.crp.transform import parity_features
+from repro.silicon.arbiter import ArbiterPuf
+from repro.silicon.counters import measure_soft_responses
+from repro.silicon.noise import PAPER_N_TRIALS
+
+from repro.experiments.stability import N_STAGES
+
+__all__ = ["run_regression_methods", "run_soft_vs_hard"]
+
+
+def _cosine(a: np.ndarray, b: np.ndarray) -> float:
+    """Alignment of two weight vectors, constant feature excluded."""
+    a, b = a[:-1], b[:-1]
+    return float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b)))
+
+
+def run_regression_methods(n_train: int = 5000, seed: int = 0) -> Dict[str, Any]:
+    """Abl-1: linear / probit / binomial-MLE / logistic extraction.
+
+    All four estimators get the same enrollment budget; the dict maps
+    method name to ``{cosine, accuracy, fit_ms}``.
+    """
+    puf = ArbiterPuf.create(N_STAGES, seed=seed)
+    challenges = random_challenges(n_train, N_STAGES, seed=seed + 1)
+    soft = measure_soft_responses(
+        puf, challenges, PAPER_N_TRIALS, rng=np.random.default_rng(seed + 2)
+    )
+    test_ch = random_challenges(50_000, N_STAGES, seed=seed + 3)
+    truth = puf.noise_free_response(test_ch)
+    test_phi = parity_features(test_ch)
+
+    out: Dict[str, Any] = {}
+    for method in ("linear", "probit", "mle"):
+        model, report = fit_soft_response_model(soft, method=method)
+        boundary = 0.5 if method == "linear" else 0.0
+        accuracy = float(((test_phi @ model.weights > boundary) == truth).mean())
+        out[method] = {
+            "cosine": _cosine(model.weights, puf.weights),
+            "accuracy": accuracy,
+            "fit_ms": report.fit_seconds * 1000,
+        }
+
+    hard = puf.eval(challenges, rng=np.random.default_rng(seed + 4))
+    start = time.perf_counter()
+    attack = LogisticAttack(seed=seed + 5).fit(parity_features(challenges), hard)
+    fit_ms = (time.perf_counter() - start) * 1000
+    out["logistic"] = {
+        "cosine": _cosine(attack.weights_, puf.weights),
+        "accuracy": float((attack.predict(test_phi) == truth).mean()),
+        "fit_ms": fit_ms,
+    }
+    return out
+
+
+def run_soft_vs_hard(
+    budgets: Sequence[int],
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Abl-2: binomial-MLE-on-soft vs logistic-on-hard, equal budgets.
+
+    Returns a list of ``{budget, soft_accuracy, hard_accuracy}`` rows;
+    the gap is the value of the paper's on-chip counters.
+    """
+    puf = ArbiterPuf.create(N_STAGES, seed=seed)
+    test_ch = random_challenges(50_000, N_STAGES, seed=seed + 1)
+    truth = puf.noise_free_response(test_ch)
+    test_phi = parity_features(test_ch)
+    series = []
+    for budget in budgets:
+        challenges = random_challenges(budget, N_STAGES, seed=seed + 2 + budget)
+        soft = measure_soft_responses(
+            puf, challenges, PAPER_N_TRIALS,
+            rng=np.random.default_rng(seed + 3 + budget),
+        )
+        soft_model, _ = fit_soft_response_model(soft, method="mle")
+        soft_acc = float(((test_phi @ soft_model.weights > 0) == truth).mean())
+
+        hard = puf.eval(challenges, rng=np.random.default_rng(seed + 4 + budget))
+        hard_model = LogisticAttack(seed=seed + 5).fit(
+            parity_features(challenges), hard
+        )
+        hard_acc = float((hard_model.predict(test_phi) == truth).mean())
+        series.append(
+            {"budget": budget, "soft_accuracy": soft_acc, "hard_accuracy": hard_acc}
+        )
+    return series

@@ -1,0 +1,101 @@
+"""Stability experiments: Figs. 2 and 3 of the paper.
+
+Programmatic runners behind ``benchmarks/bench_fig02_*`` and
+``bench_fig03_*``; import these to reproduce the figures from your own
+code or notebooks::
+
+    from repro.experiments.stability import run_fig02, run_fig03
+    result = run_fig02(n_challenges=200_000)
+    print(result["stable_zero"], result["stable_one"])
+
+Every runner returns a plain JSON-serialisable dict so results can be
+archived next to the benchmark artefacts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.analysis.stability import decay_base, stable_fraction_by_n, summarize_soft_responses
+from repro.crp.challenges import random_challenges
+from repro.silicon.chip import PAPER_LOT_SIZE, fabricate_lot
+from repro.silicon.counters import measure_soft_responses
+from repro.silicon.noise import PAPER_N_TRIALS
+from repro.silicon.xorpuf import XorArbiterPuf
+from repro.utils.validation import check_positive_int
+
+__all__ = ["run_fig02", "run_fig03", "N_STAGES"]
+
+#: Stage count of the paper's test chips, used by every experiment.
+N_STAGES = 32
+
+
+def run_fig02(
+    n_challenges: int,
+    n_chips: int = PAPER_LOT_SIZE,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Fig. 2: soft-response distribution of single MUX PUFs.
+
+    Measures ``n_challenges`` (split over a *n_chips* lot) with
+    100 k-deep counters at nominal and averages the per-chip
+    histograms.
+
+    Returns
+    -------
+    dict with keys ``n_chips``, ``n_challenges_per_chip``,
+    ``stable_zero`` (paper: 0.397), ``stable_one`` (paper: 0.401) and
+    ``histogram`` (the 101-bin averaged histogram).
+    """
+    check_positive_int(n_challenges, "n_challenges")
+    lot = fabricate_lot(n_chips, 1, N_STAGES, seed=seed)
+    per_challenge = max(n_challenges // n_chips, 1000)
+    zeros, ones, histograms = [], [], []
+    for index, chip in enumerate(lot):
+        challenges = random_challenges(per_challenge, N_STAGES, seed=seed + index + 1)
+        dataset = chip.enrollment_soft_responses(0, challenges, PAPER_N_TRIALS)
+        summary = summarize_soft_responses(dataset)
+        zeros.append(summary.stable_zero_fraction)
+        ones.append(summary.stable_one_fraction)
+        histograms.append(summary.histogram_fractions)
+    return {
+        "n_chips": n_chips,
+        "n_challenges_per_chip": per_challenge,
+        "stable_zero": float(np.mean(zeros)),
+        "stable_one": float(np.mean(ones)),
+        "histogram": np.mean(histograms, axis=0).tolist(),
+    }
+
+
+def run_fig03(
+    n_challenges: int,
+    n_pufs: int = 10,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Fig. 3: measured stable-CRP fraction vs XOR width.
+
+    Measures every constituent of one *n_pufs*-wide XOR PUF on a shared
+    challenge matrix and composes the per-PUF stability masks.
+
+    Returns
+    -------
+    dict with keys ``n_challenges``, ``fractions`` (str(n) -> fraction;
+    paper: ~0.8**n) and ``decay_base`` (paper: 0.800).
+    """
+    check_positive_int(n_challenges, "n_challenges")
+    xor_puf = XorArbiterPuf.create(n_pufs, N_STAGES, seed=seed)
+    challenges = random_challenges(n_challenges, N_STAGES, seed=seed + 1)
+    per_puf = [
+        measure_soft_responses(
+            puf, challenges, PAPER_N_TRIALS, rng=np.random.default_rng(seed + 10 + i)
+        )
+        for i, puf in enumerate(xor_puf.pufs)
+    ]
+    fractions = stable_fraction_by_n(per_puf)
+    return {
+        "n_challenges": n_challenges,
+        "fractions": {str(n): fractions[n] for n in fractions},
+        "decay_base": decay_base(fractions),
+    }

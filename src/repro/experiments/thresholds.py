@@ -1,0 +1,355 @@
+"""Threshold experiments: Figs. 8-12 and the threshold-policy ablation.
+
+Programmatic runners behind the corresponding benchmarks.  Each
+function reproduces one evaluation element of the paper's Secs. 4-5 and
+returns a JSON-serialisable dict (see per-function docs for keys).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.adjustment import BetaFactors, conservative_betas, find_beta_factors
+from repro.core.model import XorPufModel
+from repro.core.regression import fit_soft_response_model
+from repro.core.selection import ChallengeSelector
+from repro.core.thresholds import (
+    ResponseCategory,
+    ThresholdPair,
+    category_to_bit,
+    classify_predictions,
+    determine_thresholds,
+)
+from repro.crp.challenges import random_challenges
+from repro.silicon.chip import PAPER_LOT_SIZE, PufChip, fabricate_lot
+from repro.silicon.counters import measure_soft_responses
+from repro.silicon.environment import paper_corner_grid
+from repro.silicon.noise import PAPER_N_TRIALS
+
+from repro.experiments.stability import N_STAGES
+
+__all__ = [
+    "run_fig08",
+    "run_fig09",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_threshold_policy",
+    "PAPER_TRAIN_SIZE",
+]
+
+#: Enrollment training-set size the paper settles on.
+PAPER_TRAIN_SIZE = 5000
+
+
+def run_fig08(n_train: int = PAPER_TRAIN_SIZE, seed: int = 0) -> Dict[str, Any]:
+    """Fig. 8: measured-vs-predicted soft responses and the threshold pair.
+
+    Returns a dict with the prediction range (``pred_min``/``pred_max``,
+    paper: wider than [0, 1]), ``thr0``/``thr1``, the measured and
+    model-kept stable fractions, the discarded marginal fraction and
+    ``false_stable_count`` (must be 0).
+    """
+    chip = PufChip.create(1, N_STAGES, seed=seed)
+    puf = chip.oracle().pufs[0]
+    challenges = random_challenges(n_train, N_STAGES, seed=seed + 1)
+    train = measure_soft_responses(
+        puf, challenges, PAPER_N_TRIALS, rng=np.random.default_rng(seed + 2)
+    )
+    model, report = fit_soft_response_model(train)
+    predicted = model.predict_soft(challenges)
+    pair = determine_thresholds(predicted, train)
+    categories = classify_predictions(predicted, pair)
+    measured_stable = train.stable_mask
+    predicted_stable = categories != ResponseCategory.UNSTABLE
+    return {
+        "n_train": n_train,
+        "fit_ms": report.fit_seconds * 1000,
+        "pred_min": float(predicted.min()),
+        "pred_max": float(predicted.max()),
+        "pred_median": float(np.median(predicted)),
+        "thr0": pair.thr0,
+        "thr1": pair.thr1,
+        "measured_stable_fraction": float(measured_stable.mean()),
+        "predicted_stable_fraction": float(predicted_stable.mean()),
+        "discarded_marginal_fraction": float(
+            (measured_stable & ~predicted_stable).mean()
+        ),
+        "false_stable_count": int((predicted_stable & ~measured_stable).sum()),
+    }
+
+
+def run_fig09(
+    n_test: int,
+    n_chips: int = PAPER_LOT_SIZE,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Fig. 9: per-chip beta search at nominal + fleet-conservative pair.
+
+    Paper bands: beta0 in [0.74, 0.93], beta1 in [1.04, 1.08]; fleet
+    pair (0.74, 1.08).  Returns ``beta0_values``, ``beta1_values``,
+    ``fleet_beta0``, ``fleet_beta1``.
+    """
+    lot = fabricate_lot(n_chips, 1, N_STAGES, seed=seed)
+    betas = []
+    for index, chip in enumerate(lot):
+        puf = chip.oracle().pufs[0]
+        train_ch = random_challenges(PAPER_TRAIN_SIZE, N_STAGES, seed=seed + index + 1)
+        train = measure_soft_responses(
+            puf, train_ch, PAPER_N_TRIALS,
+            rng=np.random.default_rng(seed + index + 50),
+        )
+        model, _ = fit_soft_response_model(train)
+        pair = determine_thresholds(model.predict_soft(train_ch), train)
+        test_ch = random_challenges(n_test, N_STAGES, seed=seed + index + 100)
+        test = measure_soft_responses(
+            puf, test_ch, PAPER_N_TRIALS,
+            rng=np.random.default_rng(seed + index + 150),
+        )
+        betas.append(find_beta_factors(model, pair, [test]))
+    fleet = conservative_betas(betas)
+    return {
+        "n_chips": n_chips,
+        "n_test": n_test,
+        "beta0_values": [b.beta0 for b in betas],
+        "beta1_values": [b.beta1 for b in betas],
+        "fleet_beta0": fleet.beta0,
+        "fleet_beta1": fleet.beta1,
+    }
+
+
+def run_fig10(
+    n_test: int,
+    n_validation: int = 30_000,
+    train_sizes: Sequence[int] = (500, 1000, 2000, 5000, 10_000),
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Fig. 10: predicted-stable fraction vs training-set size.
+
+    Paper: grows with the training set and saturates ~60 % (vs ~80 %
+    measured); 5 000 CRPs is the cost/accuracy knee.  Returns
+    ``measured_stable`` and a ``series`` of per-size dicts
+    (``train_size``, ``predicted_stable``, ``fit_ms``).
+    """
+    chip = PufChip.create(1, N_STAGES, seed=seed)
+    puf = chip.oracle().pufs[0]
+    test_ch = random_challenges(n_test, N_STAGES, seed=seed + 1)
+    test = measure_soft_responses(
+        puf, test_ch, PAPER_N_TRIALS, rng=np.random.default_rng(seed + 2)
+    )
+    validation_ch = random_challenges(n_validation, N_STAGES, seed=seed + 3)
+    validation = measure_soft_responses(
+        puf, validation_ch, PAPER_N_TRIALS, rng=np.random.default_rng(seed + 4)
+    )
+    series = []
+    for size in train_sizes:
+        train_ch = random_challenges(size, N_STAGES, seed=seed + 5 + size)
+        train = measure_soft_responses(
+            puf, train_ch, PAPER_N_TRIALS,
+            rng=np.random.default_rng(seed + 6 + size),
+        )
+        model, report = fit_soft_response_model(train)
+        pair = determine_thresholds(model.predict_soft(train_ch), train)
+        betas = find_beta_factors(model, pair, [validation])
+        adjusted = betas.apply(pair)
+        categories = classify_predictions(model.predict_soft(test_ch), adjusted)
+        series.append(
+            {
+                "train_size": size,
+                "predicted_stable": float(
+                    (categories != ResponseCategory.UNSTABLE).mean()
+                ),
+                "fit_ms": report.fit_seconds * 1000,
+            }
+        )
+    return {
+        "measured_stable": float(test.stable_mask.mean()),
+        "series": series,
+    }
+
+
+def run_fig11(n_test: int, seed: int = 0) -> Dict[str, Any]:
+    """Fig. 11: beta adjustment across the 9 V/T corners.
+
+    Paper: corner validation lands on more stringent betas than nominal
+    and the test-set distribution widens.  Returns the training
+    thresholds, both beta pairs and the nominal vs all-corner stable
+    fractions.
+    """
+    chip = PufChip.create(1, N_STAGES, seed=seed)
+    puf = chip.oracle().pufs[0]
+    train_ch = random_challenges(PAPER_TRAIN_SIZE, N_STAGES, seed=seed + 1)
+    train = measure_soft_responses(
+        puf, train_ch, PAPER_N_TRIALS, rng=np.random.default_rng(seed + 2)
+    )
+    model, _ = fit_soft_response_model(train)
+    pair = determine_thresholds(model.predict_soft(train_ch), train)
+
+    test_ch = random_challenges(n_test, N_STAGES, seed=seed + 3)
+    nominal_sets = [
+        measure_soft_responses(
+            puf, test_ch, PAPER_N_TRIALS, rng=np.random.default_rng(seed + 4)
+        )
+    ]
+    corner_sets = [
+        measure_soft_responses(
+            puf, test_ch, PAPER_N_TRIALS, condition,
+            rng=np.random.default_rng(seed + 10 + i),
+        )
+        for i, condition in enumerate(paper_corner_grid())
+    ]
+    betas_nominal = find_beta_factors(model, pair, nominal_sets)
+    betas_vt = find_beta_factors(model, pair, corner_sets)
+    stable_nominal = nominal_sets[0].stable_mask
+    stable_everywhere = np.ones(n_test, dtype=bool)
+    for dataset in corner_sets:
+        stable_everywhere &= dataset.stable_mask
+    return {
+        "n_test": n_test,
+        "thr0": pair.thr0,
+        "thr1": pair.thr1,
+        "betas_nominal": (betas_nominal.beta0, betas_nominal.beta1),
+        "betas_vt": (betas_vt.beta0, betas_vt.beta1),
+        "stable_nominal": float(stable_nominal.mean()),
+        "stable_all_corners": float(stable_everywhere.mean()),
+    }
+
+
+def _enroll_fig12_models(
+    chip: PufChip,
+    n_validation: int,
+    seed: int,
+) -> Tuple[list, list, BetaFactors, BetaFactors]:
+    """Per-PUF models, thresholds, and nominal/V-T fleet betas."""
+    models, pairs = [], []
+    validation_ch = random_challenges(n_validation, N_STAGES, seed=seed + 500)
+    nominal_beta_list, vt_beta_list = [], []
+    for index in range(chip.n_pufs):
+        puf = chip.oracle().pufs[index]
+        train_ch = random_challenges(PAPER_TRAIN_SIZE, N_STAGES, seed=seed + index)
+        train = measure_soft_responses(
+            puf, train_ch, PAPER_N_TRIALS,
+            rng=np.random.default_rng(seed + 100 + index),
+        )
+        model, _ = fit_soft_response_model(train)
+        pair = determine_thresholds(model.predict_soft(train_ch), train)
+        nominal_val = [
+            measure_soft_responses(
+                puf, validation_ch, PAPER_N_TRIALS,
+                rng=np.random.default_rng(seed + 200 + index),
+            )
+        ]
+        corner_val = [
+            measure_soft_responses(
+                puf, validation_ch, PAPER_N_TRIALS, condition,
+                rng=np.random.default_rng(seed + 300 + index * 10 + c),
+            )
+            for c, condition in enumerate(paper_corner_grid())
+        ]
+        nominal_beta_list.append(find_beta_factors(model, pair, nominal_val))
+        vt_beta_list.append(find_beta_factors(model, pair, corner_val))
+        models.append(model)
+        pairs.append(pair)
+    return (
+        models,
+        pairs,
+        conservative_betas(nominal_beta_list),
+        conservative_betas(vt_beta_list),
+    )
+
+
+def run_fig12(
+    n_eval: int,
+    n_validation: int = 20_000,
+    n_pufs: int = 10,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Fig. 12: stable fraction vs n under three selection regimes.
+
+    Paper: measured ~0.800**n, predicted-nominal ~0.545**n,
+    predicted-V/T ~0.342**n.  Returns per-regime ``{n: fraction}``
+    dicts plus the beta pairs.
+    """
+    chip = PufChip.create(n_pufs, N_STAGES, seed=seed)
+    models, pairs, betas_nom, betas_vt = _enroll_fig12_models(
+        chip, n_validation, seed
+    )
+    xor_model = XorPufModel(models)
+    eval_ch = random_challenges(n_eval, N_STAGES, seed=seed + 999)
+    measured_masks = np.stack(
+        [
+            measure_soft_responses(
+                chip.oracle().pufs[i], eval_ch, PAPER_N_TRIALS,
+                rng=np.random.default_rng(seed + 600 + i),
+            ).stable_mask
+            for i in range(n_pufs)
+        ]
+    )
+
+    def predicted_masks(betas: BetaFactors) -> np.ndarray:
+        selector = ChallengeSelector(
+            xor_model, [betas.apply(pair) for pair in pairs]
+        )
+        return selector.categories(eval_ch) != ResponseCategory.UNSTABLE
+
+    pred_nom = predicted_masks(betas_nom)
+    pred_vt = predicted_masks(betas_vt)
+
+    def fractions(masks: np.ndarray) -> Dict[int, float]:
+        return {n: float(masks[:n].all(axis=0).mean()) for n in range(1, n_pufs + 1)}
+
+    return {
+        "n_eval": n_eval,
+        "betas_nominal": (betas_nom.beta0, betas_nom.beta1),
+        "betas_vt": (betas_vt.beta0, betas_vt.beta1),
+        "measured": fractions(measured_masks),
+        "predicted_nominal": fractions(pred_nom),
+        "predicted_vt": fractions(pred_vt),
+    }
+
+
+def run_threshold_policy(n_eval: int, seed: int = 0) -> Dict[str, Any]:
+    """Abl-4: flip errors of the 0.5 cut vs three-category policies.
+
+    Returns per-policy dicts with ``usable_fraction`` and
+    ``error_rate`` (one-shot disagreements with the server prediction).
+    """
+    puf = PufChip.create(1, N_STAGES, seed=seed).oracle().pufs[0]
+    train_ch = random_challenges(PAPER_TRAIN_SIZE, N_STAGES, seed=seed + 1)
+    train = measure_soft_responses(
+        puf, train_ch, PAPER_N_TRIALS, rng=np.random.default_rng(seed + 2)
+    )
+    model, _ = fit_soft_response_model(train)
+    pair = determine_thresholds(model.predict_soft(train_ch), train)
+    validation_ch = random_challenges(20_000, N_STAGES, seed=seed + 3)
+    validation = measure_soft_responses(
+        puf, validation_ch, PAPER_N_TRIALS, rng=np.random.default_rng(seed + 4)
+    )
+    betas = find_beta_factors(model, pair, [validation])
+    adjusted = betas.apply(pair)
+
+    eval_ch = random_challenges(n_eval, N_STAGES, seed=seed + 5)
+    predicted = model.predict_soft(eval_ch)
+    one_shot = puf.eval(eval_ch, rng=np.random.default_rng(seed + 6))
+
+    policies: Dict[str, Dict[str, float]] = {}
+    bits = (predicted > 0.5).astype(np.int8)
+    policies["two_category"] = {
+        "usable_fraction": 1.0,
+        "error_rate": float((bits != one_shot).mean()),
+    }
+    for name, thresholds in (
+        ("three_category", pair),
+        ("three_category_beta", adjusted),
+    ):
+        categories = classify_predictions(predicted, thresholds)
+        usable = categories != ResponseCategory.UNSTABLE
+        bits = category_to_bit(categories)
+        errors = (bits[usable] != one_shot[usable]).mean() if usable.any() else 0.0
+        policies[name] = {
+            "usable_fraction": float(usable.mean()),
+            "error_rate": float(errors),
+        }
+    return policies

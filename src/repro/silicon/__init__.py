@@ -1,0 +1,91 @@
+"""Silicon substrate: a calibrated simulator of the paper's 32 nm chips.
+
+Substitutes for the paper's custom hardware (see DESIGN.md Sec. 2):
+arbiter/XOR PUF delay models, evaluation noise, voltage/temperature
+effects, on-chip counters, enrollment fuses, and a PXI-style tester.
+"""
+
+from repro.silicon.aging import AgingModel, age_chip, age_puf
+from repro.silicon.arbiter import DEFAULT_NONLINEARITY, ArbiterPuf
+from repro.silicon.chip import PAPER_LOT_SIZE, PufChip, fabricate_lot
+from repro.silicon.counters import (
+    MEASUREMENT_METHODS,
+    measure_soft_responses,
+    soft_response_histogram,
+)
+from repro.silicon.delays import (
+    DEFAULT_STAGE_SIGMA,
+    StageDelays,
+    expected_delay_std,
+    sample_stage_delays,
+    sample_weights,
+    sequential_delay_difference,
+)
+from repro.silicon.environment import (
+    NOMINAL_CONDITION,
+    PAPER_TEMPERATURES,
+    PAPER_VOLTAGES,
+    EnvironmentModel,
+    OperatingCondition,
+    paper_corner_grid,
+)
+from repro.silicon.feedforward import (
+    FeedForwardArbiterPuf,
+    FeedForwardLoop,
+    FeedForwardXorPuf,
+)
+from repro.silicon.fuses import FuseBank, FuseBlownError, FuseState
+from repro.silicon.noise import (
+    PAPER_N_TRIALS,
+    PAPER_STABLE_FRACTION,
+    NoiseModel,
+    calibrate_noise_sigma,
+    stable_probability,
+)
+from repro.silicon.tester import ChipTester, SoftResponseCampaign
+from repro.silicon.wafer import Wafer, fabricate_wafer, uniqueness_vs_distance
+from repro.silicon.xorpuf import XorArbiterPuf, xor_probability
+
+__all__ = [
+    "AgingModel",
+    "age_chip",
+    "age_puf",
+    "DEFAULT_NONLINEARITY",
+    "ArbiterPuf",
+    "PAPER_LOT_SIZE",
+    "PufChip",
+    "fabricate_lot",
+    "MEASUREMENT_METHODS",
+    "measure_soft_responses",
+    "soft_response_histogram",
+    "DEFAULT_STAGE_SIGMA",
+    "StageDelays",
+    "expected_delay_std",
+    "sample_stage_delays",
+    "sample_weights",
+    "sequential_delay_difference",
+    "NOMINAL_CONDITION",
+    "PAPER_TEMPERATURES",
+    "PAPER_VOLTAGES",
+    "EnvironmentModel",
+    "OperatingCondition",
+    "paper_corner_grid",
+    "FeedForwardArbiterPuf",
+    "FeedForwardLoop",
+    "FeedForwardXorPuf",
+    "FuseBank",
+    "FuseBlownError",
+    "FuseState",
+    "PAPER_N_TRIALS",
+    "PAPER_STABLE_FRACTION",
+    "NoiseModel",
+    "calibrate_noise_sigma",
+    "stable_probability",
+    "ChipTester",
+    "SoftResponseCampaign",
+    "Wafer",
+    "fabricate_wafer",
+    "uniqueness_vs_distance",
+    "XorArbiterPuf",
+    "xor_probability",
+]

@@ -1,0 +1,230 @@
+"""The packaged PUF test chip (Fig. 5): XOR PUF + fuses + counters.
+
+:class:`PufChip` is the unit the rest of the library talks to.  It
+enforces the paper's access model:
+
+* **Enrollment phase** (fuses intact): an authorised tester may read
+  per-PUF soft responses (via the counter interface) and per-PUF hard
+  responses.
+* **Deployment** (fuses blown): only the 1-bit XOR response is
+  observable, sampled once per challenge ("one-time sampling" in
+  Fig. 7 -- legitimate because authentication uses only challenges known
+  to be stable).
+
+The paper fabricated 10 such chips; :func:`fabricate_lot` produces an
+equivalent lot with independent manufacturing randomness per chip.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from repro.crp.dataset import SoftResponseDataset
+from repro.silicon.counters import measure_soft_responses
+from repro.silicon.environment import (
+    EnvironmentModel,
+    NOMINAL_CONDITION,
+    OperatingCondition,
+)
+from repro.silicon.fuses import FuseBank
+from repro.silicon.xorpuf import XorArbiterPuf
+from repro.utils.rng import SeedLike, derive_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = ["PufChip", "fabricate_lot", "PAPER_LOT_SIZE"]
+
+#: Number of test chips measured in the paper.
+PAPER_LOT_SIZE = 10
+
+
+class PufChip:
+    """One packaged chip: an n-input XOR arbiter PUF behind a fuse gate.
+
+    Parameters
+    ----------
+    xor_puf:
+        The chip's XOR PUF bank.
+    chip_id:
+        Identifier used in server databases and reports.
+    """
+
+    def __init__(self, xor_puf: XorArbiterPuf, chip_id: str = "chip-0") -> None:
+        self._xor_puf = xor_puf
+        self._fuses = FuseBank()
+        self.chip_id = str(chip_id)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        n_pufs: int,
+        n_stages: int,
+        seed: SeedLike = None,
+        *,
+        chip_id: str = "chip-0",
+        **puf_kwargs,
+    ) -> "PufChip":
+        """Fabricate a chip with *n_pufs* arbiter PUFs of *n_stages* stages."""
+        xor_puf = XorArbiterPuf.create(n_pufs, n_stages, seed, **puf_kwargs)
+        return cls(xor_puf, chip_id=chip_id)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_pufs(self) -> int:
+        """Number of constituent PUFs ``n``."""
+        return self._xor_puf.n_pufs
+
+    @property
+    def n_stages(self) -> int:
+        """Challenge width ``k``."""
+        return self._xor_puf.n_stages
+
+    @property
+    def fuses(self) -> FuseBank:
+        """The enrollment fuse bank."""
+        return self._fuses
+
+    @property
+    def is_deployed(self) -> bool:
+        """True once the fuses are blown (individual PUFs unreachable)."""
+        return self._fuses.is_blown
+
+    def __repr__(self) -> str:
+        phase = "deployed" if self.is_deployed else "enrollment"
+        return (
+            f"PufChip(id={self.chip_id!r}, n_pufs={self.n_pufs}, "
+            f"n_stages={self.n_stages}, phase={phase})"
+        )
+
+    # ------------------------------------------------------------------
+    # Enrollment-phase interfaces (fuse-gated)
+    # ------------------------------------------------------------------
+    def enrollment_soft_responses(
+        self,
+        puf_index: int,
+        challenges: np.ndarray,
+        n_trials: int,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+        *,
+        method: str = "binomial",
+    ) -> SoftResponseDataset:
+        """Measure soft responses of constituent *puf_index* via the counters.
+
+        Raises :class:`~repro.silicon.fuses.FuseBlownError` after
+        deployment.
+        """
+        self._fuses.check_access(f"soft-response readout of PUF #{puf_index}")
+        puf = self._constituent(puf_index)
+        return measure_soft_responses(
+            puf, challenges, n_trials, condition, method=method
+        )
+
+    def enrollment_individual_responses(
+        self,
+        puf_index: int,
+        challenges: np.ndarray,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+    ) -> np.ndarray:
+        """One noisy hard response per challenge from one constituent PUF."""
+        self._fuses.check_access(f"hard-response readout of PUF #{puf_index}")
+        return self._constituent(puf_index).eval(challenges, condition)
+
+    def blow_fuses(self) -> None:
+        """End enrollment: permanently disable individual-PUF access."""
+        self._fuses.blow()
+
+    def _constituent(self, puf_index: int):
+        if not 0 <= puf_index < self.n_pufs:
+            raise IndexError(
+                f"puf_index {puf_index} out of range for {self.n_pufs} PUFs"
+            )
+        return self._xor_puf.pufs[puf_index]
+
+    # ------------------------------------------------------------------
+    # Always-available interface (the deployed chip's only output)
+    # ------------------------------------------------------------------
+    def xor_response(
+        self,
+        challenges: np.ndarray,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+    ) -> np.ndarray:
+        """One-shot noisy XOR response per challenge (Fig. 7, client side)."""
+        return self._xor_puf.eval(challenges, condition)
+
+    def xor_counts(
+        self,
+        challenges: np.ndarray,
+        n_trials: int,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+    ) -> np.ndarray:
+        """Counter values over *n_trials* repeated XOR queries.
+
+        Simulation shortcut for protocols that query the public XOR pin
+        repeatedly (reliability estimation, XOR-level soft responses):
+        because every constituent's evaluation noise is i.i.d. per
+        read, the trial outcomes are i.i.d. Bernoulli with the exact
+        XOR probability, so the count is drawn from the corresponding
+        binomial instead of looping *n_trials* times.  Statistically
+        identical to summing repeated :meth:`xor_response` calls.
+        """
+        check_positive_int(n_trials, "n_trials")
+        p = self._xor_puf.response_probability(challenges, condition)
+        rng = self._xor_puf.pufs[0].rng
+        return rng.binomial(n_trials, p).astype(np.int64)
+
+    def xor_response_subset(
+        self,
+        n_pufs: int,
+        challenges: np.ndarray,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+    ) -> np.ndarray:
+        """XOR response over the first *n_pufs* constituents.
+
+        Models the paper's n-sweep experiments, where XOR widths 1..10
+        are realised on the same silicon.  Available in both phases
+        (the n-subset output is still only 1 bit)."""
+        return self._xor_puf.subset(n_pufs).eval(challenges, condition)
+
+    # ------------------------------------------------------------------
+    # Simulator-only oracle (not part of the chip's pin interface)
+    # ------------------------------------------------------------------
+    def oracle(self) -> XorArbiterPuf:
+        """Direct access to the underlying XOR PUF, bypassing the fuses.
+
+        This exists for experiment code that needs ground truth (e.g.
+        measuring what *would* have been stable); protocol code must
+        never touch it.  On real silicon this information does not
+        exist outside the chip.
+        """
+        return self._xor_puf
+
+
+def fabricate_lot(
+    n_chips: int,
+    n_pufs: int,
+    n_stages: int,
+    seed: SeedLike = None,
+    **puf_kwargs,
+) -> List[PufChip]:
+    """Fabricate a lot of chips with independent process randomness.
+
+    The paper's study uses a 10-chip lot (:data:`PAPER_LOT_SIZE`).
+    """
+    n_chips = check_positive_int(n_chips, "n_chips")
+    return [
+        PufChip.create(
+            n_pufs,
+            n_stages,
+            derive_generator(seed, "chip", index),
+            chip_id=f"chip-{index}",
+            **puf_kwargs,
+        )
+        for index in range(n_chips)
+    ]

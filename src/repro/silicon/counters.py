@@ -1,0 +1,136 @@
+"""Soft-response measurement (the paper's on-chip counters).
+
+The paper measures a *soft response* by applying the same challenge
+100 000 times and letting an on-chip counter accumulate the 1-bits; the
+counter value divided by the trial count is the soft response
+(Fig. 2).  Three measurement methods are provided:
+
+``binomial`` (default)
+    Draws the counter value from the exact Binomial(T, p) distribution,
+    where ``p`` is the analytic per-evaluation 1-probability.  Because
+    the evaluation noise is i.i.d. Gaussian, this is *statistically
+    identical* to the literal loop at any T, but costs O(1) per
+    challenge instead of O(T).
+
+``montecarlo``
+    The literal loop (chunked): T independent noisy evaluations per
+    challenge.  Used by tests to validate the binomial shortcut and by
+    anyone who modifies the noise model to something non-i.i.d.
+
+``analytic``
+    Returns the exact probability ``p`` itself (an infinite-trial
+    counter).  Useful for noiseless analysis; note a challenge is
+    "100 % stable over T trials" with probability ``p**T + (1-p)**T``,
+    not ``p in {0, 1}``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.crp.dataset import SoftResponseDataset
+from repro.silicon.arbiter import ArbiterPuf
+from repro.silicon.environment import NOMINAL_CONDITION, OperatingCondition
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import as_challenge_array, check_positive_int
+
+__all__ = ["measure_soft_responses", "soft_response_histogram", "MEASUREMENT_METHODS"]
+
+MEASUREMENT_METHODS = ("binomial", "montecarlo", "analytic")
+
+#: Challenge-batch chunk used by the literal Monte-Carlo loop to bound memory.
+_MC_CHUNK_ELEMENTS = 2_000_000
+
+
+def measure_soft_responses(
+    puf: ArbiterPuf,
+    challenges: np.ndarray,
+    n_trials: int,
+    condition: OperatingCondition = NOMINAL_CONDITION,
+    *,
+    method: str = "binomial",
+    rng: Optional[np.random.Generator] = None,
+) -> SoftResponseDataset:
+    """Measure soft responses of *puf* for a batch of challenges.
+
+    Parameters
+    ----------
+    puf:
+        The arbiter PUF under test.
+    challenges:
+        ``(n, k)`` array of {0, 1} challenge bits.
+    n_trials:
+        Counter depth T (paper: 100 000).
+    condition:
+        Operating condition during the measurement.
+    method:
+        One of ``binomial``, ``montecarlo``, ``analytic`` (see module
+        docstring).
+    rng:
+        Generator for the measurement randomness; defaults to the PUF's
+        own evaluation generator.
+    """
+    if method not in MEASUREMENT_METHODS:
+        raise ValueError(f"unknown method {method!r}; choose from {MEASUREMENT_METHODS}")
+    challenges = as_challenge_array(challenges, puf.n_stages)
+    n_trials = check_positive_int(n_trials, "n_trials")
+    rng = puf.rng if rng is None else rng
+
+    if method == "analytic":
+        soft = puf.response_probability(challenges, condition)
+    elif method == "binomial":
+        counts = puf.eval_counts(challenges, n_trials, condition, rng)
+        soft = counts / n_trials
+    else:  # montecarlo
+        soft = _montecarlo_soft(puf, challenges, n_trials, condition, rng)
+    return SoftResponseDataset(challenges, soft, n_trials)
+
+
+def _montecarlo_soft(
+    puf: ArbiterPuf,
+    challenges: np.ndarray,
+    n_trials: int,
+    condition: OperatingCondition,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Literal T-repetition measurement, chunked to bound peak memory."""
+    n = len(challenges)
+    delta = puf.delay_difference(challenges, condition)
+    sigma = puf.noise.sigma_at(condition)
+    counts = np.zeros(n, dtype=np.int64)
+    trials_per_chunk = max(1, _MC_CHUNK_ELEMENTS // max(n, 1))
+    done = 0
+    while done < n_trials:
+        batch = min(trials_per_chunk, n_trials - done)
+        noise = rng.normal(0.0, sigma, size=(batch, n))
+        counts += (delta[np.newaxis, :] + noise > 0).sum(axis=0)
+        done += batch
+    return counts / n_trials
+
+
+def soft_response_histogram(
+    soft_responses: np.ndarray,
+    bin_size: float = 0.01,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram soft responses with the paper's binning (Fig. 2).
+
+    Bins are centred so the first bin collects responses < bin_size/2
+    (the "0.00" bin) and the last collects responses > 1 - bin_size/2
+    (the "1.00" bin), matching a counter read rounded to 2 decimals.
+
+    Returns
+    -------
+    (bin_centers, fractions):
+        Arrays of length ``1/bin_size + 1``; fractions sum to 1.
+    """
+    if not 0.0 < bin_size <= 0.5:
+        raise ValueError(f"bin_size must be in (0, 0.5], got {bin_size}")
+    soft = np.asarray(soft_responses, dtype=np.float64)
+    n_bins = int(round(1.0 / bin_size)) + 1
+    centers = np.arange(n_bins) * bin_size
+    edges = np.concatenate(([-np.inf], centers[:-1] + bin_size / 2.0, [np.inf]))
+    counts, _ = np.histogram(soft, bins=edges)
+    total = max(len(soft), 1)
+    return centers, counts / total

@@ -1,0 +1,207 @@
+"""Process-variation model: per-stage MUX delays and the linear weights.
+
+Each of the ``k`` stages of a MUX arbiter PUF has four path delays:
+
+* ``p_i`` / ``q_i`` -- top / bottom path through the *straight* setting,
+* ``r_i`` / ``s_i`` -- top / bottom path through the *crossed* setting.
+
+Manufacturing variation makes these i.i.d. Gaussian around the design
+value; only their differences influence the arbiter, so the design value
+drops out.  The arbiter itself adds a fixed setup-skew offset.
+
+With the signed challenge bit ``b_i = 1 - 2 c_i`` (+1 = straight), the
+delay difference after stage ``i`` follows the recursion
+
+    delta_i = b_i * delta_{i-1} + t_i,
+    t_i     = (a_i + d_i)/2 + b_i * (a_i - d_i)/2,
+
+where ``a_i = p_i - q_i`` and ``d_i = r_i - s_i``.  Unrolling gives the
+classical linear additive model ``delta_k = w . phi(c)`` with
+
+    w_1     = (a_1 - d_1) / 2
+    w_i     = (a_i - d_i)/2 + (a_{i-1} + d_{i-1})/2     (2 <= i <= k)
+    w_{k+1} = (a_k + d_k)/2 + arbiter_offset
+
+This module provides both the raw stage representation (needed by the
+sequential evaluator and the feed-forward PUF) and the closed-form
+conversion to feature weights, which the tests cross-validate against
+each other.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import as_challenge_array, check_positive_int
+
+__all__ = [
+    "StageDelays",
+    "sample_stage_delays",
+    "sample_weights",
+    "expected_delay_std",
+    "sequential_delay_difference",
+]
+
+#: Std-dev of each individual path-delay deviation, in arbitrary delay
+#: units.  Only ratios to the noise sigma matter anywhere in the library.
+DEFAULT_STAGE_SIGMA = 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class StageDelays:
+    """Raw per-stage path-delay deviations of one arbiter PUF instance.
+
+    Attributes
+    ----------
+    delays:
+        Array of shape ``(k, 4)`` holding ``(p, q, r, s)`` per stage.
+    arbiter_offset:
+        Setup-time skew of the arbiter latch, added to the constant
+        feature weight.
+    """
+
+    delays: np.ndarray
+    arbiter_offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        delays = np.asarray(self.delays, dtype=np.float64)
+        if delays.ndim != 2 or delays.shape[1] != 4:
+            raise ValueError(
+                f"delays must have shape (k, 4), got {delays.shape}"
+            )
+        object.__setattr__(self, "delays", delays)
+        object.__setattr__(self, "arbiter_offset", float(self.arbiter_offset))
+
+    @property
+    def n_stages(self) -> int:
+        """Number of MUX stages ``k``."""
+        return self.delays.shape[0]
+
+    @property
+    def straight_difference(self) -> np.ndarray:
+        """``a_i = p_i - q_i`` per stage."""
+        return self.delays[:, 0] - self.delays[:, 1]
+
+    @property
+    def crossed_difference(self) -> np.ndarray:
+        """``d_i = r_i - s_i`` per stage."""
+        return self.delays[:, 2] - self.delays[:, 3]
+
+    def to_linear_weights(self) -> np.ndarray:
+        """Closed-form feature weights ``w`` of the linear additive model.
+
+        Returns an array of length ``k + 1`` such that
+        ``delta(c) = w . phi(c)`` with ``phi`` from
+        :func:`repro.crp.transform.parity_features`.
+        """
+        a = self.straight_difference
+        d = self.crossed_difference
+        nu = (a - d) / 2.0  # coefficient of phi_i
+        mu = (a + d) / 2.0  # coefficient of phi_{i+1}
+        k = self.n_stages
+        weights = np.zeros(k + 1, dtype=np.float64)
+        weights[:k] += nu
+        weights[1:] += mu
+        weights[k] += self.arbiter_offset
+        return weights
+
+
+def sample_stage_delays(
+    n_stages: int,
+    seed: SeedLike = None,
+    *,
+    sigma: float = DEFAULT_STAGE_SIGMA,
+    arbiter_sigma: Optional[float] = None,
+) -> StageDelays:
+    """Draw one manufacturing instance of per-stage delays.
+
+    Parameters
+    ----------
+    n_stages:
+        Number of MUX stages ``k``.
+    seed:
+        RNG or seed for the draw.
+    sigma:
+        Std-dev of each of the four path-delay deviations per stage.
+    arbiter_sigma:
+        Std-dev of the arbiter setup-skew offset; defaults to *sigma*.
+    """
+    n_stages = check_positive_int(n_stages, "n_stages")
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    rng = as_generator(seed)
+    arbiter_sigma = sigma if arbiter_sigma is None else float(arbiter_sigma)
+    if arbiter_sigma < 0:
+        raise ValueError(f"arbiter_sigma must be non-negative, got {arbiter_sigma}")
+    delays = rng.normal(0.0, sigma, size=(n_stages, 4))
+    offset = float(rng.normal(0.0, arbiter_sigma)) if arbiter_sigma else 0.0
+    return StageDelays(delays, offset)
+
+
+def sample_weights(
+    n_stages: int,
+    seed: SeedLike = None,
+    *,
+    sigma: float = DEFAULT_STAGE_SIGMA,
+    arbiter_sigma: Optional[float] = None,
+) -> np.ndarray:
+    """Draw linear feature weights via the physical stage-delay model.
+
+    Equivalent to ``sample_stage_delays(...).to_linear_weights()``; the
+    resulting weights are zero-mean Gaussian with element variance
+    ``sigma**2`` at the ends and ``2 * sigma**2`` in the middle.
+    """
+    return sample_stage_delays(
+        n_stages, seed, sigma=sigma, arbiter_sigma=arbiter_sigma
+    ).to_linear_weights()
+
+
+def expected_delay_std(n_stages: int, sigma: float = DEFAULT_STAGE_SIGMA) -> float:
+    """Ensemble-expected std-dev of ``delta(c)`` over random instances.
+
+    ``E[delta^2] = E[|w|^2] = 2 k sigma^2`` for the stage-delay
+    construction above (each interior weight has variance ``2 sigma^2``
+    and the two end weights ``sigma^2`` each).  Used for calibrating the
+    noise sigma at lot level.
+    """
+    n_stages = check_positive_int(n_stages, "n_stages")
+    return float(sigma * np.sqrt(2.0 * n_stages))
+
+
+def sequential_delay_difference(
+    stage_delays: StageDelays,
+    challenges: np.ndarray,
+) -> np.ndarray:
+    """Evaluate the delay difference by walking the stages sequentially.
+
+    This is the reference "structural" evaluator (and the basis of the
+    feed-forward PUF); the tests assert it agrees with the closed-form
+    linear model to machine precision.
+
+    Parameters
+    ----------
+    stage_delays:
+        One PUF instance.
+    challenges:
+        ``(n, k)`` array of {0, 1} challenge bits.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n,)`` array of final delay differences (arbiter offset
+        included).
+    """
+    challenges = as_challenge_array(challenges, stage_delays.n_stages)
+    signed = (1 - 2 * challenges.astype(np.float64))
+    a = stage_delays.straight_difference
+    d = stage_delays.crossed_difference
+    delta = np.zeros(len(challenges), dtype=np.float64)
+    for i in range(stage_delays.n_stages):
+        b = signed[:, i]
+        t = (a[i] + d[i]) / 2.0 + b * (a[i] - d[i]) / 2.0
+        delta = b * delta + t
+    return delta + stage_delays.arbiter_offset

@@ -1,0 +1,161 @@
+"""Operating conditions and their effect on PUF delays and noise.
+
+The paper measures its chips at a nominal condition of 0.9 V / 25 degC
+and at the eight other corners of a 0.8-1.0 V x 0-60 degC grid (Sec. 5.2,
+Fig. 11).  Two physical effects matter for an arbiter PUF:
+
+1. **Delay drift**: supply voltage and temperature shift every stage
+   delay.  The common-mode part (all delays scale together) is modelled
+   by a multiplicative *gain*; the differential part (each stage shifts
+   slightly differently, which is what actually flips marginal
+   responses) is modelled by fixed per-instance *sensitivity vectors*
+   scaled by the distance from nominal.  Making the sensitivities fixed
+   per instance reproduces the silicon behaviour that a given chip
+   responds *repeatably* at a given corner.
+2. **Noise scaling**: thermal noise power grows with absolute
+   temperature (sigma ~ sqrt(kT)) and the arbiter's timing margin
+   shrinks at low supply voltage; both widen the metastable window.
+
+:class:`EnvironmentModel` packages the constants; the per-instance
+sensitivity vectors live with each :class:`~repro.silicon.arbiter.ArbiterPuf`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Iterable, List, Tuple
+
+from repro.utils.validation import check_in_range
+
+__all__ = [
+    "OperatingCondition",
+    "NOMINAL_CONDITION",
+    "PAPER_VOLTAGES",
+    "PAPER_TEMPERATURES",
+    "paper_corner_grid",
+    "EnvironmentModel",
+]
+
+_KELVIN_OFFSET = 273.15
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class OperatingCondition:
+    """A (supply voltage, temperature) operating point.
+
+    Attributes
+    ----------
+    voltage:
+        Supply voltage in volts (paper range 0.8-1.0 V).
+    temperature:
+        Ambient temperature in degrees Celsius (paper range 0-60 degC).
+    """
+
+    voltage: float = 0.9
+    temperature: float = 25.0
+
+    def __post_init__(self) -> None:
+        check_in_range(self.voltage, "voltage", 0.1, 2.0)
+        check_in_range(self.temperature, "temperature", -273.0, 300.0)
+
+    @property
+    def temperature_kelvin(self) -> float:
+        """Absolute temperature in kelvin."""
+        return self.temperature + _KELVIN_OFFSET
+
+    def __str__(self) -> str:
+        return f"{self.voltage:.2f}V/{self.temperature:.0f}C"
+
+
+#: The paper's nominal test condition (0.9 V, 25 degC).
+NOMINAL_CONDITION = OperatingCondition(0.9, 25.0)
+
+#: Supply voltages of the paper's corner sweep.
+PAPER_VOLTAGES: Tuple[float, ...] = (0.8, 0.9, 1.0)
+
+#: Temperatures of the paper's corner sweep.
+PAPER_TEMPERATURES: Tuple[float, ...] = (0.0, 25.0, 60.0)
+
+
+def paper_corner_grid(
+    voltages: Iterable[float] = PAPER_VOLTAGES,
+    temperatures: Iterable[float] = PAPER_TEMPERATURES,
+) -> List[OperatingCondition]:
+    """The paper's 9-condition V x T grid (or any custom grid).
+
+    Conditions are returned in a deterministic (voltage-major) order.
+    """
+    return [
+        OperatingCondition(v, t)
+        for v, t in itertools.product(voltages, temperatures)
+    ]
+
+
+@dataclasses.dataclass(frozen=True)
+class EnvironmentModel:
+    """Constants mapping an operating condition to delay/noise effects.
+
+    Attributes
+    ----------
+    nominal:
+        Reference condition at which gain = 1, drift = 0 and the noise
+        multiplier = 1.
+    voltage_sensitivity:
+        Std-dev of per-element differential delay drift, as a fraction
+        of the process sigma, per volt of deviation from nominal.
+    temperature_sensitivity:
+        Same, per degree Celsius of deviation from nominal.
+    gain_voltage_exponent:
+        Common-mode delay gain ~ (V / V_nom) ** (-exponent): circuits
+        slow down (all delays grow) at low voltage.
+    gain_temperature_coefficient:
+        Linear common-mode delay increase per degC above nominal.
+    noise_voltage_exponent:
+        Noise sigma multiplier ~ (V_nom / V) ** exponent.
+    """
+
+    nominal: OperatingCondition = NOMINAL_CONDITION
+    voltage_sensitivity: float = 0.35
+    temperature_sensitivity: float = 0.0012
+    gain_voltage_exponent: float = 1.3
+    gain_temperature_coefficient: float = 0.002
+    noise_voltage_exponent: float = 1.5
+
+    def delta(self, condition: OperatingCondition) -> Tuple[float, float]:
+        """(dV, dT) deviation of *condition* from the nominal point."""
+        return (
+            condition.voltage - self.nominal.voltage,
+            condition.temperature - self.nominal.temperature,
+        )
+
+    def delay_gain(self, condition: OperatingCondition) -> float:
+        """Common-mode delay multiplier at *condition* (1.0 at nominal)."""
+        d_v, d_t = self.delta(condition)
+        voltage_gain = (condition.voltage / self.nominal.voltage) ** (
+            -self.gain_voltage_exponent
+        )
+        temperature_gain = 1.0 + self.gain_temperature_coefficient * d_t
+        if temperature_gain <= 0.0:
+            raise ValueError(
+                f"temperature gain non-positive at {condition}; "
+                "gain_temperature_coefficient too large"
+            )
+        return voltage_gain * temperature_gain
+
+    def drift_coefficients(self, condition: OperatingCondition) -> Tuple[float, float]:
+        """Multipliers applied to the per-instance (S_V, S_T) drift vectors."""
+        d_v, d_t = self.delta(condition)
+        return (d_v * self.voltage_sensitivity, d_t * self.temperature_sensitivity)
+
+    def noise_multiplier(self, condition: OperatingCondition) -> float:
+        """Noise sigma multiplier at *condition* (1.0 at nominal).
+
+        Thermal component scales with sqrt(T_abs); supply component with
+        (V_nom / V) ** noise_voltage_exponent.
+        """
+        thermal = (
+            condition.temperature_kelvin / self.nominal.temperature_kelvin
+        ) ** 0.5
+        supply = (self.nominal.voltage / condition.voltage) ** self.noise_voltage_exponent
+        return thermal * supply

@@ -1,0 +1,296 @@
+"""Feed-forward MUX arbiter PUF (structure from ref [1] of the paper).
+
+A feed-forward arbiter PUF adds intermediate arbiters: the race outcome
+at a *tap* stage drives the challenge bit of a later *target* stage, so
+that part of the challenge is an internal secret.  This makes the
+response a non-linear function of the challenge and (as ref [1]
+discusses) harder to model linearly, at the cost of extra instability
+from the intermediate arbiters.
+
+This module exists for the ablation benchmarks: it shares the raw
+stage-delay representation with the plain arbiter PUF and is evaluated
+with the sequential recursion, so a loop-free instance is bit-exact with
+:class:`~repro.silicon.arbiter.ArbiterPuf` on the same delays (a
+property the tests assert).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.silicon.delays import StageDelays, expected_delay_std, sample_stage_delays
+from repro.silicon.environment import NOMINAL_CONDITION, OperatingCondition
+from repro.silicon.noise import NoiseModel, calibrate_noise_sigma
+from repro.utils.rng import SeedLike, as_generator, derive_generator
+from repro.utils.validation import as_challenge_array, check_positive_int
+
+__all__ = ["FeedForwardLoop", "FeedForwardArbiterPuf", "FeedForwardXorPuf"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FeedForwardLoop:
+    """One feed-forward path: arbiter at *tap* drives bit of *target*.
+
+    ``tap`` is the stage index (0-based) after which the intermediate
+    arbiter samples the race; ``target`` is the (strictly later) stage
+    whose challenge bit it overrides.
+    """
+
+    tap: int
+    target: int
+
+    def __post_init__(self) -> None:
+        if self.tap < 0:
+            raise ValueError(f"tap must be >= 0, got {self.tap}")
+        if self.target <= self.tap:
+            raise ValueError(
+                f"target ({self.target}) must come after tap ({self.tap})"
+            )
+
+
+class FeedForwardArbiterPuf:
+    """A MUX arbiter PUF with feed-forward loops.
+
+    Parameters
+    ----------
+    stage_delays:
+        The manufacturing instance (shared representation with the
+        linear PUF).
+    loops:
+        Feed-forward paths; targets must be distinct and inside the
+        stage range.  An empty list degenerates to a plain arbiter PUF.
+    noise:
+        Per-evaluation noise model; the intermediate arbiters see
+        independent noise of the same sigma (each is a separate latch).
+    rng:
+        Generator driving evaluation noise.
+    """
+
+    def __init__(
+        self,
+        stage_delays: StageDelays,
+        loops: Sequence[FeedForwardLoop],
+        noise: NoiseModel,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.stage_delays = stage_delays
+        self.loops = sorted(loops, key=lambda loop: loop.tap)
+        self.noise = noise
+        self.rng = as_generator(rng)
+        k = stage_delays.n_stages
+        targets = [loop.target for loop in self.loops]
+        if len(set(targets)) != len(targets):
+            raise ValueError("feed-forward targets must be distinct")
+        for loop in self.loops:
+            if loop.target >= k:
+                raise ValueError(f"loop target {loop.target} outside {k} stages")
+
+    @classmethod
+    def create(
+        cls,
+        n_stages: int,
+        loops: Sequence[Tuple[int, int]],
+        seed: SeedLike = None,
+        *,
+        noise_sigma: Optional[float] = None,
+    ) -> "FeedForwardArbiterPuf":
+        """Fabricate an instance with loops given as (tap, target) pairs."""
+        n_stages = check_positive_int(n_stages, "n_stages")
+        stage_delays = sample_stage_delays(n_stages, derive_generator(seed, "delays"))
+        if noise_sigma is None:
+            noise_sigma = calibrate_noise_sigma(expected_delay_std(n_stages))
+        return cls(
+            stage_delays,
+            [FeedForwardLoop(tap, target) for tap, target in loops],
+            NoiseModel(noise_sigma),
+            derive_generator(seed, "noise"),
+        )
+
+    @property
+    def n_stages(self) -> int:
+        """Number of MUX stages ``k``."""
+        return self.stage_delays.n_stages
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _walk(
+        self,
+        challenges: np.ndarray,
+        condition: OperatingCondition,
+        noisy: bool,
+        rng: Optional[np.random.Generator],
+    ) -> np.ndarray:
+        """Sequential stage walk with feed-forward overrides.
+
+        Intermediate arbiters sample ``delta`` at their tap stage (with
+        independent noise when *noisy*); the sampled bit replaces the
+        challenge bit of the target stage before the walk reaches it.
+        """
+        challenges = as_challenge_array(challenges, self.n_stages)
+        signed = (1 - 2 * challenges.astype(np.float64))
+        a = self.stage_delays.straight_difference
+        d = self.stage_delays.crossed_difference
+        sigma = self.noise.sigma_at(condition) if noisy else 0.0
+        rng = self.rng if rng is None else rng
+        n = len(challenges)
+        delta = np.zeros(n, dtype=np.float64)
+        taps = {loop.tap: loop.target for loop in self.loops}
+        for i in range(self.n_stages):
+            b = signed[:, i]
+            t = (a[i] + d[i]) / 2.0 + b * (a[i] - d[i]) / 2.0
+            delta = b * delta + t
+            if i in taps:
+                sampled = delta
+                if sigma:
+                    sampled = delta + rng.normal(0.0, sigma, size=n)
+                # Intermediate arbiter output 1 (delta > 0) selects the
+                # crossed path (signed bit -1), matching the main arbiter's
+                # response convention.
+                signed[:, taps[i]] = np.where(sampled > 0, -1.0, 1.0)
+        return delta + self.stage_delays.arbiter_offset
+
+    def delay_difference(
+        self,
+        challenges: np.ndarray,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+    ) -> np.ndarray:
+        """Noise-free final delay difference (loops evaluated noise-free)."""
+        return self._walk(challenges, condition, noisy=False, rng=None)
+
+    def noise_free_response(
+        self,
+        challenges: np.ndarray,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+    ) -> np.ndarray:
+        """Response with all arbiters noise-free."""
+        return (self.delay_difference(challenges, condition) > 0).astype(np.int8)
+
+    def eval(
+        self,
+        challenges: np.ndarray,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """One noisy evaluation (noise in intermediate and final arbiters)."""
+        delta = self._walk(challenges, condition, noisy=True, rng=rng)
+        use_rng = self.rng if rng is None else rng
+        sigma = self.noise.sigma_at(condition)
+        noise = use_rng.normal(0.0, sigma, size=delta.shape)
+        return (delta + noise > 0).astype(np.int8)
+
+    def soft_response(
+        self,
+        challenges: np.ndarray,
+        n_trials: int,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Monte-Carlo soft response over *n_trials* evaluations.
+
+        No binomial shortcut exists here: the intermediate arbiters make
+        per-evaluation outcomes non-i.i.d. conditioned on the final
+        delta alone, so the literal loop is used.
+        """
+        n_trials = check_positive_int(n_trials, "n_trials")
+        counts = np.zeros(len(as_challenge_array(challenges, self.n_stages)))
+        for _ in range(n_trials):
+            counts += self.eval(challenges, condition, rng)
+        return counts / n_trials
+
+
+class FeedForwardXorPuf:
+    """An XOR of feed-forward arbiter PUFs.
+
+    The structural alternative to widening a linear XOR PUF: each
+    constituent is itself nonlinear, so modeling resistance comes from
+    per-PUF structure as well as the XOR composition.  Used by the
+    feed-forward ablation benchmark to compare the two hardening axes
+    at equal n.
+
+    Parameters
+    ----------
+    pufs:
+        The feed-forward constituents (equal stage counts).
+    """
+
+    def __init__(self, pufs: Sequence[FeedForwardArbiterPuf]) -> None:
+        pufs = list(pufs)
+        if not pufs:
+            raise ValueError("an XOR PUF needs at least one constituent PUF")
+        stages = {puf.n_stages for puf in pufs}
+        if len(stages) != 1:
+            raise ValueError(f"constituent PUFs disagree on stage count: {stages}")
+        self.pufs = pufs
+
+    @classmethod
+    def create(
+        cls,
+        n_pufs: int,
+        n_stages: int,
+        loops: Sequence[Tuple[int, int]],
+        seed: SeedLike = None,
+        **puf_kwargs,
+    ) -> "FeedForwardXorPuf":
+        """Fabricate *n_pufs* independent feed-forward constituents.
+
+        Every constituent gets the same *loops* topology (as on a real
+        die, where the routing is common and only the delays vary).
+        """
+        check_positive_int(n_pufs, "n_pufs")
+        return cls(
+            [
+                FeedForwardArbiterPuf.create(
+                    n_stages, loops, derive_generator(seed, "ff-puf", i),
+                    **puf_kwargs,
+                )
+                for i in range(n_pufs)
+            ]
+        )
+
+    @property
+    def n_pufs(self) -> int:
+        """Number of constituents ``n``."""
+        return len(self.pufs)
+
+    @property
+    def n_stages(self) -> int:
+        """Challenge width ``k``."""
+        return self.pufs[0].n_stages
+
+    def noise_free_response(
+        self,
+        challenges: np.ndarray,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+    ) -> np.ndarray:
+        """XOR of the constituents' noise-free responses."""
+        responses = [p.noise_free_response(challenges, condition) for p in self.pufs]
+        return np.bitwise_xor.reduce(np.stack(responses), axis=0)
+
+    def eval(
+        self,
+        challenges: np.ndarray,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """One noisy XOR evaluation per challenge."""
+        responses = [p.eval(challenges, condition, rng) for p in self.pufs]
+        return np.bitwise_xor.reduce(np.stack(responses), axis=0)
+
+    def soft_response(
+        self,
+        challenges: np.ndarray,
+        n_trials: int,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Monte-Carlo soft response of the XOR output over *n_trials*."""
+        check_positive_int(n_trials, "n_trials")
+        challenges = as_challenge_array(challenges, self.n_stages)
+        counts = np.zeros(len(challenges), dtype=np.int64)
+        for _ in range(n_trials):
+            counts += self.eval(challenges, condition, rng)
+        return counts / n_trials

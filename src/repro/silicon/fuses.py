@@ -1,0 +1,75 @@
+"""One-time-programmable fuses gating enrollment access (Fig. 5).
+
+The proposed design exposes each individual PUF's response through a
+fuse-gated path.  During enrollment an authorised tester reads soft
+responses through this path; before deployment the fuses are blown with
+a high current/voltage pulse, after which the individual responses are
+physically unreachable and only the XOR output remains visible [11].
+
+:class:`FuseBank` models that lifecycle as a tiny state machine and is
+enforced by :class:`repro.silicon.chip.PufChip`: any enrollment-path
+access after :meth:`FuseBank.blow` raises :class:`FuseBlownError`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["FuseState", "FuseBank", "FuseBlownError"]
+
+
+class FuseBlownError(RuntimeError):
+    """Raised when the enrollment path is used after the fuses are blown."""
+
+
+class FuseState(enum.Enum):
+    """Lifecycle state of the enrollment fuses."""
+
+    INTACT = "intact"
+    BLOWN = "blown"
+
+
+class FuseBank:
+    """The chip's one-time-programmable enrollment gate.
+
+    The bank starts :attr:`~FuseState.INTACT`; :meth:`blow` is
+    idempotent-by-refusal (a second blow raises, surfacing protocol
+    bugs early).
+    """
+
+    def __init__(self) -> None:
+        self._state = FuseState.INTACT
+        self._access_count = 0
+
+    @property
+    def state(self) -> FuseState:
+        """Current fuse state."""
+        return self._state
+
+    @property
+    def is_blown(self) -> bool:
+        """Whether the enrollment path has been permanently disabled."""
+        return self._state is FuseState.BLOWN
+
+    @property
+    def access_count(self) -> int:
+        """Number of enrollment-path accesses granted while intact."""
+        return self._access_count
+
+    def check_access(self, operation: str = "enrollment access") -> None:
+        """Record one enrollment-path access; raise if the fuses are blown."""
+        if self.is_blown:
+            raise FuseBlownError(
+                f"{operation} denied: enrollment fuses are blown; individual "
+                "PUF responses are permanently inaccessible"
+            )
+        self._access_count += 1
+
+    def blow(self) -> None:
+        """Apply the programming pulse, permanently disabling enrollment."""
+        if self.is_blown:
+            raise FuseBlownError("fuses are already blown")
+        self._state = FuseState.BLOWN
+
+    def __repr__(self) -> str:
+        return f"FuseBank(state={self._state.value!r}, accesses={self._access_count})"

@@ -1,0 +1,149 @@
+"""Batch measurement campaigns (the paper's PXI tester + USB DAQ).
+
+The paper drives its chips with a PXI test system that applies the
+challenge vectors, controls supply voltage and chamber temperature, and
+reads the counters back over a USB DAQ.  :class:`ChipTester` is the
+software equivalent: it owns the measurement loop across challenges,
+constituent PUFs and operating conditions, and returns structured
+results keyed by condition.
+
+All measurements flow through the chip's *enrollment* interface, so a
+campaign on a deployed (fuse-blown) chip correctly fails -- the tester
+cannot do anything a real tester could not.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.crp.dataset import SoftResponseDataset
+from repro.silicon.chip import PufChip
+from repro.silicon.environment import NOMINAL_CONDITION, OperatingCondition
+from repro.utils.validation import as_challenge_array, check_positive_int
+
+__all__ = ["ChipTester", "SoftResponseCampaign"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SoftResponseCampaign:
+    """Results of one soft-response measurement campaign on one chip.
+
+    Attributes
+    ----------
+    chip_id:
+        The measured chip.
+    n_trials:
+        Counter depth per soft response.
+    per_condition:
+        ``condition -> list over constituent PUFs`` of soft-response
+        datasets (all sharing the same challenge matrix).
+    """
+
+    chip_id: str
+    n_trials: int
+    per_condition: Mapping[OperatingCondition, List[SoftResponseDataset]]
+
+    @property
+    def conditions(self) -> List[OperatingCondition]:
+        """Measured operating conditions, in campaign order."""
+        return list(self.per_condition.keys())
+
+    def datasets(
+        self, condition: OperatingCondition = NOMINAL_CONDITION
+    ) -> List[SoftResponseDataset]:
+        """Per-PUF datasets at *condition*."""
+        try:
+            return self.per_condition[condition]
+        except KeyError:
+            raise KeyError(
+                f"condition {condition} was not part of this campaign; "
+                f"measured: {[str(c) for c in self.conditions]}"
+            ) from None
+
+    def stable_mask(
+        self,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+        n_pufs: Optional[int] = None,
+    ) -> np.ndarray:
+        """Challenges 100 %-stable on the first *n_pufs* PUFs at *condition*."""
+        datasets = self.datasets(condition)
+        n_pufs = len(datasets) if n_pufs is None else n_pufs
+        if not 1 <= n_pufs <= len(datasets):
+            raise ValueError(f"n_pufs must be in [1, {len(datasets)}], got {n_pufs}")
+        mask = datasets[0].stable_mask
+        for dataset in datasets[1:n_pufs]:
+            mask = mask & dataset.stable_mask
+        return mask
+
+    def stable_fraction(
+        self,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+        n_pufs: Optional[int] = None,
+    ) -> float:
+        """Fraction of campaign challenges stable for the n-input XOR PUF."""
+        mask = self.stable_mask(condition, n_pufs)
+        return float(mask.mean()) if mask.size else float("nan")
+
+
+class ChipTester:
+    """Software PXI tester: drives measurement campaigns on chips."""
+
+    def __init__(self, *, method: str = "binomial") -> None:
+        self.method = method
+
+    def measure_soft_responses(
+        self,
+        chip: PufChip,
+        challenges: np.ndarray,
+        n_trials: int,
+        conditions: Optional[Sequence[OperatingCondition]] = None,
+    ) -> SoftResponseCampaign:
+        """Measure soft responses of every constituent PUF of *chip*.
+
+        Parameters
+        ----------
+        chip:
+            The chip under test (must still be in enrollment phase).
+        challenges:
+            Challenge matrix applied at every condition.
+        n_trials:
+            Counter depth T per soft response.
+        conditions:
+            Operating points to sweep; defaults to nominal only.
+        """
+        challenges = as_challenge_array(challenges, chip.n_stages)
+        n_trials = check_positive_int(n_trials, "n_trials")
+        conditions = list(conditions) if conditions is not None else [NOMINAL_CONDITION]
+        if not conditions:
+            raise ValueError("conditions must not be empty")
+        per_condition: Dict[OperatingCondition, List[SoftResponseDataset]] = {}
+        for condition in conditions:
+            per_condition[condition] = [
+                chip.enrollment_soft_responses(
+                    index, challenges, n_trials, condition, method=self.method
+                )
+                for index in range(chip.n_pufs)
+            ]
+        return SoftResponseCampaign(chip.chip_id, n_trials, per_condition)
+
+    def measure_xor_stability(
+        self,
+        chip: PufChip,
+        challenges: np.ndarray,
+        n_trials: int,
+        n_puf_values: Sequence[int],
+        condition: OperatingCondition = NOMINAL_CONDITION,
+    ) -> Dict[int, float]:
+        """Stable-CRP fraction of the n-input XOR PUF for each n (Fig. 3).
+
+        Uses a single campaign over all constituents and composes the
+        per-PUF stability masks, exactly as the paper derives its XOR
+        stability from individual-PUF measurements.
+        """
+        campaign = self.measure_soft_responses(chip, challenges, n_trials, [condition])
+        return {
+            n: campaign.stable_fraction(condition, n_pufs=n) for n in n_puf_values
+        }

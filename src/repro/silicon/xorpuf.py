@@ -1,0 +1,178 @@
+"""The n-input XOR arbiter PUF (Fig. 1, bottom).
+
+``n`` arbiter PUFs receive the same challenge; their 1-bit responses are
+XOR-ed into the final response.  Only the XOR output is visible outside
+the chip (the individual responses are fuse-gated, see
+:mod:`repro.silicon.chip`).
+
+Useful identities implemented here and exploited throughout:
+
+* ``Pr(xor = 1) = (1 - prod_i (1 - 2 p_i)) / 2`` for independent
+  constituents with per-evaluation 1-probabilities ``p_i``.
+* A challenge is 100 % stable for the XOR PUF iff it is 100 % stable
+  for *every* constituent (any single metastable constituent randomises
+  the XOR), which is why the stable fraction decays like 0.8**n (Fig. 3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.silicon.arbiter import ArbiterPuf
+from repro.silicon.environment import (
+    EnvironmentModel,
+    NOMINAL_CONDITION,
+    OperatingCondition,
+)
+from repro.utils.rng import SeedLike, derive_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = ["XorArbiterPuf", "xor_probability"]
+
+
+def xor_probability(probabilities: np.ndarray) -> np.ndarray:
+    """``Pr(XOR of independent bits = 1)`` from per-bit probabilities.
+
+    Parameters
+    ----------
+    probabilities:
+        Array of shape ``(n_bits, ...)``; the XOR is taken over axis 0.
+    """
+    p = np.asarray(probabilities, dtype=np.float64)
+    if p.ndim == 0:
+        raise ValueError("probabilities must have at least one axis")
+    return (1.0 - np.prod(1.0 - 2.0 * p, axis=0)) / 2.0
+
+
+@dataclasses.dataclass
+class XorArbiterPuf:
+    """A bank of arbiter PUFs with an XOR-reduced output.
+
+    Attributes
+    ----------
+    pufs:
+        The constituent :class:`~repro.silicon.arbiter.ArbiterPuf`
+        instances (all with the same stage count).
+    """
+
+    pufs: List[ArbiterPuf]
+
+    def __post_init__(self) -> None:
+        if not self.pufs:
+            raise ValueError("an XOR PUF needs at least one constituent PUF")
+        stages = {puf.n_stages for puf in self.pufs}
+        if len(stages) != 1:
+            raise ValueError(f"constituent PUFs disagree on stage count: {stages}")
+
+    @classmethod
+    def create(
+        cls,
+        n_pufs: int,
+        n_stages: int,
+        seed: SeedLike = None,
+        **puf_kwargs,
+    ) -> "XorArbiterPuf":
+        """Fabricate *n_pufs* independent constituents from one seed."""
+        n_pufs = check_positive_int(n_pufs, "n_pufs")
+        pufs = [
+            ArbiterPuf.create(n_stages, derive_generator(seed, "puf", i), **puf_kwargs)
+            for i in range(n_pufs)
+        ]
+        return cls(pufs)
+
+    @property
+    def n_pufs(self) -> int:
+        """Number of constituent PUFs ``n``."""
+        return len(self.pufs)
+
+    @property
+    def n_stages(self) -> int:
+        """Number of MUX stages ``k`` of each constituent."""
+        return self.pufs[0].n_stages
+
+    def subset(self, n_pufs: int) -> "XorArbiterPuf":
+        """A smaller XOR PUF over the first *n_pufs* constituents.
+
+        Handy for the paper's n-sweeps: the n = 4 PUF is a prefix of the
+        n = 10 PUF, mirroring how the paper reuses the same silicon.
+        """
+        n_pufs = check_positive_int(n_pufs, "n_pufs")
+        if n_pufs > self.n_pufs:
+            raise ValueError(f"asked for {n_pufs} of {self.n_pufs} constituents")
+        return XorArbiterPuf(self.pufs[:n_pufs])
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def individual_probabilities(
+        self,
+        challenges: np.ndarray,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+    ) -> np.ndarray:
+        """``(n_pufs, n_challenges)`` per-constituent 1-probabilities."""
+        return np.stack(
+            [puf.response_probability(challenges, condition) for puf in self.pufs]
+        )
+
+    def response_probability(
+        self,
+        challenges: np.ndarray,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+    ) -> np.ndarray:
+        """Exact ``Pr(xor response = 1)`` per challenge."""
+        return xor_probability(self.individual_probabilities(challenges, condition))
+
+    def noise_free_response(
+        self,
+        challenges: np.ndarray,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+    ) -> np.ndarray:
+        """XOR of the constituents' noise-free responses."""
+        responses = [puf.noise_free_response(challenges, condition) for puf in self.pufs]
+        return np.bitwise_xor.reduce(np.stack(responses), axis=0)
+
+    def eval(
+        self,
+        challenges: np.ndarray,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """One noisy XOR evaluation per challenge."""
+        responses = [puf.eval(challenges, condition, rng) for puf in self.pufs]
+        return np.bitwise_xor.reduce(np.stack(responses), axis=0)
+
+    def individual_eval(
+        self,
+        challenges: np.ndarray,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """``(n_pufs, n_challenges)`` noisy per-constituent responses.
+
+        Only legitimately reachable during enrollment (through the fuse
+        gate in :class:`~repro.silicon.chip.PufChip`).
+        """
+        return np.stack([puf.eval(challenges, condition, rng) for puf in self.pufs])
+
+    def stable_mask(
+        self,
+        challenges: np.ndarray,
+        n_trials: int,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Challenges whose XOR response is 100 % stable over *n_trials*.
+
+        Sampled via exact binomial counters per constituent: stable iff
+        every constituent's counter reads exactly 0 or *n_trials*.
+        """
+        n_trials = check_positive_int(n_trials, "n_trials")
+        mask = None
+        for puf in self.pufs:
+            counts = puf.eval_counts(challenges, n_trials, condition, rng)
+            stable = (counts == 0) | (counts == n_trials)
+            mask = stable if mask is None else (mask & stable)
+        return mask

@@ -1,0 +1,99 @@
+"""Shared argument-validation helpers.
+
+These keep the public API's error messages uniform and the validation
+logic out of the scientific code paths.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "is_binary_array",
+    "check_positive_int",
+    "check_probability",
+    "check_in_range",
+    "as_challenge_array",
+    "as_float_array",
+]
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Return *value* as ``int`` after checking it is a positive integer."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Return *value* as ``float`` after checking it lies in [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_in_range(
+    value: Any,
+    name: str,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Return *value* as ``float`` after checking it lies in the given range."""
+    value = float(value)
+    if inclusive:
+        if low is not None and value < low:
+            raise ValueError(f"{name} must be >= {low}, got {value}")
+        if high is not None and value > high:
+            raise ValueError(f"{name} must be <= {high}, got {value}")
+    else:
+        if low is not None and value <= low:
+            raise ValueError(f"{name} must be > {low}, got {value}")
+        if high is not None and value >= high:
+            raise ValueError(f"{name} must be < {high}, got {value}")
+    return value
+
+
+def is_binary_array(arr: np.ndarray) -> bool:
+    """Whether every element of *arr* is exactly 0 or 1 (any dtype)."""
+    if arr.dtype == np.bool_:
+        return True
+    if np.issubdtype(arr.dtype, np.integer):
+        low, high = arr.min(), arr.max()
+        return bool(low >= 0 and high <= 1)
+    values = np.asarray(arr, dtype=np.float64)
+    return bool(((values == 0.0) | (values == 1.0)).all())
+
+
+def as_challenge_array(challenges: Any, n_stages: Optional[int] = None) -> np.ndarray:
+    """Coerce *challenges* to a 2-D int8 array of {0, 1} bits.
+
+    A single challenge (1-D) is promoted to shape ``(1, k)``.  If
+    *n_stages* is given, the trailing dimension must match it.
+    """
+    arr = np.asarray(challenges)
+    if arr.ndim == 1:
+        arr = arr[np.newaxis, :]
+    if arr.ndim != 2:
+        raise ValueError(f"challenges must be 1-D or 2-D, got ndim={arr.ndim}")
+    if arr.size and not is_binary_array(arr):
+        raise ValueError("challenges must contain only 0/1 bits")
+    if n_stages is not None and arr.shape[1] != n_stages:
+        raise ValueError(
+            f"challenges have {arr.shape[1]} stages, expected {n_stages}"
+        )
+    return arr.astype(np.int8, copy=False)
+
+
+def as_float_array(values: Any, name: str, ndim: Optional[int] = None) -> np.ndarray:
+    """Coerce *values* to a float64 array, optionally checking dimensionality."""
+    arr = np.asarray(values, dtype=np.float64)
+    if ndim is not None and arr.ndim != ndim:
+        raise ValueError(f"{name} must be {ndim}-D, got ndim={arr.ndim}")
+    return arr

@@ -1,0 +1,87 @@
+"""Tests for attack-cost extrapolation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.attack_cost import (
+    RequirementGrowth,
+    crps_to_reach,
+    fit_requirement_growth,
+    security_crossover_width,
+    stable_crp_supply,
+)
+
+
+class TestCrpsToReach:
+    def test_interpolates_crossing(self):
+        sizes = [1000, 10_000, 100_000]
+        accs = [0.55, 0.85, 0.99]
+        need = crps_to_reach(sizes, accs, 0.90)
+        assert 10_000 < need < 100_000
+
+    def test_exact_point(self):
+        need = crps_to_reach([100, 1000], [0.5, 0.9], 0.9)
+        assert need == pytest.approx(1000)
+
+    def test_first_point_already_above(self):
+        assert crps_to_reach([100, 1000], [0.95, 0.99], 0.9) == 100
+
+    def test_never_reached(self):
+        assert crps_to_reach([100, 1000], [0.51, 0.55], 0.9) is None
+
+    def test_noise_made_monotone(self):
+        """A noisy dip must not create a phantom crossing."""
+        need = crps_to_reach([100, 1000, 10_000], [0.92, 0.88, 0.95], 0.9)
+        assert need == 100  # running max: already at 0.92 at the start
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="increasing"):
+            crps_to_reach([1000, 100], [0.5, 0.9], 0.9)
+        with pytest.raises(ValueError, match="matching"):
+            crps_to_reach([100], [0.5, 0.9], 0.9)
+
+
+class TestRequirementGrowth:
+    def test_exact_geometric_fit(self):
+        requirements = {n: 100.0 * 3.0**n for n in range(2, 7)}
+        growth = fit_requirement_growth(requirements)
+        assert growth.factor == pytest.approx(3.0, rel=1e-9)
+        assert growth.amplitude == pytest.approx(100.0, rel=1e-9)
+        assert growth.requirement(10) == pytest.approx(100.0 * 3.0**10, rel=1e-6)
+
+    def test_none_entries_skipped(self):
+        requirements = {2: 900.0, 3: 2700.0, 4: None, 5: 24_300.0}
+        growth = fit_requirement_growth(requirements)
+        assert growth.n_points == 3
+        assert growth.factor == pytest.approx(3.0, rel=1e-6)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError, match="two widths"):
+            fit_requirement_growth({4: 1000.0})
+
+
+class TestSupplyAndCrossover:
+    def test_supply_decay(self):
+        assert stable_crp_supply(1, 1000) == pytest.approx(800.0)
+        assert stable_crp_supply(10, 1_000_000) == pytest.approx(
+            1_000_000 * 0.8**10
+        )
+
+    def test_crossover_width(self):
+        # Requirement 100 * 3^n; supply 1e6 * 0.8^n.
+        growth = RequirementGrowth(factor=3.0, amplitude=100.0, n_points=5)
+        n_star = security_crossover_width(growth, 1_000_000)
+        # 100*3^n > 1e6*0.8^n  <=>  n > log(1e4)/log(3.75) ~ 6.97.
+        assert n_star == 7
+
+    def test_no_crossover_alarms(self):
+        growth = RequirementGrowth(factor=1.0, amplitude=1.0, n_points=2)
+        assert security_crossover_width(growth, 10**9, max_n=16) is None
+
+    def test_bigger_harvest_pushes_crossover_up(self):
+        growth = RequirementGrowth(factor=3.0, amplitude=100.0, n_points=5)
+        small = security_crossover_width(growth, 10**5)
+        large = security_crossover_width(growth, 10**8)
+        assert large > small

@@ -1,0 +1,93 @@
+"""Tests for response-entropy diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.entropy import (
+    autocorrelation,
+    challenge_sensitivity,
+    shannon_entropy_rate,
+)
+from repro.crp.challenges import random_challenges
+from repro.silicon.xorpuf import XorArbiterPuf
+
+N_STAGES = 32
+
+
+class TestShannonEntropyRate:
+    def test_random_stream_near_one(self):
+        bits = np.random.default_rng(0).integers(0, 2, 40_000, dtype=np.int8)
+        assert shannon_entropy_rate(bits, block_size=6) > 0.99
+
+    def test_constant_stream_zero(self):
+        assert shannon_entropy_rate(
+            np.zeros(40_000, dtype=np.int8), block_size=6
+        ) == 0.0
+
+    def test_periodic_stream_low(self):
+        bits = np.tile(np.array([0, 1], dtype=np.int8), 20_000)
+        rate = shannon_entropy_rate(bits, block_size=6)
+        assert rate < 0.2
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError, match="blocks"):
+            shannon_entropy_rate(np.zeros(100, dtype=np.int8), block_size=8)
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError, match="0/1"):
+            shannon_entropy_rate(np.array([0, 2, 1]))
+
+    def test_xor_puf_responses_high_entropy(self, xor_puf):
+        ch = random_challenges(40_000, N_STAGES, seed=1)
+        bits = xor_puf.noise_free_response(ch)
+        assert shannon_entropy_rate(bits, block_size=6) > 0.95
+
+
+class TestAutocorrelation:
+    def test_random_stream_small(self):
+        bits = np.random.default_rng(2).integers(0, 2, 20_000, dtype=np.int8)
+        values = autocorrelation(bits, [1, 5, 10])
+        assert np.abs(values).max() < 0.05
+
+    def test_alternating_stream_negative_lag1(self):
+        bits = np.tile(np.array([0, 1], dtype=np.int8), 1000)
+        values = autocorrelation(bits, [1, 2])
+        assert values[0] == pytest.approx(-1.0, abs=0.01)
+        assert values[1] == pytest.approx(1.0, abs=0.01)
+
+    def test_lag_bounds(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            autocorrelation(np.zeros(10, dtype=np.int8), [10])
+
+    def test_puf_responses_uncorrelated(self, xor_puf):
+        ch = random_challenges(20_000, N_STAGES, seed=3)
+        bits = xor_puf.noise_free_response(ch)
+        assert np.abs(autocorrelation(bits, [1, 3, 7])).max() < 0.05
+
+
+class TestChallengeSensitivity:
+    def test_single_puf_known_weak_last_bit(self, arbiter_puf):
+        """Flipping the last challenge bit changes only phi's sign
+        pattern weakly for a single arbiter PUF: sensitivity well below
+        0.5 for early bits, approaching the structure of the model."""
+        early = challenge_sensitivity(
+            arbiter_puf, 5000, bit_index=0, seed=4
+        )
+        assert 0.0 < early < 0.6
+
+    def test_xor_improves_avalanche(self, arbiter_puf, xor_puf):
+        """XOR-ing constituents pushes the avalanche toward 1/2."""
+        single = challenge_sensitivity(arbiter_puf, 8000, seed=5)
+        wide = challenge_sensitivity(xor_puf, 8000, seed=5)
+        assert abs(wide - 0.5) <= abs(single - 0.5) + 0.02
+
+    def test_bit_index_validated(self, arbiter_puf):
+        with pytest.raises(ValueError, match="outside"):
+            challenge_sensitivity(arbiter_puf, 10, bit_index=N_STAGES)
+
+    def test_deterministic_for_seed(self, xor_puf):
+        a = challenge_sensitivity(xor_puf, 2000, seed=6)
+        b = challenge_sensitivity(xor_puf, 2000, seed=6)
+        assert a == b

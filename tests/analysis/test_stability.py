@@ -1,0 +1,113 @@
+"""Tests for stability analysis (Figs. 2-3 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stability import (
+    analytic_stable_fraction_by_n,
+    decay_base,
+    stable_fraction_by_n,
+    summarize_soft_responses,
+    xor_stable_fraction,
+)
+from repro.crp.challenges import random_challenges
+from repro.crp.dataset import SoftResponseDataset
+from repro.silicon.counters import measure_soft_responses
+from repro.silicon.xorpuf import XorArbiterPuf
+
+N_STAGES = 32
+
+
+def _dataset(soft, n_trials=1000, seed=0):
+    soft = np.asarray(soft, dtype=np.float64)
+    return SoftResponseDataset(
+        random_challenges(len(soft), 8, seed=seed), soft, n_trials
+    )
+
+
+class TestSummarize:
+    def test_fig2_style_fractions(self):
+        ds = _dataset([0.0, 0.0, 1.0, 0.5, 0.25])
+        summary = summarize_soft_responses(ds)
+        assert summary.stable_zero_fraction == pytest.approx(0.4)
+        assert summary.stable_one_fraction == pytest.approx(0.2)
+        assert summary.stable_fraction == pytest.approx(0.6)
+
+    def test_histogram_sums_to_one(self):
+        ds = _dataset(np.linspace(0, 1, 37))
+        summary = summarize_soft_responses(ds)
+        assert summary.histogram_fractions.sum() == pytest.approx(1.0)
+        assert len(summary.histogram_centers) == 101
+
+    def test_confidence_interval_brackets(self):
+        ds = _dataset([0.0] * 50 + [0.5] * 50)
+        summary = summarize_soft_responses(ds)
+        lo, hi = summary.stable_confidence_interval()
+        assert lo < 0.5 < hi
+
+    def test_measured_puf_matches_calibration(self, arbiter_puf):
+        ch = random_challenges(20_000, N_STAGES, seed=1)
+        ds = measure_soft_responses(
+            arbiter_puf, ch, 100_000, rng=np.random.default_rng(2)
+        )
+        summary = summarize_soft_responses(ds)
+        assert summary.stable_fraction == pytest.approx(0.80, abs=0.05)
+        # Fig. 2: both extreme bins hold roughly 40 % each.
+        assert summary.stable_zero_fraction == pytest.approx(0.40, abs=0.15)
+        assert summary.stable_one_fraction == pytest.approx(0.40, abs=0.15)
+
+
+class TestXorStableFraction:
+    def test_and_composition(self):
+        a = _dataset([0.0, 0.0, 1.0, 0.5], seed=1)
+        b = _dataset([0.0, 0.5, 1.0, 1.0], seed=1)
+        # stable on both: rows 0 and 2 -> 0.5
+        assert xor_stable_fraction([a, b]) == pytest.approx(0.5)
+
+    def test_single_dataset_is_own_fraction(self):
+        a = _dataset([0.0, 0.5], seed=2)
+        assert xor_stable_fraction([a]) == a.stable_fraction
+
+    def test_size_mismatch_rejected(self):
+        a = _dataset([0.0, 0.5], seed=3)
+        b = _dataset([0.0], seed=4)
+        with pytest.raises(ValueError, match="sizes"):
+            xor_stable_fraction([a, b])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            xor_stable_fraction([])
+
+
+class TestStableFractionByN:
+    @pytest.fixture(scope="class")
+    def per_puf(self):
+        xpuf = XorArbiterPuf.create(5, N_STAGES, seed=5)
+        ch = random_challenges(6000, N_STAGES, seed=6)
+        return [
+            measure_soft_responses(p, ch, 100_000, rng=np.random.default_rng(i))
+            for i, p in enumerate(xpuf.pufs)
+        ]
+
+    def test_monotone_decay(self, per_puf):
+        by_n = stable_fraction_by_n(per_puf)
+        values = [by_n[n] for n in sorted(by_n)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_decay_base_near_08(self, per_puf):
+        by_n = stable_fraction_by_n(per_puf)
+        assert decay_base(by_n) == pytest.approx(0.80, abs=0.05)
+
+    def test_out_of_range_n_rejected(self, per_puf):
+        with pytest.raises(ValueError, match="outside"):
+            stable_fraction_by_n(per_puf, [6])
+
+    def test_analytic_matches_measured(self, per_puf):
+        measured = stable_fraction_by_n(per_puf)
+        analytic = analytic_stable_fraction_by_n(
+            0.0578, 100_000, list(measured)
+        )
+        for n in measured:
+            assert measured[n] == pytest.approx(analytic[n], abs=0.08)

@@ -1,0 +1,87 @@
+"""Property-based tests on the attack estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.attacks.logistic import LogisticAttack
+from repro.attacks.mlp import MlpClassifier
+
+SLOW = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _problem(seed: int, n: int = 300, d: int = 7):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, d))
+    w = rng.normal(size=d)
+    y = (x @ w > 0).astype(np.int8)
+    return x, y
+
+
+class TestLabelFlipSymmetry:
+    """Training on complemented labels yields complementary predictors."""
+
+    @given(seed=st.integers(0, 2**31))
+    @SLOW
+    def test_logistic(self, seed):
+        x, y = _problem(seed)
+        a = LogisticAttack(seed=1).fit(x, y)
+        b = LogisticAttack(seed=1).fit(x, 1 - y)
+        test = np.random.default_rng(seed + 1).normal(size=(200, x.shape[1]))
+        agreement = (a.predict(test) == 1 - b.predict(test)).mean()
+        assert agreement > 0.97
+
+    @given(seed=st.integers(0, 2**31))
+    @SLOW
+    def test_mlp(self, seed):
+        x, y = _problem(seed, n=250)
+        a = MlpClassifier(hidden_layers=(6,), seed=2, max_iter=120).fit(x, y)
+        b = MlpClassifier(hidden_layers=(6,), seed=2, max_iter=120).fit(x, 1 - y)
+        test = np.random.default_rng(seed + 1).normal(size=(200, x.shape[1]))
+        agreement = (a.predict(test) == 1 - b.predict(test)).mean()
+        assert agreement > 0.9
+
+
+class TestScoreBounds:
+    @given(seed=st.integers(0, 2**31))
+    @SLOW
+    def test_score_in_unit_interval(self, seed):
+        x, y = _problem(seed, n=150)
+        attack = LogisticAttack(seed=3).fit(x, y)
+        score = attack.score(x, y)
+        assert 0.0 <= score <= 1.0
+        # Training-set score on separable data is near perfect.
+        assert score > 0.9
+
+    @given(seed=st.integers(0, 2**31))
+    @SLOW
+    def test_constant_labels_learned(self, seed):
+        """Degenerate but legal: all-zero labels must be reproducible.
+
+        Needs an intercept column, which the PUF parity feature map
+        always provides (its last feature is the constant 1).
+        """
+        rng = np.random.default_rng(seed)
+        x = np.hstack([rng.normal(size=(120, 5)), np.ones((120, 1))])
+        y = np.zeros(120, dtype=np.int8)
+        attack = LogisticAttack(seed=4).fit(x, y)
+        assert attack.score(x, y) > 0.95
+
+
+class TestPermutationInvariance:
+    @given(seed=st.integers(0, 2**31))
+    @SLOW
+    def test_logistic_row_order_irrelevant(self, seed):
+        """Full-batch convex training is invariant to sample order."""
+        x, y = _problem(seed, n=200)
+        perm = np.random.default_rng(seed + 2).permutation(len(y))
+        a = LogisticAttack(seed=5).fit(x, y)
+        b = LogisticAttack(seed=5).fit(x[perm], y[perm])
+        test = np.random.default_rng(seed + 3).normal(size=(150, x.shape[1]))
+        assert (a.predict(test) == b.predict(test)).mean() > 0.99

@@ -1,0 +1,111 @@
+"""Tests for the attack experiment harness and feature pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.features import attack_matrices, attack_matrix
+from repro.attacks.harness import (
+    AttackResult,
+    collect_stable_xor_crps,
+    learning_curve,
+)
+from repro.attacks.logistic import LogisticAttack
+from repro.attacks.mlp import MlpClassifier
+from repro.crp.challenges import random_challenges
+from repro.crp.dataset import CrpDataset
+from repro.silicon.xorpuf import XorArbiterPuf
+
+N_STAGES = 32
+
+
+class TestAttackMatrix:
+    def test_shapes(self):
+        ds = CrpDataset(
+            random_challenges(10, 8, seed=0), np.zeros(10, dtype=np.int8)
+        )
+        x, y = attack_matrix(ds)
+        assert x.shape == (10, 9)
+        assert y.shape == (10,)
+
+    def test_width_mismatch_rejected(self):
+        a = CrpDataset(random_challenges(5, 8, seed=1), np.zeros(5, dtype=np.int8))
+        b = CrpDataset(random_challenges(5, 9, seed=2), np.zeros(5, dtype=np.int8))
+        with pytest.raises(ValueError, match="widths differ"):
+            attack_matrices(a, b)
+
+
+class TestCollectStableXorCrps:
+    def test_sizes_follow_paper_accounting(self, xor_puf):
+        """Train ~ N * 0.9 * 0.8**n, test ~ N * 0.1 * 0.8**n."""
+        n = 20_000
+        train, test = collect_stable_xor_crps(xor_puf, n, 100_000, seed=1)
+        expected_total = n * 0.8**4
+        total = len(train) + len(test)
+        assert total == pytest.approx(expected_total, rel=0.25)
+        assert len(train) / total == pytest.approx(0.9, abs=0.03)
+
+    def test_responses_are_noise_free_xor(self, xor_puf):
+        train, _ = collect_stable_xor_crps(xor_puf, 3000, 100_000, seed=2)
+        np.testing.assert_array_equal(
+            train.responses, xor_puf.noise_free_response(train.challenges)
+        )
+
+    def test_train_test_disjoint(self, xor_puf):
+        train, test = collect_stable_xor_crps(xor_puf, 3000, 100_000, seed=3)
+        train_keys = {row.tobytes() for row in train.challenges}
+        test_keys = {row.tobytes() for row in test.challenges}
+        assert train_keys.isdisjoint(test_keys)
+
+    def test_reproducible(self, xor_puf):
+        a, _ = collect_stable_xor_crps(xor_puf, 2000, 100_000, seed=4)
+        b, _ = collect_stable_xor_crps(xor_puf, 2000, 100_000, seed=4)
+        np.testing.assert_array_equal(a.challenges, b.challenges)
+
+
+class TestLearningCurve:
+    @pytest.fixture(scope="class")
+    def crps(self):
+        xpuf = XorArbiterPuf.create(2, N_STAGES, seed=5)
+        return collect_stable_xor_crps(xpuf, 15_000, 100_000, seed=6)
+
+    def test_accuracy_improves_with_size(self, crps):
+        train, test = crps
+        results = learning_curve(
+            lambda: MlpClassifier(hidden_layers=(16, 8), seed=7, max_iter=150),
+            train,
+            test,
+            [300, 5000],
+            seed=8,
+        )
+        assert results[1].accuracy > results[0].accuracy
+        assert results[1].accuracy > 0.9
+
+    def test_result_fields(self, crps):
+        train, test = crps
+        (result,) = learning_curve(
+            lambda: LogisticAttack(seed=9), train, test, [500], seed=10
+        )
+        assert isinstance(result, AttackResult)
+        assert result.n_train == 500
+        assert result.fit_seconds > 0
+        assert result.ms_per_crp == pytest.approx(
+            1000 * result.fit_seconds / 500
+        )
+
+    def test_oversized_request_rejected(self, crps):
+        train, test = crps
+        with pytest.raises(ValueError, match="exceeds"):
+            learning_curve(
+                lambda: LogisticAttack(), train, test, [len(train) + 1]
+            )
+
+    def test_nested_subsets(self, crps):
+        """Same seed -> smaller sizes are prefixes of larger ones, so the
+        curve is a true learning curve, not resampled noise."""
+        train, test = crps
+        small = learning_curve(
+            lambda: LogisticAttack(seed=11), train, test, [200, 400], seed=12
+        )
+        assert small[0].n_train == 200 and small[1].n_train == 400

@@ -1,0 +1,73 @@
+"""Tests for the logistic-regression attack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.logistic import LogisticAttack
+from repro.crp.challenges import random_challenges
+from repro.crp.transform import parity_features
+
+
+class TestLogisticAttack:
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            LogisticAttack().predict(np.zeros((1, 3)))
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticAttack(alpha=-0.1)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            LogisticAttack().fit(np.zeros(4), np.zeros(4))
+        with pytest.raises(ValueError, match="match"):
+            LogisticAttack().fit(np.zeros((4, 2)), np.zeros(3))
+
+    def test_learns_single_puf(self, arbiter_puf):
+        ch = random_challenges(3000, arbiter_puf.n_stages, seed=1)
+        attack = LogisticAttack(seed=2).fit(
+            parity_features(ch), arbiter_puf.noise_free_response(ch)
+        )
+        test_ch = random_challenges(3000, arbiter_puf.n_stages, seed=3)
+        acc = attack.score(
+            parity_features(test_ch), arbiter_puf.noise_free_response(test_ch)
+        )
+        # The default silicon carries ~2 % linear model error, so a
+        # linear attack tops out just below that ceiling.
+        assert acc > 0.95
+
+    def test_recovered_weights_correlate_with_truth(self, arbiter_puf):
+        """The learned direction aligns with the true delay parameters
+        (the basis of all delay-extraction schemes in refs [2-5])."""
+        ch = random_challenges(5000, arbiter_puf.n_stages, seed=4)
+        attack = LogisticAttack(seed=5).fit(
+            parity_features(ch), arbiter_puf.noise_free_response(ch)
+        )
+        w_true = arbiter_puf.weights
+        w_hat = attack.weights_
+        cosine = w_true @ w_hat / (np.linalg.norm(w_true) * np.linalg.norm(w_hat))
+        assert cosine > 0.95
+
+    def test_predict_proba_matches_decision(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(300, 4))
+        y = (x @ np.array([1.0, -1.0, 0.5, 0.0]) > 0).astype(np.int8)
+        attack = LogisticAttack(seed=7).fit(x, y)
+        proba = attack.predict_proba(x)
+        np.testing.assert_array_equal(
+            attack.predict(x), (proba > 0.5).astype(np.int8)
+        )
+
+    def test_noisy_labels_still_learnable(self, arbiter_puf):
+        """Training on one-shot noisy responses still converges (the
+        classical attack never needed stable CRPs for single PUFs)."""
+        ch = random_challenges(4000, arbiter_puf.n_stages, seed=8)
+        noisy = arbiter_puf.eval(ch, rng=np.random.default_rng(9))
+        attack = LogisticAttack(seed=10).fit(parity_features(ch), noisy)
+        test_ch = random_challenges(3000, arbiter_puf.n_stages, seed=11)
+        acc = attack.score(
+            parity_features(test_ch), arbiter_puf.noise_free_response(test_ch)
+        )
+        assert acc > 0.95

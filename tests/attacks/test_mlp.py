@@ -1,0 +1,112 @@
+"""Tests for the from-scratch MLP classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.mlp import PAPER_HIDDEN_LAYERS, MlpClassifier
+from repro.crp.challenges import random_challenges
+from repro.crp.transform import parity_features
+
+
+def _linear_problem(n=600, d=9, seed=0):
+    """A linearly separable binary problem."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, d))
+    w = rng.normal(size=d)
+    y = (x @ w > 0).astype(np.int8)
+    return x, y
+
+
+class TestConfiguration:
+    def test_paper_architecture_constant(self):
+        assert PAPER_HIDDEN_LAYERS == (35, 25, 25)
+
+    def test_invalid_hidden_width(self):
+        with pytest.raises(ValueError):
+            MlpClassifier(hidden_layers=(0,))
+
+    def test_negative_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            MlpClassifier(alpha=-1.0)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            MlpClassifier().predict(np.zeros((2, 3)))
+
+
+class TestGradient:
+    def test_analytic_matches_numeric(self):
+        """Backprop gradient vs central differences."""
+        clf = MlpClassifier(hidden_layers=(6, 4), seed=1)
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(30, 5))
+        y = rng.choice([-1.0, 1.0], 30)
+        theta = clf._init_params(5, rng)
+        _, grad = clf._loss_grad(theta, x, y)
+        eps = 1e-6
+        for i in range(0, len(theta), 7):
+            plus, minus = theta.copy(), theta.copy()
+            plus[i] += eps
+            minus[i] -= eps
+            numeric = (
+                clf._loss_grad(plus, x, y)[0] - clf._loss_grad(minus, x, y)[0]
+            ) / (2 * eps)
+            assert grad[i] == pytest.approx(numeric, abs=1e-7)
+
+
+class TestFitPredict:
+    def test_learns_linear_problem(self):
+        x, y = _linear_problem()
+        clf = MlpClassifier(hidden_layers=(8,), seed=3, max_iter=200).fit(x, y)
+        assert clf.score(x, y) > 0.97
+
+    def test_learns_xor_of_features(self):
+        """A problem a linear model cannot solve."""
+        rng = np.random.default_rng(4)
+        x = rng.choice([-1.0, 1.0], size=(800, 2))
+        y = (x[:, 0] * x[:, 1] > 0).astype(np.int8)
+        clf = MlpClassifier(hidden_layers=(8, 8), seed=5, max_iter=300).fit(x, y)
+        assert clf.score(x, y) > 0.95
+
+    def test_predict_proba_bounds_and_consistency(self):
+        x, y = _linear_problem(seed=6)
+        clf = MlpClassifier(hidden_layers=(6,), seed=7, max_iter=100).fit(x, y)
+        proba = clf.predict_proba(x)
+        assert proba.min() >= 0.0 and proba.max() <= 1.0
+        np.testing.assert_array_equal(clf.predict(x), (proba > 0.5).astype(np.int8))
+
+    def test_fit_records_diagnostics(self):
+        x, y = _linear_problem(n=120, seed=8)
+        clf = MlpClassifier(hidden_layers=(4,), seed=9, max_iter=50).fit(x, y)
+        assert clf.loss_ is not None and clf.loss_ >= 0
+        assert clf.n_iter_ is not None and clf.n_iter_ >= 1
+        assert clf.fit_seconds_ is not None and clf.fit_seconds_ > 0
+
+    def test_seed_reproducible(self):
+        x, y = _linear_problem(seed=10)
+        a = MlpClassifier(hidden_layers=(5,), seed=11, max_iter=40).fit(x, y)
+        b = MlpClassifier(hidden_layers=(5,), seed=11, max_iter=40).fit(x, y)
+        np.testing.assert_array_equal(a.predict(x), b.predict(x))
+
+    def test_shape_validation(self):
+        clf = MlpClassifier()
+        with pytest.raises(ValueError, match="2-D"):
+            clf.fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError, match="match"):
+            clf.fit(np.zeros((5, 2)), np.zeros(4))
+
+
+class TestOnPufData:
+    def test_models_single_arbiter_puf(self, arbiter_puf):
+        """The paper's attack vehicle learns a single PUF easily."""
+        ch = random_challenges(3000, arbiter_puf.n_stages, seed=12)
+        y = arbiter_puf.noise_free_response(ch)
+        x = parity_features(ch)
+        clf = MlpClassifier(seed=13, max_iter=200).fit(x, y)
+        test_ch = random_challenges(2000, arbiter_puf.n_stages, seed=14)
+        acc = clf.score(
+            parity_features(test_ch), arbiter_puf.noise_free_response(test_ch)
+        )
+        assert acc > 0.95

@@ -1,0 +1,103 @@
+"""Tests for the reliability-based CMA-ES attack (Becker, ref [9])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.reliability import ReliabilityAttack, estimate_reliability
+from repro.crp.challenges import random_challenges
+from repro.silicon.chip import PufChip
+
+N_STAGES = 32
+
+
+@pytest.fixture(scope="module")
+def two_xor_chip():
+    return PufChip.create(2, N_STAGES, seed=7, chip_id="rel")
+
+
+@pytest.fixture(scope="module")
+def reliability_data(two_xor_chip):
+    challenges = random_challenges(15_000, N_STAGES, seed=6)
+    bits, h = estimate_reliability(two_xor_chip, challenges, n_queries=15)
+    return challenges, bits, h
+
+
+class TestEstimateReliability:
+    def test_ranges(self, reliability_data):
+        _, bits, h = reliability_data
+        assert set(np.unique(bits)) <= {0, 1}
+        assert h.min() >= 0.0 and h.max() <= 0.5
+
+    def test_stable_challenges_max_reliability(self, two_xor_chip):
+        """Challenges stable on all constituents read 0.5 reliability."""
+        challenges = random_challenges(3000, N_STAGES, seed=8)
+        stable = two_xor_chip.oracle().stable_mask(
+            challenges, 100_000, rng=np.random.default_rng(9)
+        )
+        _, h = estimate_reliability(two_xor_chip, challenges[stable], 15)
+        assert (h == 0.5).mean() > 0.99
+
+    def test_unstable_fraction_visible(self, reliability_data):
+        _, _, h = reliability_data
+        # ~1 - 0.8^2 of challenges flip sometimes at 15 queries.
+        assert 0.1 < (h < 0.5).mean() < 0.5
+
+
+class TestValidation:
+    def test_zero_variance_rejected(self, two_xor_chip):
+        """The paper's stable-only CRPs give the attack nothing."""
+        challenges = random_challenges(500, N_STAGES, seed=10)
+        attack = ReliabilityAttack(2, seed=11)
+        flat = np.full(500, 0.5)
+        with pytest.raises(ValueError, match="zero variance"):
+            attack.fit(challenges, flat, np.zeros(500, dtype=np.int8))
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            ReliabilityAttack(2).predict(np.zeros((1, 4), dtype=np.int8))
+
+    def test_bad_quantiles_rejected(self):
+        with pytest.raises(ValueError, match="cap_quantile"):
+            ReliabilityAttack(2, cap_quantile=0.0)
+        with pytest.raises(ValueError, match="mask_quantile"):
+            ReliabilityAttack(2, mask_quantile=1.0)
+
+
+class TestAttack:
+    def test_breaks_two_xor_puf(self, two_xor_chip, reliability_data):
+        challenges, bits, h = reliability_data
+        attack = ReliabilityAttack(2, seed=12).fit(challenges, h, bits)
+        assert attack.n_recovered == 2
+        test_ch = random_challenges(4000, N_STAGES, seed=13)
+        truth = two_xor_chip.oracle().noise_free_response(test_ch)
+        assert attack.score(test_ch, truth) > 0.85
+
+    def test_recovered_weights_align_with_constituents(
+        self, two_xor_chip, reliability_data
+    ):
+        challenges, bits, h = reliability_data
+        attack = ReliabilityAttack(2, seed=14).fit(challenges, h, bits)
+        true_weights = [p.weights for p in two_xor_chip.oracle().pufs]
+        matched = set()
+        for w in attack.constituents_:
+            cosines = [
+                abs(
+                    float(
+                        w[:-1] @ t[:-1]
+                        / (np.linalg.norm(w[:-1]) * np.linalg.norm(t[:-1]))
+                    )
+                )
+                for t in true_weights
+            ]
+            best = int(np.argmax(cosines))
+            assert cosines[best] > 0.9
+            matched.add(best)
+        assert matched == {0, 1}  # distinct constituents, not one twice
+
+    def test_correlations_recorded(self, two_xor_chip, reliability_data):
+        challenges, bits, h = reliability_data
+        attack = ReliabilityAttack(2, seed=15).fit(challenges, h, bits)
+        assert len(attack.correlations_) == attack.n_recovered
+        assert all(c >= attack.min_correlation for c in attack.correlations_)

@@ -1,0 +1,100 @@
+"""Tests for the product-of-linears XOR logistic attack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.xor_logistic import XorLogisticAttack
+from repro.crp.challenges import random_challenges
+from repro.crp.transform import parity_features
+from repro.silicon.xorpuf import XorArbiterPuf
+
+N_STAGES = 24
+
+
+class TestValidation:
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            XorLogisticAttack(2).predict(np.zeros((1, 3)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            XorLogisticAttack(2).fit(np.zeros(4), np.zeros(4))
+
+    def test_positive_n_pufs(self):
+        with pytest.raises(ValueError):
+            XorLogisticAttack(0)
+
+
+class TestGradient:
+    def test_analytic_matches_numeric(self):
+        attack = XorLogisticAttack(3, seed=1)
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(40, 5))
+        y = rng.choice([-1.0, 1.0], 40)
+        theta = rng.normal(size=15)
+        _, grad = attack._loss_grad(theta, x, y)
+        eps = 1e-6
+        for i in range(0, 15, 2):
+            plus, minus = theta.copy(), theta.copy()
+            plus[i] += eps
+            minus[i] -= eps
+            numeric = (
+                attack._loss_grad(plus, x, y)[0] - attack._loss_grad(minus, x, y)[0]
+            ) / (2 * eps)
+            assert grad[i] == pytest.approx(numeric, abs=1e-6)
+
+
+class TestAttack:
+    def test_breaks_small_xor_puf(self):
+        xpuf = XorArbiterPuf.create(2, N_STAGES, seed=3)
+        ch = random_challenges(6000, N_STAGES, seed=4)
+        attack = XorLogisticAttack(2, seed=5, n_restarts=4).fit(
+            parity_features(ch), xpuf.noise_free_response(ch)
+        )
+        test_ch = random_challenges(3000, N_STAGES, seed=6)
+        acc = attack.score(
+            parity_features(test_ch), xpuf.noise_free_response(test_ch)
+        )
+        assert acc > 0.9
+
+    def test_restart_losses_recorded(self):
+        xpuf = XorArbiterPuf.create(2, N_STAGES, seed=7)
+        ch = random_challenges(1500, N_STAGES, seed=8)
+        attack = XorLogisticAttack(2, seed=9, n_restarts=3, max_iter=100).fit(
+            parity_features(ch), xpuf.noise_free_response(ch)
+        )
+        assert len(attack.restart_losses_) == 3
+        assert all(l >= 0 for l in attack.restart_losses_)
+
+    def test_weights_shape(self):
+        xpuf = XorArbiterPuf.create(2, N_STAGES, seed=10)
+        ch = random_challenges(1000, N_STAGES, seed=11)
+        attack = XorLogisticAttack(2, seed=12, n_restarts=2, max_iter=60).fit(
+            parity_features(ch), xpuf.noise_free_response(ch)
+        )
+        assert attack.weights_.shape == (2, N_STAGES + 1)
+
+    def test_underprovisioned_model_fails(self):
+        """Assuming n=1 against a 4-XOR PUF leaves accuracy near chance --
+        the structural reason XOR PUFs resist linear attacks."""
+        xpuf = XorArbiterPuf.create(4, N_STAGES, seed=13)
+        ch = random_challenges(4000, N_STAGES, seed=14)
+        attack = XorLogisticAttack(1, seed=15, n_restarts=2, max_iter=150).fit(
+            parity_features(ch), xpuf.noise_free_response(ch)
+        )
+        test_ch = random_challenges(3000, N_STAGES, seed=16)
+        acc = attack.score(
+            parity_features(test_ch), xpuf.noise_free_response(test_ch)
+        )
+        assert acc < 0.65
+
+    def test_predict_proba_range(self):
+        xpuf = XorArbiterPuf.create(2, N_STAGES, seed=17)
+        ch = random_challenges(800, N_STAGES, seed=18)
+        attack = XorLogisticAttack(2, seed=19, n_restarts=2, max_iter=60).fit(
+            parity_features(ch), xpuf.noise_free_response(ch)
+        )
+        proba = attack.predict_proba(parity_features(ch))
+        assert proba.min() >= 0.0 and proba.max() <= 1.0

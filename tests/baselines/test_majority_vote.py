@@ -1,0 +1,78 @@
+"""Tests for the majority-vote authentication baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.majority_vote import (
+    authenticate_majority_vote,
+    enroll_majority_vote,
+)
+from repro.silicon.chip import PufChip
+
+N_STAGES = 32
+
+
+@pytest.fixture(scope="module")
+def chip_and_record():
+    chip = PufChip.create(4, N_STAGES, seed=1, chip_id="mv")
+    record = enroll_majority_vote(chip, 4000, n_votes=15, seed=2)
+    return chip, record
+
+
+class TestEnrollment:
+    def test_record_size(self, chip_and_record):
+        _, record = chip_and_record
+        assert len(record.crps) == 4000
+        assert record.n_votes == 15
+
+    def test_fuses_blown_by_default(self, chip_and_record):
+        chip, _ = chip_and_record
+        assert chip.is_deployed
+
+
+class TestAuthentication:
+    def test_honest_chip_within_budget(self, chip_and_record):
+        chip, record = chip_and_record
+        result = authenticate_majority_vote(chip, record, 256, seed=3)
+        assert result.approved
+        # Unlike selected CRPs, random ones do flip: expect nonzero HD.
+        assert result.tolerance > 0
+
+    def test_honest_chip_has_nonzero_noise(self, chip_and_record):
+        """The structural weakness: random challenges on a 4-XOR PUF
+        flip even with majority voting, so zero-HD is impossible."""
+        chip, record = chip_and_record
+        mismatches = [
+            authenticate_majority_vote(chip, record, 256, seed=s).n_mismatches
+            for s in range(4, 10)
+        ]
+        assert sum(mismatches) > 0
+
+    def test_strict_budget_rejects_honest_chip_sometimes(self, chip_and_record):
+        """With a zero budget the honest device gets denied -- the reason
+        the criterion 'must be relaxed considerably'."""
+        chip, record = chip_and_record
+        denials = sum(
+            not authenticate_majority_vote(
+                chip, record, 256, max_hd_fraction=0.0, seed=s
+            ).approved
+            for s in range(10, 22)
+        )
+        assert denials > 0
+
+    def test_impostor_denied(self, chip_and_record):
+        _, record = chip_and_record
+        impostor = PufChip.create(4, N_STAGES, seed=555)
+        result = authenticate_majority_vote(impostor, record, 256, seed=23)
+        assert not result.approved
+
+    def test_overdraft_rejected(self, chip_and_record):
+        chip, record = chip_and_record
+        with pytest.raises(ValueError, match="holds"):
+            authenticate_majority_vote(chip, record, 4001)
+
+    def test_invalid_fraction_rejected(self, chip_and_record):
+        chip, record = chip_and_record
+        with pytest.raises(ValueError):
+            authenticate_majority_vote(chip, record, 10, max_hd_fraction=1.5)

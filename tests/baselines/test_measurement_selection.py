@@ -1,0 +1,77 @@
+"""Tests for the ref-[1] measurement-based selection baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.measurement_selection import (
+    authenticate_from_table,
+    enroll_measured_table,
+)
+from repro.silicon.chip import PufChip
+from repro.silicon.environment import paper_corner_grid
+from repro.silicon.fuses import FuseBlownError
+
+N_STAGES = 32
+
+
+@pytest.fixture(scope="module")
+def chip_and_table():
+    chip = PufChip.create(4, N_STAGES, seed=1, chip_id="tbl")
+    table = enroll_measured_table(chip, 12_000, seed=2)
+    return chip, table
+
+
+class TestEnrollment:
+    def test_yield_tracks_08_to_the_n(self, chip_and_table):
+        _, table = chip_and_table
+        assert table.yield_fraction == pytest.approx(0.8**4, abs=0.12)
+
+    def test_fuses_blown(self, chip_and_table):
+        chip, _ = chip_and_table
+        assert chip.is_deployed
+        with pytest.raises(FuseBlownError):
+            enroll_measured_table(chip, 100, seed=3)
+
+    def test_keep_fuses_option(self):
+        chip = PufChip.create(2, N_STAGES, seed=4)
+        enroll_measured_table(chip, 500, blow_fuses=False, seed=5)
+        assert not chip.is_deployed
+
+    def test_corner_hardening_shrinks_yield(self):
+        """Requiring stability at all corners keeps fewer CRPs -- the
+        measurement cost the paper's scheme avoids."""
+        chip_a = PufChip.create(2, N_STAGES, seed=6)
+        nominal = enroll_measured_table(chip_a, 4000, seed=7)
+        chip_b = PufChip.create(2, N_STAGES, seed=6)
+        corners = enroll_measured_table(
+            chip_b, 4000, conditions=paper_corner_grid(), seed=7
+        )
+        assert corners.yield_fraction < nominal.yield_fraction
+
+    def test_draw_without_replacement(self, chip_and_table):
+        _, table = chip_and_table
+        subset = table.draw(200, seed=8)
+        keys = {row.tobytes() for row in subset.challenges}
+        assert len(keys) == 200
+
+    def test_draw_overdraft_rejected(self, chip_and_table):
+        _, table = chip_and_table
+        with pytest.raises(ValueError, match="holds"):
+            table.draw(len(table.crps) + 1)
+
+
+class TestAuthentication:
+    def test_honest_chip_zero_hd(self, chip_and_table):
+        chip, table = chip_and_table
+        result = authenticate_from_table(chip, table, 128, seed=9)
+        assert result.approved
+        assert result.n_mismatches == 0
+
+    def test_impostor_denied(self, chip_and_table):
+        _, table = chip_and_table
+        impostor = PufChip.create(4, N_STAGES, seed=777)
+        result = authenticate_from_table(impostor, table, 128, seed=10)
+        assert not result.approved
+        assert result.hamming_distance == pytest.approx(0.5, abs=0.15)

@@ -1,0 +1,77 @@
+"""Tests for the noise-bifurcation baseline (ref [6])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.noise_bifurcation import (
+    attacker_view,
+    run_noise_bifurcation_session,
+)
+from repro.core.enrollment import enroll_chip
+from repro.silicon.chip import PufChip
+
+N_STAGES = 32
+
+
+@pytest.fixture(scope="module")
+def chip_and_model():
+    chip = PufChip.create(4, N_STAGES, seed=1, chip_id="nb")
+    record = enroll_chip(
+        chip, n_enroll_challenges=2000, n_validation_challenges=6000, seed=2
+    )
+    return chip, record.xor_model
+
+
+class TestSession:
+    def test_honest_device_matches_mostly(self, chip_and_model):
+        chip, model = chip_and_model
+        session = run_noise_bifurcation_session(chip, model, 500, seed=3)
+        assert session.match_fraction > 0.9
+        assert session.approved
+
+    def test_transcript_shapes(self, chip_and_model):
+        chip, model = chip_and_model
+        session = run_noise_bifurcation_session(
+            chip, model, 100, decimation=3, seed=4
+        )
+        assert session.challenges.shape == (100, 3, N_STAGES)
+        assert session.returned_bits.shape == (100,)
+        assert session.decimation == 3
+
+    def test_impostor_matches_near_three_quarters(self, chip_and_model):
+        """A guessing device matches 1 - 2**-d of blocks (75 % at d=2) --
+        why the criterion must be relaxed and more CRPs are needed."""
+        _, model = chip_and_model
+        impostor = PufChip.create(4, N_STAGES, seed=888)
+        session = run_noise_bifurcation_session(impostor, model, 2000, seed=5)
+        assert session.match_fraction == pytest.approx(0.75, abs=0.06)
+        assert not session.approved
+
+    def test_threshold_validated(self, chip_and_model):
+        chip, model = chip_and_model
+        with pytest.raises(ValueError):
+            run_noise_bifurcation_session(chip, model, 10, threshold=1.2)
+
+
+class TestAttackerView:
+    def test_label_noise_injected(self, chip_and_model):
+        """Attributing the returned bit to both block members mislabels
+        ~25 % of the attacker's training rows (d = 2), plus a little
+        one-shot evaluation noise."""
+        chip, model = chip_and_model
+        session = run_noise_bifurcation_session(chip, model, 3000, seed=6)
+        view = attacker_view(session)
+        assert len(view) == 6000
+        truth = chip.oracle().noise_free_response(view.challenges)
+        error_rate = (view.responses != truth).mean()
+        assert error_rate == pytest.approx(0.27, abs=0.06)
+
+    def test_view_challenges_match_transcript(self, chip_and_model):
+        chip, model = chip_and_model
+        session = run_noise_bifurcation_session(chip, model, 50, seed=7)
+        view = attacker_view(session)
+        np.testing.assert_array_equal(
+            view.challenges.reshape(50, 2, N_STAGES), session.challenges
+        )

@@ -1,0 +1,62 @@
+"""Shared fixtures: small, seeded silicon objects reused across tests.
+
+Expensive artefacts (enrolled chips, measured campaigns) are
+session-scoped; tests must treat them as read-only.  Anything a test
+mutates (fuse state, RNG position) gets its own function-scoped
+fixture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.enrollment import EnrollmentRecord, enroll_chip
+from repro.crp.challenges import random_challenges
+from repro.silicon.arbiter import ArbiterPuf
+from repro.silicon.chip import PufChip
+from repro.silicon.xorpuf import XorArbiterPuf
+
+#: Stage count used by most tests (paper chip width, still fast).
+N_STAGES = 32
+
+#: Counter depth for fast tests; stability semantics are depth-dependent
+#: but every module accepts any depth.
+N_TRIALS = 100_000
+
+
+@pytest.fixture(scope="session")
+def arbiter_puf() -> ArbiterPuf:
+    """One calibrated arbiter PUF instance (read-only)."""
+    return ArbiterPuf.create(N_STAGES, seed=101)
+
+
+@pytest.fixture(scope="session")
+def xor_puf() -> XorArbiterPuf:
+    """A 4-input XOR PUF (read-only)."""
+    return XorArbiterPuf.create(4, N_STAGES, seed=202)
+
+
+@pytest.fixture()
+def fresh_chip() -> PufChip:
+    """A chip in enrollment phase; tests may blow its fuses."""
+    return PufChip.create(n_pufs=4, n_stages=N_STAGES, seed=303, chip_id="chip-t")
+
+
+@pytest.fixture(scope="session")
+def enrolled_chip_and_record() -> tuple[PufChip, EnrollmentRecord]:
+    """A deployed (fuse-blown) chip with its enrollment record (read-only)."""
+    chip = PufChip.create(n_pufs=4, n_stages=N_STAGES, seed=404, chip_id="chip-e")
+    record = enroll_chip(
+        chip,
+        n_enroll_challenges=2000,
+        n_validation_challenges=8000,
+        seed=405,
+    )
+    return chip, record
+
+
+@pytest.fixture(scope="session")
+def challenge_batch() -> np.ndarray:
+    """A reusable batch of random challenges (read-only)."""
+    return random_challenges(2000, N_STAGES, seed=506)

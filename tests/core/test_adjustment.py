@@ -1,0 +1,151 @@
+"""Tests for beta threshold adjustment (paper Sec. 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adjustment import (
+    BetaFactors,
+    BetaSearchError,
+    conservative_betas,
+    find_beta_factors,
+)
+from repro.core.model import LinearPufModel
+from repro.core.regression import fit_soft_response_model
+from repro.core.thresholds import (
+    ResponseCategory,
+    ThresholdPair,
+    classify_predictions,
+    determine_thresholds,
+)
+from repro.crp.challenges import random_challenges
+from repro.silicon.counters import measure_soft_responses
+from repro.silicon.environment import paper_corner_grid
+
+N_STAGES = 32
+
+
+class TestBetaFactors:
+    def test_defaults_identity(self):
+        betas = BetaFactors()
+        pair = ThresholdPair(0.3, 0.7)
+        scaled = betas.apply(pair)
+        assert scaled.thr0 == pytest.approx(0.3)
+        assert scaled.thr1 == pytest.approx(0.7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="beta0"):
+            BetaFactors(beta0=1.2)
+        with pytest.raises(ValueError, match="beta0"):
+            BetaFactors(beta0=0.0)
+        with pytest.raises(ValueError, match="beta1"):
+            BetaFactors(beta1=0.9)
+
+    def test_str_two_decimals(self):
+        assert str(BetaFactors(0.74, 1.08)) == "beta0=0.74, beta1=1.08"
+
+
+class TestConservativeBetas:
+    def test_min_max_reduction(self):
+        fleet = [BetaFactors(0.93, 1.04), BetaFactors(0.74, 1.08), BetaFactors(0.85, 1.05)]
+        agg = conservative_betas(fleet)
+        assert agg.beta0 == pytest.approx(0.74)
+        assert agg.beta1 == pytest.approx(1.08)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            conservative_betas([])
+
+
+@pytest.fixture(scope="module")
+def enrolled_model(arbiter_puf):
+    """(model, base thresholds) from a 5k enrollment of the shared PUF."""
+    ch = random_challenges(5000, N_STAGES, seed=1)
+    train = measure_soft_responses(
+        arbiter_puf, ch, 100_000, rng=np.random.default_rng(2)
+    )
+    model, _ = fit_soft_response_model(train)
+    pair = determine_thresholds(model.predict_soft(ch), train)
+    return model, pair
+
+
+class TestFindBetaFactors:
+    def test_nominal_search_tightens(self, arbiter_puf, enrolled_model):
+        model, pair = enrolled_model
+        va_ch = random_challenges(30_000, N_STAGES, seed=3)
+        val = measure_soft_responses(
+            arbiter_puf, va_ch, 100_000, rng=np.random.default_rng(4)
+        )
+        betas = find_beta_factors(model, pair, [val])
+        assert betas.beta0 <= 1.0
+        assert betas.beta1 >= 1.0
+        # Fig. 9 regime: betas stay within a plausible band.
+        assert betas.beta0 > 0.6
+        assert betas.beta1 < 1.4
+
+    def test_result_filters_all_unstable(self, arbiter_puf, enrolled_model):
+        """Post-condition of the search: no validation CRP classified
+        stable is measured-unstable."""
+        model, pair = enrolled_model
+        va_ch = random_challenges(30_000, N_STAGES, seed=5)
+        val = measure_soft_responses(
+            arbiter_puf, va_ch, 100_000, rng=np.random.default_rng(6)
+        )
+        betas = find_beta_factors(model, pair, [val])
+        adjusted = betas.apply(pair)
+        categories = classify_predictions(model.predict_soft(va_ch), adjusted)
+        counts = np.rint(val.soft_responses * val.n_trials)
+        stable0 = categories == ResponseCategory.STABLE_ZERO
+        stable1 = categories == ResponseCategory.STABLE_ONE
+        assert (counts[stable0] == 0).all()
+        assert (counts[stable1] == val.n_trials).all()
+
+    def test_corner_search_more_stringent(self, arbiter_puf, enrolled_model):
+        """Sec. 5.2: V/T corners demand more stringent betas than nominal."""
+        model, pair = enrolled_model
+        va_ch = random_challenges(20_000, N_STAGES, seed=7)
+        nominal = measure_soft_responses(
+            arbiter_puf, va_ch, 100_000, rng=np.random.default_rng(8)
+        )
+        corners = [
+            measure_soft_responses(
+                arbiter_puf, va_ch, 100_000, c, rng=np.random.default_rng(9 + i)
+            )
+            for i, c in enumerate(paper_corner_grid())
+        ]
+        betas_nom = find_beta_factors(model, pair, [nominal])
+        betas_vt = find_beta_factors(model, pair, corners)
+        assert betas_vt.beta0 <= betas_nom.beta0
+        assert betas_vt.beta1 >= betas_nom.beta1
+        # and strictly more stringent on at least one side:
+        assert (betas_vt.beta0 < betas_nom.beta0) or (betas_vt.beta1 > betas_nom.beta1)
+
+    def test_validation_sets_must_align(self, enrolled_model, arbiter_puf):
+        model, pair = enrolled_model
+        a = measure_soft_responses(
+            arbiter_puf, random_challenges(100, N_STAGES, seed=10), 1000
+        )
+        b = measure_soft_responses(
+            arbiter_puf, random_challenges(50, N_STAGES, seed=11), 1000
+        )
+        with pytest.raises(ValueError, match="challenge matrix"):
+            find_beta_factors(model, pair, [a, b])
+
+    def test_empty_validation_rejected(self, enrolled_model):
+        model, pair = enrolled_model
+        with pytest.raises(ValueError, match="empty"):
+            find_beta_factors(model, pair, [])
+
+    def test_hopeless_model_raises(self, arbiter_puf):
+        """A garbage model can never filter the unstable CRPs; the search
+        must fail loudly instead of looping."""
+        rng = np.random.default_rng(12)
+        garbage = LinearPufModel(rng.normal(size=N_STAGES + 1) * 0.01 + 0.5 / (N_STAGES + 1))
+        va_ch = random_challenges(3000, N_STAGES, seed=13)
+        val = measure_soft_responses(
+            arbiter_puf, va_ch, 100_000, rng=np.random.default_rng(14)
+        )
+        pair = ThresholdPair(0.45, 0.55)
+        with pytest.raises(BetaSearchError, match="exhausted"):
+            find_beta_factors(garbage, pair, [val], beta0_floor=0.5, beta1_cap=1.5)

@@ -1,0 +1,85 @@
+"""Tests for the Fig.-7 authentication protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.authentication import AuthResult, authenticate
+from repro.silicon.chip import PufChip
+from repro.silicon.environment import OperatingCondition, paper_corner_grid
+
+N_STAGES = 32
+
+
+class TestAuthResult:
+    def test_hamming_distance(self):
+        r = AuthResult(False, 100, 25, 0, OperatingCondition())
+        assert r.hamming_distance == 0.25
+
+    def test_str_verdicts(self):
+        ok = AuthResult(True, 10, 0, 0, OperatingCondition())
+        bad = AuthResult(False, 10, 3, 0, OperatingCondition())
+        assert "APPROVED" in str(ok)
+        assert "DENIED" in str(bad)
+
+
+class TestAuthenticate:
+    def test_honest_chip_zero_hd(self, enrolled_chip_and_record):
+        chip, record = enrolled_chip_and_record
+        result = authenticate(chip, record.selector(), 128, seed=1)
+        assert result.approved
+        assert result.n_mismatches == 0
+        assert result.tolerance == 0
+
+    def test_honest_chip_all_corners(self, enrolled_chip_and_record):
+        """Selected CRPs hold even at corners the enrollment never saw at
+        full stringency (the record used nominal validation; the sim's
+        corner drift is mostly filtered by the conservative betas)."""
+        chip, record = enrolled_chip_and_record
+        approvals = [
+            authenticate(chip, record.selector(), 64, condition=c, seed=2).approved
+            for c in paper_corner_grid()
+        ]
+        # Nominal-validated records may rarely lose a marginal bit at the
+        # extreme corners; require a strong majority of clean corners.
+        assert sum(approvals) >= 7
+
+    def test_impostor_denied(self, enrolled_chip_and_record):
+        _, record = enrolled_chip_and_record
+        impostor = PufChip.create(4, N_STAGES, seed=999)
+        result = authenticate(impostor, record.selector(), 128, seed=3)
+        assert not result.approved
+        # An unrelated chip is a coin flip per challenge.
+        assert result.hamming_distance == pytest.approx(0.5, abs=0.15)
+
+    def test_tolerance_budget(self, enrolled_chip_and_record):
+        _, record = enrolled_chip_and_record
+        impostor = PufChip.create(4, N_STAGES, seed=998)
+        strict = authenticate(impostor, record.selector(), 64, seed=4)
+        lax = authenticate(
+            impostor, record.selector(), 64, tolerance=64, seed=4
+        )
+        assert not strict.approved
+        assert lax.approved  # tolerance == n_challenges approves anything
+
+    def test_negative_tolerance_rejected(self, enrolled_chip_and_record):
+        chip, record = enrolled_chip_and_record
+        with pytest.raises(ValueError, match="non-negative"):
+            authenticate(chip, record.selector(), 8, tolerance=-1)
+
+    def test_bad_responder_shape_rejected(self, enrolled_chip_and_record):
+        _, record = enrolled_chip_and_record
+
+        class Broken:
+            def xor_response(self, challenges, condition=None):
+                return np.zeros(3, dtype=np.int8)
+
+        with pytest.raises(ValueError, match="shape"):
+            authenticate(Broken(), record.selector(), 8, seed=5)
+
+    def test_seeded_sessions_reproducible(self, enrolled_chip_and_record):
+        chip, record = enrolled_chip_and_record
+        a = authenticate(chip, record.selector(), 32, seed=6)
+        b = authenticate(chip, record.selector(), 32, seed=6)
+        assert a.n_mismatches == b.n_mismatches

@@ -1,0 +1,102 @@
+"""Tests for server-side PUF models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import LinearPufModel, XorPufModel
+from repro.crp.challenges import random_challenges
+from repro.crp.transform import parity_features
+
+N_STAGES = 16
+
+
+def _model(seed=0, method="linear", k=N_STAGES):
+    rng = np.random.default_rng(seed)
+    return LinearPufModel(rng.normal(size=k + 1), method)
+
+
+class TestLinearPufModel:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="k\\+1"):
+            LinearPufModel(np.array([1.0]))
+        with pytest.raises(ValueError, match="unknown method"):
+            LinearPufModel(np.zeros(5), "logit")
+
+    def test_predict_score_is_linear(self):
+        model = _model(1)
+        ch = random_challenges(50, N_STAGES, seed=2)
+        np.testing.assert_allclose(
+            model.predict_score(ch), parity_features(ch) @ model.weights
+        )
+
+    def test_linear_soft_is_raw_score(self):
+        model = _model(3, "linear")
+        ch = random_challenges(20, N_STAGES, seed=4)
+        np.testing.assert_array_equal(
+            model.predict_soft(ch), model.predict_score(ch)
+        )
+
+    def test_probit_soft_is_bounded(self):
+        model = _model(5, "probit")
+        ch = random_challenges(200, N_STAGES, seed=6)
+        soft = model.predict_soft(ch)
+        assert soft.min() >= 0.0 and soft.max() <= 1.0
+
+    def test_response_boundary_per_method(self):
+        """linear decides at 0.5, probit at score 0."""
+        weights = np.zeros(N_STAGES + 1)
+        weights[-1] = 0.4  # constant score 0.4
+        linear = LinearPufModel(weights, "linear")
+        probit = LinearPufModel(weights, "probit")
+        ch = random_challenges(5, N_STAGES, seed=7)
+        np.testing.assert_array_equal(linear.predict_response(ch), 0)
+        np.testing.assert_array_equal(probit.predict_response(ch), 1)
+
+    def test_challenge_width_checked(self):
+        model = _model(8)
+        with pytest.raises(ValueError, match="stages"):
+            model.predict_score(random_challenges(3, N_STAGES + 1, seed=9))
+
+
+class TestXorPufModel:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            XorPufModel([])
+
+    def test_mixed_widths_rejected(self):
+        with pytest.raises(ValueError, match="stage count"):
+            XorPufModel([_model(1, k=8), _model(2, k=9)])
+
+    def test_mixed_methods_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            XorPufModel([_model(1, "linear"), _model(2, "probit")])
+
+    def test_xor_composition(self):
+        models = [_model(s) for s in range(3)]
+        xm = XorPufModel(models)
+        ch = random_challenges(100, N_STAGES, seed=10)
+        individual = np.stack([m.predict_response(ch) for m in models])
+        np.testing.assert_array_equal(
+            xm.predict_xor_response(ch), np.bitwise_xor.reduce(individual, axis=0)
+        )
+
+    def test_individual_soft_shape(self):
+        xm = XorPufModel([_model(s) for s in range(4)])
+        ch = random_challenges(30, N_STAGES, seed=11)
+        assert xm.predict_individual_soft(ch).shape == (4, 30)
+
+    def test_subset(self):
+        xm = XorPufModel([_model(s) for s in range(4)])
+        sub = xm.subset(2)
+        assert sub.n_pufs == 2
+        assert sub.models[0] is xm.models[0]
+        with pytest.raises(ValueError):
+            xm.subset(5)
+
+    def test_properties(self):
+        xm = XorPufModel([_model(s) for s in range(2)])
+        assert xm.n_pufs == 2
+        assert xm.n_stages == N_STAGES
+        assert xm.method == "linear"

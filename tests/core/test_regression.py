@@ -1,0 +1,164 @@
+"""Tests for soft-response linear regression (paper Sec. 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.regression import fit_soft_response_model
+from repro.crp.challenges import random_challenges
+from repro.crp.dataset import SoftResponseDataset
+from repro.silicon.counters import measure_soft_responses
+
+N_STAGES = 32
+
+
+@pytest.fixture(scope="module")
+def enrollment_data(arbiter_puf):
+    ch = random_challenges(5000, N_STAGES, seed=1)
+    return measure_soft_responses(
+        arbiter_puf, ch, 100_000, rng=np.random.default_rng(2)
+    )
+
+
+class TestValidation:
+    def test_unknown_method(self, enrollment_data):
+        with pytest.raises(ValueError, match="unknown method"):
+            fit_soft_response_model(enrollment_data, method="ridge")
+
+    def test_underdetermined_rejected(self, arbiter_puf):
+        ch = random_challenges(10, N_STAGES, seed=3)
+        small = measure_soft_responses(arbiter_puf, ch, 1000)
+        with pytest.raises(ValueError, match="at least"):
+            fit_soft_response_model(small)
+
+    def test_empty_rejected(self):
+        empty = SoftResponseDataset(
+            np.zeros((0, 4), dtype=np.int8), np.zeros(0), 100
+        )
+        with pytest.raises(ValueError, match="empty"):
+            fit_soft_response_model(empty)
+
+
+class TestLinearMethod:
+    def test_predictions_track_measurements(self, enrollment_data):
+        """The linear fit of a saturated CDF target is deliberately crude
+        (the paper trades fidelity for simplicity); correlation is high
+        but not perfect."""
+        model, report = fit_soft_response_model(enrollment_data)
+        predicted = model.predict_soft(enrollment_data.challenges)
+        corr = np.corrcoef(predicted, enrollment_data.soft_responses)[0, 1]
+        assert corr > 0.75
+        assert report.residual_rms < 0.35
+
+    def test_predicted_range_wider_than_unit(self, enrollment_data):
+        """Paper Fig. 8: predictions overshoot [0, 1]."""
+        model, _ = fit_soft_response_model(enrollment_data)
+        predicted = model.predict_soft(enrollment_data.challenges)
+        assert predicted.min() < 0.0
+        assert predicted.max() > 1.0
+
+    def test_predictions_centered_near_half(self, enrollment_data):
+        model, _ = fit_soft_response_model(enrollment_data)
+        predicted = model.predict_soft(enrollment_data.challenges)
+        assert abs(np.median(predicted) - 0.5) < 0.2
+
+    def test_hard_prediction_accuracy(self, arbiter_puf, enrollment_data):
+        """The extracted model predicts unseen responses (the server's
+        whole authentication capability rests on this)."""
+        model, _ = fit_soft_response_model(enrollment_data)
+        test_ch = random_challenges(5000, N_STAGES, seed=4)
+        predicted = model.predict_response(test_ch)
+        truth = arbiter_puf.noise_free_response(test_ch)
+        # Bounded by the silicon's ~2 % deviation from the linear model.
+        assert (predicted == truth).mean() > 0.95
+
+    def test_training_is_milliseconds(self, enrollment_data):
+        """Paper: 4.3 ms for 5 000 CRPs on a desktop."""
+        _, report = fit_soft_response_model(enrollment_data)
+        assert report.fit_seconds < 0.5
+        assert report.n_train == 5000
+
+
+class TestProbitMethod:
+    def test_recovers_weights_up_to_scale(self, arbiter_puf, enrollment_data):
+        """Probit regression recovers w / sigma_n: near-perfect cosine."""
+        model, _ = fit_soft_response_model(enrollment_data, method="probit")
+        w_true = arbiter_puf.weights
+        w_hat = model.weights
+        cosine = w_true @ w_hat / (np.linalg.norm(w_true) * np.linalg.norm(w_hat))
+        assert cosine > 0.99
+
+    def test_scale_identifies_sigma_without_saturation(self):
+        """On a noisy PUF whose soft responses rarely saturate, the
+        probit scale recovers the physical noise sigma (with the paper's
+        calibrated low noise, 80 % of targets clamp and the scale is
+        attenuated -- which is why the direction, not the scale, is what
+        enrollment uses)."""
+        from repro.silicon.arbiter import ArbiterPuf
+        from repro.silicon.delays import expected_delay_std
+
+        sigma_n = expected_delay_std(N_STAGES)  # rho = 1: interior softs
+        puf = ArbiterPuf.create(N_STAGES, seed=40, noise_sigma=sigma_n)
+        ch = random_challenges(4000, N_STAGES, seed=41)
+        data = measure_soft_responses(puf, ch, 100_000, rng=np.random.default_rng(42))
+        model, _ = fit_soft_response_model(data, method="probit")
+        scale = np.linalg.norm(model.weights) / np.linalg.norm(puf.weights)
+        assert 1.0 / scale == pytest.approx(sigma_n, rel=0.15)
+
+    def test_probit_beats_linear_on_weight_recovery(
+        self, arbiter_puf, enrollment_data
+    ):
+        """The documented trade-off: linear is simpler, probit is the
+        better estimator of the physical parameters."""
+        linear, _ = fit_soft_response_model(enrollment_data, method="linear")
+        probit, _ = fit_soft_response_model(enrollment_data, method="probit")
+        w_true = arbiter_puf.weights
+
+        def cosine(w):
+            # Exclude the constant term: the linear fit absorbs the 0.5
+            # offset of the fractional targets there.
+            a, b = w[:-1], w_true[:-1]
+            return a @ b / (np.linalg.norm(a) * np.linalg.norm(b))
+
+        assert cosine(probit.weights) >= cosine(linear.weights) - 1e-6
+
+
+class TestMleMethod:
+    def test_recovers_direction(self, arbiter_puf, enrollment_data):
+        model, _ = fit_soft_response_model(enrollment_data, method="mle")
+        w_true, w_hat = arbiter_puf.weights, model.weights
+        cosine = w_true @ w_hat / (np.linalg.norm(w_true) * np.linalg.norm(w_hat))
+        assert cosine > 0.99
+
+    def test_predicted_soft_in_unit_interval(self, enrollment_data):
+        model, _ = fit_soft_response_model(enrollment_data, method="mle")
+        soft = model.predict_soft(enrollment_data.challenges)
+        assert soft.min() >= 0.0 and soft.max() <= 1.0
+
+    def test_beats_hard_labels_at_small_budget(self, arbiter_puf):
+        """The counters' value: fractional targets out-predict one-shot
+        hard labels on the same 150 challenges."""
+        from repro.attacks.logistic import LogisticAttack
+        from repro.crp.transform import parity_features
+
+        ch = random_challenges(150, N_STAGES, seed=30)
+        soft = measure_soft_responses(
+            arbiter_puf, ch, 100_000, rng=np.random.default_rng(31)
+        )
+        soft_model, _ = fit_soft_response_model(soft, method="mle")
+        hard = arbiter_puf.eval(ch, rng=np.random.default_rng(32))
+        hard_model = LogisticAttack(seed=33).fit(parity_features(ch), hard)
+        test_ch = random_challenges(20_000, N_STAGES, seed=34)
+        truth = arbiter_puf.noise_free_response(test_ch)
+        phi = parity_features(test_ch)
+        soft_acc = ((phi @ soft_model.weights > 0) == truth).mean()
+        hard_acc = (hard_model.predict(phi) == truth).mean()
+        assert soft_acc > hard_acc
+
+
+class TestReport:
+    def test_repr(self, enrollment_data):
+        _, report = fit_soft_response_model(enrollment_data)
+        text = repr(report)
+        assert "n_train=5000" in text

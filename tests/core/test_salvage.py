@@ -1,0 +1,118 @@
+"""Tests for the XOR-soft-response salvage extension (paper Sec. 2.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.salvage import SalvageRecord, authenticate_salvage, enroll_salvage
+from repro.crp.dataset import CrpDataset
+from repro.crp.challenges import random_challenges
+from repro.silicon.chip import PufChip
+
+N_STAGES = 32
+
+
+@pytest.fixture(scope="module")
+def salvage_setup():
+    chip = PufChip.create(6, N_STAGES, seed=1, chip_id="salvage")
+    chip.blow_fuses()  # works on deployed chips: only the XOR pin is used
+    record = enroll_salvage(chip, 8000, soft_threshold=0.02, n_trials=1500, seed=2)
+    return chip, record
+
+
+class TestEnrollSalvage:
+    def test_works_after_fuse_blow(self, salvage_setup):
+        chip, record = salvage_setup
+        assert chip.is_deployed
+        assert len(record.crps) > 0
+
+    def test_yield_beats_all_stable_policy(self, salvage_setup):
+        """The whole point: at n = 6 the all-constituents-stable policy
+        keeps ~0.8**6 = 26 %; XOR-level salvage keeps more."""
+        _, record = salvage_setup
+        assert record.yield_fraction > 0.8**6
+
+    def test_kept_bits_match_noise_free_truth(self, salvage_setup):
+        chip, record = salvage_setup
+        truth = chip.oracle().noise_free_response(record.crps.challenges)
+        # Majority bits of near-deterministic CRPs equal the clean XOR.
+        assert (record.crps.responses == truth).mean() > 0.995
+
+    def test_threshold_validation(self):
+        chip = PufChip.create(2, N_STAGES, seed=3)
+        with pytest.raises(ValueError, match="< 0.5"):
+            enroll_salvage(chip, 100, soft_threshold=0.5)
+
+    def test_zero_threshold_is_strictest(self):
+        chip = PufChip.create(4, N_STAGES, seed=4)
+        strict = enroll_salvage(
+            chip, 4000, soft_threshold=0.0, n_trials=1500, seed=5
+        )
+        chip2 = PufChip.create(4, N_STAGES, seed=4)
+        loose = enroll_salvage(
+            chip2, 4000, soft_threshold=0.05, n_trials=1500, seed=5
+        )
+        assert strict.yield_fraction < loose.yield_fraction
+
+
+class TestFlipBound:
+    def test_worst_case_flip_probability(self):
+        record = SalvageRecord(
+            chip_id="x",
+            crps=CrpDataset(
+                random_challenges(4, 8, seed=0), np.zeros(4, dtype=np.int8)
+            ),
+            soft_threshold=0.02,
+            n_candidates=100,
+            n_trials=1000,
+        )
+        # Majority of 5 votes at inflated p flips with prob ~ C(5,3) p^3,
+        # where p = threshold + 3 standard errors of the 1000-read
+        # enrollment estimate.
+        p = 0.02 + 3 * np.sqrt(0.02 * 0.98 / 1000)
+        bound = record.worst_case_flip_probability(5)
+        assert bound == pytest.approx(10 * p**3, rel=0.25)
+
+    def test_more_votes_tighter_bound(self):
+        record = SalvageRecord(
+            chip_id="x",
+            crps=CrpDataset(
+                random_challenges(1, 8, seed=1), np.zeros(1, dtype=np.int8)
+            ),
+            soft_threshold=0.05,
+            n_candidates=10,
+            n_trials=100,
+        )
+        assert record.worst_case_flip_probability(9) < (
+            record.worst_case_flip_probability(3)
+        )
+
+
+class TestAuthenticateSalvage:
+    def test_honest_chip_approved(self, salvage_setup):
+        chip, record = salvage_setup
+        result = authenticate_salvage(chip, record, 256, seed=6)
+        assert result.approved
+
+    def test_impostor_denied(self, salvage_setup):
+        _, record = salvage_setup
+        impostor = PufChip.create(6, N_STAGES, seed=321)
+        result = authenticate_salvage(impostor, record, 256, seed=7)
+        assert not result.approved
+        assert result.hamming_distance == pytest.approx(0.5, abs=0.15)
+
+    def test_tolerance_default_is_small(self, salvage_setup):
+        chip, record = salvage_setup
+        result = authenticate_salvage(chip, record, 256, seed=8)
+        assert result.tolerance < 26  # far below an impostor's ~128
+
+    def test_explicit_tolerance_respected(self, salvage_setup):
+        chip, record = salvage_setup
+        result = authenticate_salvage(chip, record, 64, tolerance=0, seed=9)
+        assert result.tolerance == 0
+
+    def test_overdraft_rejected(self, salvage_setup):
+        chip, record = salvage_setup
+        with pytest.raises(ValueError, match="holds"):
+            authenticate_salvage(chip, record, len(record.crps) + 1)

@@ -1,0 +1,94 @@
+"""Tests for model-assisted challenge selection (Fig. 7, server side)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import LinearPufModel, XorPufModel
+from repro.core.selection import ChallengeSelector, SelectionExhaustedError
+from repro.core.thresholds import ResponseCategory, ThresholdPair
+from repro.crp.challenges import random_challenges
+
+N_STAGES = 32
+
+
+@pytest.fixture(scope="module")
+def selector(enrolled_chip_and_record):
+    _, record = enrolled_chip_and_record
+    return record.selector()
+
+
+class TestConstruction:
+    def test_pair_count_validated(self):
+        rng = np.random.default_rng(0)
+        xm = XorPufModel([LinearPufModel(rng.normal(size=9)) for _ in range(2)])
+        with pytest.raises(ValueError, match="threshold pairs"):
+            ChallengeSelector(xm, [ThresholdPair(0.3, 0.7)])
+
+    def test_properties(self, selector):
+        assert selector.n_pufs == 4
+        assert selector.n_stages == N_STAGES
+
+
+class TestClassification:
+    def test_categories_shape(self, selector, challenge_batch):
+        cats = selector.categories(challenge_batch)
+        assert cats.shape == (4, len(challenge_batch))
+        assert set(np.unique(cats)) <= {
+            ResponseCategory.STABLE_ZERO,
+            ResponseCategory.UNSTABLE,
+            ResponseCategory.STABLE_ONE,
+        }
+
+    def test_stable_mask_is_and_of_categories(self, selector, challenge_batch):
+        cats = selector.categories(challenge_batch)
+        expected = (cats != ResponseCategory.UNSTABLE).all(axis=0)
+        np.testing.assert_array_equal(selector.stable_mask(challenge_batch), expected)
+
+    def test_predicted_fraction_between_0_and_1(self, selector, challenge_batch):
+        frac = selector.predicted_stable_fraction(challenge_batch)
+        assert 0.0 < frac < 1.0
+
+    def test_predicted_xor_response_is_xor_of_bits(self, selector, challenge_batch):
+        cats = selector.categories(challenge_batch)
+        bits = (cats == ResponseCategory.STABLE_ONE).astype(np.int8)
+        expected = np.bitwise_xor.reduce(bits, axis=0)
+        np.testing.assert_array_equal(
+            selector.predicted_xor_response(challenge_batch), expected
+        )
+
+
+class TestSelect:
+    def test_select_returns_requested_count(self, selector):
+        challenges, predicted = selector.select(100, seed=1)
+        assert challenges.shape == (100, N_STAGES)
+        assert predicted.shape == (100,)
+
+    def test_selected_challenges_pass_filter(self, selector):
+        challenges, _ = selector.select(100, seed=2)
+        assert selector.stable_mask(challenges).all()
+
+    def test_selection_reproducible(self, selector):
+        a, _ = selector.select(50, seed=3)
+        b, _ = selector.select(50, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_different_challenges(self, selector):
+        a, _ = selector.select(50, seed=4)
+        b, _ = selector.select(50, seed=5)
+        assert not np.array_equal(a, b)
+
+    def test_budget_guard(self, selector):
+        with pytest.raises(SelectionExhaustedError, match="collected only"):
+            selector.select(10_000, seed=6, batch_size=64, max_draws=128)
+
+    def test_selected_responses_are_truly_stable(
+        self, enrolled_chip_and_record, selector
+    ):
+        """The whole point: selected CRPs never flip on the real chip."""
+        chip, _ = enrolled_chip_and_record
+        challenges, predicted = selector.select(200, seed=7)
+        for trial in range(3):
+            responses = chip.xor_response(challenges)
+            np.testing.assert_array_equal(responses, predicted)

@@ -1,0 +1,145 @@
+"""Tests for three-category thresholding (paper Sec. 4, Fig. 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.regression import fit_soft_response_model
+from repro.core.thresholds import (
+    DegenerateThresholdsError,
+    ResponseCategory,
+    ThresholdPair,
+    category_to_bit,
+    classify_predictions,
+    determine_thresholds,
+)
+from repro.crp.challenges import random_challenges
+from repro.crp.dataset import SoftResponseDataset
+from repro.silicon.counters import measure_soft_responses
+
+N_STAGES = 32
+
+
+def _dataset(soft, n_trials=1000, seed=0):
+    soft = np.asarray(soft, dtype=np.float64)
+    return SoftResponseDataset(
+        random_challenges(len(soft), 8, seed=seed), soft, n_trials
+    )
+
+
+class TestThresholdPair:
+    def test_ordering_enforced(self):
+        with pytest.raises(DegenerateThresholdsError):
+            ThresholdPair(0.6, 0.4)
+        with pytest.raises(DegenerateThresholdsError):
+            ThresholdPair(0.5, 0.5)
+
+    def test_scale_tightens(self):
+        pair = ThresholdPair(0.2, 0.8).scale(0.5, 1.25)
+        assert pair.thr0 == pytest.approx(0.1)
+        assert pair.thr1 == pytest.approx(1.0)
+
+    def test_scale_requires_positive_thr0(self):
+        with pytest.raises(DegenerateThresholdsError, match="positive"):
+            ThresholdPair(-0.1, 0.8).scale(0.9, 1.1)
+
+    def test_scale_rejects_non_positive_betas(self):
+        with pytest.raises(ValueError):
+            ThresholdPair(0.2, 0.8).scale(0.0, 1.1)
+
+    def test_str(self):
+        assert "Thr(0)=" in str(ThresholdPair(0.1, 0.9))
+
+
+class TestDetermineThresholds:
+    def test_textbook_example(self):
+        """Thr(0) = lowest prediction with measured > 0;
+        Thr(1) = highest prediction with measured < 1."""
+        measured = _dataset([0.0, 0.0, 0.3, 0.7, 1.0, 1.0])
+        predicted = np.array([-0.2, 0.1, 0.35, 0.8, 1.1, 1.3])
+        pair = determine_thresholds(predicted, measured)
+        assert pair.thr0 == pytest.approx(0.35)  # lowest of {0.35, 0.8}
+        assert pair.thr1 == pytest.approx(0.8)   # highest of {-0.2,0.1,0.35,0.8}
+
+    def test_length_mismatch(self):
+        measured = _dataset([0.0, 1.0])
+        with pytest.raises(ValueError, match="predictions but"):
+            determine_thresholds(np.array([0.1]), measured)
+
+    def test_one_sided_training_set_rejected(self):
+        all_zero = _dataset([0.0, 0.0, 0.0])
+        with pytest.raises(DegenerateThresholdsError, match="one side"):
+            determine_thresholds(np.array([0.1, 0.2, 0.3]), all_zero)
+
+    def test_uninformative_model_rejected(self):
+        """A model predicting one value for everything cannot separate
+        the categories; the degenerate pair must be loud, not silent."""
+        measured = _dataset([0.0, 1.0, 0.5])
+        predicted = np.array([0.5, 0.5, 0.5])
+        with pytest.raises(DegenerateThresholdsError):
+            determine_thresholds(predicted, measured)
+
+    def test_on_real_enrollment(self, arbiter_puf):
+        """On simulated silicon the pair straddles the centre, positive
+        on both sides (the regime of Figs. 8-9)."""
+        ch = random_challenges(5000, N_STAGES, seed=1)
+        train = measure_soft_responses(
+            arbiter_puf, ch, 100_000, rng=np.random.default_rng(2)
+        )
+        model, _ = fit_soft_response_model(train)
+        pair = determine_thresholds(model.predict_soft(ch), train)
+        assert 0.0 < pair.thr0 < 0.5 < pair.thr1 < 1.0
+
+
+class TestClassification:
+    def test_three_regions(self):
+        pair = ThresholdPair(0.3, 0.7)
+        predicted = np.array([0.1, 0.3, 0.5, 0.7, 0.9])
+        categories = classify_predictions(predicted, pair)
+        np.testing.assert_array_equal(
+            categories,
+            [
+                ResponseCategory.STABLE_ZERO,
+                ResponseCategory.UNSTABLE,  # boundary is unstable
+                ResponseCategory.UNSTABLE,
+                ResponseCategory.UNSTABLE,  # boundary is unstable
+                ResponseCategory.STABLE_ONE,
+            ],
+        )
+
+    def test_category_to_bit(self):
+        categories = np.array(
+            [
+                ResponseCategory.STABLE_ZERO,
+                ResponseCategory.STABLE_ONE,
+                ResponseCategory.UNSTABLE,
+            ],
+            dtype=np.int8,
+        )
+        np.testing.assert_array_equal(category_to_bit(categories), [0, 1, 0])
+
+    def test_tighter_pair_classifies_fewer_stable(self):
+        rng = np.random.default_rng(3)
+        predicted = rng.uniform(-0.5, 1.5, 2000)
+        loose = classify_predictions(predicted, ThresholdPair(0.4, 0.6))
+        tight = classify_predictions(predicted, ThresholdPair(0.1, 0.9))
+        n_stable = lambda c: (c != ResponseCategory.UNSTABLE).sum()
+        assert n_stable(tight) < n_stable(loose)
+
+    def test_marginally_stable_discarded(self, arbiter_puf):
+        """Paper Fig. 8 caption: some measured-stable CRPs are classified
+        unstable by the model -- deliberately."""
+        ch = random_challenges(5000, N_STAGES, seed=4)
+        train = measure_soft_responses(
+            arbiter_puf, ch, 100_000, rng=np.random.default_rng(5)
+        )
+        model, _ = fit_soft_response_model(train)
+        pair = determine_thresholds(model.predict_soft(ch), train)
+        categories = classify_predictions(model.predict_soft(ch), pair)
+        measured_stable = train.stable_mask
+        predicted_stable = categories != ResponseCategory.UNSTABLE
+        discarded = measured_stable & ~predicted_stable
+        assert discarded.sum() > 0
+        # ... and never the other way around on the training set itself:
+        assert not (predicted_stable & ~measured_stable).any()

@@ -1,0 +1,157 @@
+"""Tests for CRP/soft-response dataset containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crp.challenges import random_challenges
+from repro.crp.dataset import (
+    CrpDataset,
+    SoftResponseDataset,
+    is_stable_soft,
+    train_test_split_indices,
+)
+
+
+def _crp(n=10, k=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return CrpDataset(
+        random_challenges(n, k, seed=seed), rng.integers(0, 2, n, dtype=np.int8)
+    )
+
+
+def _soft(n=10, k=8, n_trials=1000, seed=0):
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(0, n_trials + 1, n)
+    return SoftResponseDataset(
+        random_challenges(n, k, seed=seed), counts / n_trials, n_trials
+    )
+
+
+class TestIsStableSoft:
+    def test_extremes_are_stable(self):
+        mask = is_stable_soft(np.array([0.0, 1.0, 0.5]), 100)
+        np.testing.assert_array_equal(mask, [True, True, False])
+
+    def test_one_flip_is_unstable(self):
+        assert not is_stable_soft(np.array([1.0 / 1000]), 1000)[0]
+
+    def test_depth_matters(self):
+        # 0.999 is stable at depth 1000 only if it rounds to the last bin.
+        assert not is_stable_soft(np.array([0.999]), 1000)[0]
+        assert is_stable_soft(np.array([0.9999999]), 1000)[0]
+
+
+class TestTrainTestSplit:
+    def test_partition(self):
+        tr, te = train_test_split_indices(100, 0.9, seed=1)
+        assert len(tr) == 90 and len(te) == 10
+        assert set(tr).isdisjoint(te)
+        assert set(tr) | set(te) == set(range(100))
+
+    def test_reproducible(self):
+        a = train_test_split_indices(50, 0.8, seed=2)
+        b = train_test_split_indices(50, 0.8, seed=2)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_degenerate_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            train_test_split_indices(10, 0.0)
+        with pytest.raises(ValueError):
+            train_test_split_indices(10, 1.0)
+
+    def test_never_empty_sides(self):
+        tr, te = train_test_split_indices(2, 0.99, seed=3)
+        assert len(tr) == 1 and len(te) == 1
+
+
+class TestCrpDataset:
+    def test_length_and_stages(self):
+        ds = _crp(12, 6)
+        assert len(ds) == 12
+        assert ds.n_stages == 6
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="challenges but"):
+            CrpDataset(random_challenges(3, 4, seed=0), np.array([0, 1]))
+
+    def test_non_binary_responses_rejected(self):
+        with pytest.raises(ValueError, match="0/1"):
+            CrpDataset(random_challenges(2, 4, seed=0), np.array([0, 2]))
+
+    def test_subset_by_mask(self):
+        ds = _crp(10)
+        mask = ds.responses == 1
+        sub = ds.subset(mask)
+        assert (sub.responses == 1).all()
+
+    def test_split_partitions(self):
+        ds = _crp(40)
+        tr, te = ds.split(0.75, seed=4)
+        assert len(tr) + len(te) == 40
+
+    def test_save_load_roundtrip(self, tmp_path):
+        ds = _crp(15)
+        path = tmp_path / "crps.npz"
+        ds.save(path)
+        loaded = CrpDataset.load(path)
+        np.testing.assert_array_equal(loaded.challenges, ds.challenges)
+        np.testing.assert_array_equal(loaded.responses, ds.responses)
+
+
+class TestSoftResponseDataset:
+    def test_bounds_enforced(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            SoftResponseDataset(
+                random_challenges(1, 4, seed=0), np.array([1.2]), 100
+            )
+
+    def test_stable_mask_and_fraction(self):
+        ds = SoftResponseDataset(
+            random_challenges(4, 4, seed=0),
+            np.array([0.0, 1.0, 0.5, 0.001]),
+            1000,
+        )
+        np.testing.assert_array_equal(ds.stable_mask, [True, True, False, False])
+        assert ds.stable_fraction == 0.5
+
+    def test_hard_responses_threshold(self):
+        ds = SoftResponseDataset(
+            random_challenges(3, 4, seed=0), np.array([0.2, 0.5, 0.8]), 10
+        )
+        np.testing.assert_array_equal(ds.hard_responses(), [0, 1, 1])
+
+    def test_to_crp_dataset(self):
+        ds = _soft(20)
+        crps = ds.to_crp_dataset()
+        assert len(crps) == 20
+        np.testing.assert_array_equal(crps.challenges, ds.challenges)
+
+    def test_stable_subset_only_stable(self):
+        ds = _soft(50, n_trials=10, seed=5)
+        sub = ds.stable_subset()
+        assert sub.stable_mask.all()
+
+    def test_save_load_roundtrip(self, tmp_path):
+        ds = _soft(15)
+        path = tmp_path / "soft.npz"
+        ds.save(path)
+        loaded = SoftResponseDataset.load(path)
+        np.testing.assert_array_equal(loaded.challenges, ds.challenges)
+        np.testing.assert_allclose(loaded.soft_responses, ds.soft_responses)
+        assert loaded.n_trials == ds.n_trials
+
+    @given(st.integers(2, 40), st.integers(0, 2**31))
+    @settings(max_examples=25)
+    def test_split_preserves_rows(self, n, seed):
+        ds = _soft(n, seed=seed)
+        tr, te = ds.split(0.5, seed=seed)
+        assert len(tr) + len(te) == n
+        combined = np.concatenate([tr.soft_responses, te.soft_responses])
+        np.testing.assert_allclose(np.sort(combined), np.sort(ds.soft_responses))
+
+    def test_subset_preserves_n_trials(self):
+        ds = _soft(10, n_trials=777)
+        assert ds.subset(np.arange(3)).n_trials == 777

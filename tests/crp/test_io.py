@@ -1,0 +1,114 @@
+"""Tests for CSV interchange of CRP and soft-response datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crp.challenges import random_challenges
+from repro.crp.dataset import CrpDataset, SoftResponseDataset
+from repro.crp.io import (
+    load_crps_csv,
+    load_soft_responses_csv,
+    save_crps_csv,
+    save_soft_responses_csv,
+)
+
+
+@pytest.fixture()
+def crps():
+    rng = np.random.default_rng(0)
+    return CrpDataset(
+        random_challenges(25, 12, seed=1), rng.integers(0, 2, 25, dtype=np.int8)
+    )
+
+
+@pytest.fixture()
+def soft():
+    rng = np.random.default_rng(2)
+    counts = rng.integers(0, 1001, 25)
+    return SoftResponseDataset(random_challenges(25, 12, seed=3), counts / 1000, 1000)
+
+
+class TestCrpCsv:
+    def test_roundtrip(self, crps, tmp_path):
+        path = tmp_path / "crps.csv"
+        save_crps_csv(crps, path)
+        loaded = load_crps_csv(path)
+        np.testing.assert_array_equal(loaded.challenges, crps.challenges)
+        np.testing.assert_array_equal(loaded.responses, crps.responses)
+
+    def test_header_is_comment(self, crps, tmp_path):
+        path = tmp_path / "crps.csv"
+        save_crps_csv(crps, path)
+        first = path.read_text().splitlines()[0]
+        assert first.startswith("#")
+        assert "n_stages=12" in first
+
+    def test_foreign_file_without_header(self, tmp_path):
+        path = tmp_path / "foreign.csv"
+        path.write_text("0,1,1\n1,0,0\n")
+        loaded = load_crps_csv(path)
+        assert loaded.n_stages == 2
+        np.testing.assert_array_equal(loaded.responses, [1, 0])
+
+    def test_too_narrow_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1\n0\n")
+        with pytest.raises(ValueError, match="at least one"):
+            load_crps_csv(path)
+
+    def test_non_binary_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0,2,1\n")
+        with pytest.raises(ValueError):
+            load_crps_csv(path)
+
+
+class TestSoftCsv:
+    def test_roundtrip_exact(self, soft, tmp_path):
+        path = tmp_path / "soft.csv"
+        save_soft_responses_csv(soft, path)
+        loaded = load_soft_responses_csv(path)
+        np.testing.assert_array_equal(loaded.challenges, soft.challenges)
+        # repr-based writing keeps the float bit-exact.
+        np.testing.assert_array_equal(loaded.soft_responses, soft.soft_responses)
+        assert loaded.n_trials == 1000
+
+    def test_explicit_n_trials_overrides(self, soft, tmp_path):
+        path = tmp_path / "soft.csv"
+        save_soft_responses_csv(soft, path)
+        loaded = load_soft_responses_csv(path, n_trials=500)
+        assert loaded.n_trials == 500
+
+    def test_missing_header_requires_n_trials(self, tmp_path):
+        path = tmp_path / "foreign.csv"
+        path.write_text("0,1,0.25\n1,0,0.75\n")
+        with pytest.raises(ValueError, match="n_trials"):
+            load_soft_responses_csv(path)
+        loaded = load_soft_responses_csv(path, n_trials=100)
+        assert len(loaded) == 2
+
+    def test_non_binary_challenge_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0,3,0.5\n")
+        with pytest.raises(ValueError, match="0/1"):
+            load_soft_responses_csv(path, n_trials=10)
+
+    def test_loaded_data_enrolls(self, tmp_path, arbiter_puf):
+        """External soft-response files flow into the paper's pipeline."""
+        from repro.core.regression import fit_soft_response_model
+        from repro.crp.challenges import random_challenges
+        from repro.silicon.counters import measure_soft_responses
+
+        ch = random_challenges(800, 32, seed=4)
+        measured = measure_soft_responses(
+            arbiter_puf, ch, 1000, rng=np.random.default_rng(5)
+        )
+        path = tmp_path / "exported.csv"
+        save_soft_responses_csv(measured, path)
+        model, _ = fit_soft_response_model(load_soft_responses_csv(path))
+        test_ch = random_challenges(2000, 32, seed=6)
+        predicted = model.predict_response(test_ch)
+        truth = arbiter_puf.noise_free_response(test_ch)
+        assert (predicted == truth).mean() > 0.9

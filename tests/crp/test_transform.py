@@ -1,0 +1,105 @@
+"""Tests for the parity feature transform (repro.crp.transform)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crp.challenges import all_challenges, random_challenges
+from repro.crp.transform import from_signed, n_features, parity_features, to_signed
+
+
+class TestSignedConversion:
+    def test_zero_maps_to_plus_one(self):
+        np.testing.assert_array_equal(to_signed([[0, 1]]), [[1, -1]])
+
+    def test_roundtrip(self):
+        ch = random_challenges(50, 12, seed=1)
+        np.testing.assert_array_equal(from_signed(to_signed(ch)), ch)
+
+    def test_from_signed_rejects_other_values(self):
+        with pytest.raises(ValueError, match=r"\+/-1"):
+            from_signed(np.array([[0, 1]]))
+
+
+class TestNFeatures:
+    def test_value(self):
+        assert n_features(32) == 33
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            n_features(0)
+
+
+class TestParityFeatures:
+    def test_shape(self):
+        phi = parity_features(random_challenges(7, 16, seed=2))
+        assert phi.shape == (7, 17)
+
+    def test_last_column_is_one(self):
+        phi = parity_features(random_challenges(20, 8, seed=3))
+        np.testing.assert_array_equal(phi[:, -1], np.ones(20))
+
+    def test_entries_are_pm_one(self):
+        phi = parity_features(random_challenges(20, 8, seed=4))
+        assert set(np.unique(phi)) <= {-1.0, 1.0}
+
+    def test_all_zero_challenge(self):
+        # c = 0 -> all signed bits +1 -> every suffix product is +1.
+        phi = parity_features(np.zeros((1, 6), dtype=np.int8))
+        np.testing.assert_array_equal(phi, np.ones((1, 7)))
+
+    def test_single_crossed_stage(self):
+        # Only stage j crossed: phi_i = -1 for i <= j, +1 after.
+        c = np.zeros((1, 5), dtype=np.int8)
+        c[0, 2] = 1
+        phi = parity_features(c)
+        np.testing.assert_array_equal(phi[0], [-1, -1, -1, 1, 1, 1])
+
+    def test_matches_naive_definition(self):
+        ch = random_challenges(30, 10, seed=5)
+        phi = parity_features(ch)
+        signed = 1 - 2 * ch.astype(np.float64)
+        for i in range(10):
+            naive = signed[:, i:].prod(axis=1)
+            np.testing.assert_allclose(phi[:, i], naive)
+
+    def test_input_not_mutated(self):
+        ch = random_challenges(5, 8, seed=6)
+        before = ch.copy()
+        parity_features(ch)
+        np.testing.assert_array_equal(ch, before)
+
+    def test_accepts_single_challenge(self):
+        phi = parity_features(np.array([0, 1, 0], dtype=np.int8))
+        assert phi.shape == (1, 4)
+
+    @given(st.integers(1, 10), st.integers(0, 2**31))
+    @settings(max_examples=30)
+    def test_flip_first_bit_flips_only_first_feature(self, k, seed):
+        """Flipping challenge bit 0 negates phi_0 and nothing else."""
+        ch = random_challenges(1, k, seed=seed)
+        flipped = ch.copy()
+        flipped[0, 0] ^= 1
+        a, b = parity_features(ch)[0], parity_features(flipped)[0]
+        assert a[0] == -b[0]
+        np.testing.assert_array_equal(a[1:], b[1:])
+
+    @given(st.integers(2, 10), st.integers(0, 2**31))
+    @settings(max_examples=30)
+    def test_flip_last_bit_flips_all_but_constant(self, k, seed):
+        """Flipping the last challenge bit negates every suffix product."""
+        ch = random_challenges(1, k, seed=seed)
+        flipped = ch.copy()
+        flipped[0, k - 1] ^= 1
+        a, b = parity_features(ch)[0], parity_features(flipped)[0]
+        np.testing.assert_array_equal(a[:k], -b[:k])
+        assert a[k] == b[k] == 1.0
+
+    def test_feature_columns_balanced_over_full_space(self):
+        """Over the exhaustive space each non-constant column sums to 0."""
+        phi = parity_features(all_challenges(8))
+        sums = phi.sum(axis=0)
+        np.testing.assert_allclose(sums[:-1], 0.0)
+        assert sums[-1] == 256.0

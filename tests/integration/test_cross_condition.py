@@ -1,0 +1,118 @@
+"""Cross-condition integration tests: baselines and attacks under V/T.
+
+The core protocol's corner behaviour is covered elsewhere; these tests
+pin how the *other* schemes and estimators degrade (or don't) away from
+nominal -- behaviour a deployment team would ask about first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.baselines.measurement_selection import (
+    authenticate_from_table,
+    enroll_measured_table,
+)
+from repro.crp.challenges import random_challenges
+from repro.silicon.chip import PufChip
+from repro.silicon.counters import measure_soft_responses
+from repro.silicon.environment import OperatingCondition, paper_corner_grid
+
+N_STAGES = 32
+HARSH = OperatingCondition(0.8, 60.0)
+
+
+class TestMeasurementTableUnderCorners:
+    """Ref [1]'s known weakness: nominal-only tables leak flips at corners."""
+
+    @pytest.fixture(scope="class")
+    def tables(self):
+        chip_nominal = PufChip.create(4, N_STAGES, seed=40, chip_id="vt")
+        nominal_table = enroll_measured_table(chip_nominal, 12_000, seed=41)
+        chip_corner = PufChip.create(4, N_STAGES, seed=40, chip_id="vt")
+        corner_table = enroll_measured_table(
+            chip_corner, 12_000, conditions=paper_corner_grid(), seed=41
+        )
+        return chip_nominal, nominal_table, corner_table
+
+    def test_corner_table_still_authenticates_harsh(self, tables):
+        chip, _, corner_table = tables
+        result = authenticate_from_table(
+            chip, corner_table, 128, condition=HARSH, seed=42
+        )
+        assert result.approved
+
+    def test_nominal_table_has_more_corner_mismatches(self, tables):
+        chip, nominal_table, corner_table = tables
+        mism_nominal = sum(
+            authenticate_from_table(
+                chip, nominal_table, 256, condition=HARSH,
+                tolerance=256, seed=43 + s,
+            ).n_mismatches
+            for s in range(4)
+        )
+        mism_corner = sum(
+            authenticate_from_table(
+                chip, corner_table, 256, condition=HARSH,
+                tolerance=256, seed=43 + s,
+            ).n_mismatches
+            for s in range(4)
+        )
+        assert mism_corner <= mism_nominal
+
+
+class TestCountersAcrossConditions:
+    def test_binomial_distribution_matches_montecarlo(self, arbiter_puf):
+        """KS test: the two counter simulations draw the same law."""
+        ch = random_challenges(1, N_STAGES, seed=50)
+        p = float(arbiter_puf.response_probability(ch)[0])
+        if p < 0.05 or p > 0.95:
+            ch = random_challenges(200, N_STAGES, seed=51)
+            probs = arbiter_puf.response_probability(ch)
+            pick = int(np.argmin(np.abs(probs - 0.5)))
+            ch = ch[pick : pick + 1]
+        n_trials, reps = 60, 300
+        rng_a, rng_b = np.random.default_rng(52), np.random.default_rng(53)
+        binom_counts = [
+            int(
+                measure_soft_responses(
+                    arbiter_puf, ch, n_trials, method="binomial", rng=rng_a
+                ).soft_responses[0]
+                * n_trials
+            )
+            for _ in range(reps)
+        ]
+        mc_counts = [
+            int(
+                measure_soft_responses(
+                    arbiter_puf, ch, n_trials, method="montecarlo", rng=rng_b
+                ).soft_responses[0]
+                * n_trials
+            )
+            for _ in range(reps)
+        ]
+        __, p_value = stats.ks_2samp(binom_counts, mc_counts)
+        assert p_value > 0.001
+
+    def test_soft_response_shifts_with_voltage(self, arbiter_puf):
+        """Marginal challenges change soft response across corners;
+        the per-challenge shift reflects the deterministic drift."""
+        ch = random_challenges(3000, N_STAGES, seed=54)
+        nominal = measure_soft_responses(
+            arbiter_puf, ch, 5000, method="analytic"
+        ).soft_responses
+        harsh = measure_soft_responses(
+            arbiter_puf, ch, 5000, HARSH, method="analytic"
+        ).soft_responses
+        marginal = (nominal > 0.05) & (nominal < 0.95)
+        assert marginal.any()
+        shift = np.abs(harsh[marginal] - nominal[marginal])
+        assert shift.mean() > 0.01  # corners visibly move marginal CRPs
+
+    def test_analytic_is_deterministic_per_condition(self, arbiter_puf):
+        ch = random_challenges(100, N_STAGES, seed=55)
+        a = measure_soft_responses(arbiter_puf, ch, 10, HARSH, method="analytic")
+        b = measure_soft_responses(arbiter_puf, ch, 10, HARSH, method="analytic")
+        np.testing.assert_array_equal(a.soft_responses, b.soft_responses)

@@ -1,0 +1,217 @@
+"""Cross-module property-based tests (hypothesis).
+
+These pin the *invariants* that hold for any parameters, complementing
+the example-based tests: XOR probability identities, threshold/beta
+monotonicity, selection soundness, and dataset algebra.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.adjustment import BetaFactors
+from repro.core.thresholds import (
+    ResponseCategory,
+    ThresholdPair,
+    classify_predictions,
+)
+from repro.crp.challenges import random_challenges
+from repro.crp.dataset import SoftResponseDataset
+from repro.crp.transform import parity_features
+from repro.silicon.arbiter import ArbiterPuf
+from repro.silicon.xorpuf import XorArbiterPuf, xor_probability
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestXorProbabilityIdentities:
+    @given(
+        st.lists(st.floats(0.0, 1.0), min_size=1, max_size=8),
+    )
+    @settings(max_examples=80)
+    def test_xor_with_fair_coin_is_fair(self, probs):
+        """XOR-ing any bits with one fair coin yields a fair coin."""
+        stacked = np.array(probs + [0.5])[:, np.newaxis]
+        assert xor_probability(stacked)[0] == pytest.approx(0.5)
+
+    @given(
+        st.lists(st.floats(0.0, 1.0), min_size=1, max_size=8),
+    )
+    @settings(max_examples=80)
+    def test_xor_with_zero_is_identity(self, probs):
+        """Appending a deterministic 0 never changes the distribution."""
+        base = xor_probability(np.array(probs)[:, np.newaxis])[0]
+        extended = xor_probability(np.array(probs + [0.0])[:, np.newaxis])[0]
+        assert extended == pytest.approx(base)
+
+    @given(
+        st.lists(st.floats(0.0, 1.0), min_size=1, max_size=8),
+    )
+    @settings(max_examples=80)
+    def test_xor_with_one_complements(self, probs):
+        base = xor_probability(np.array(probs)[:, np.newaxis])[0]
+        flipped = xor_probability(np.array(probs + [1.0])[:, np.newaxis])[0]
+        assert flipped == pytest.approx(1.0 - base)
+
+    @given(
+        st.lists(st.floats(0.05, 0.95), min_size=2, max_size=8),
+    )
+    @settings(max_examples=80)
+    def test_order_invariance(self, probs):
+        array = np.array(probs)[:, np.newaxis]
+        shuffled = array[::-1]
+        assert xor_probability(array)[0] == pytest.approx(
+            xor_probability(shuffled)[0]
+        )
+
+
+class TestThresholdMonotonicity:
+    @given(
+        thr0=st.floats(0.05, 0.45),
+        gap=st.floats(0.05, 0.5),
+        beta0=st.floats(0.3, 1.0),
+        beta1=st.floats(1.0, 2.0),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=60)
+    def test_scaling_never_adds_stable_classifications(
+        self, thr0, gap, beta0, beta1, seed
+    ):
+        """Tightening thresholds can only shrink the stable sets."""
+        pair = ThresholdPair(thr0, thr0 + gap)
+        tightened = pair.scale(beta0, beta1)
+        predictions = np.random.default_rng(seed).uniform(-0.5, 1.5, 500)
+        before = classify_predictions(predictions, pair)
+        after = classify_predictions(predictions, tightened)
+        before_stable0 = before == ResponseCategory.STABLE_ZERO
+        after_stable0 = after == ResponseCategory.STABLE_ZERO
+        assert not (after_stable0 & ~before_stable0).any()
+        before_stable1 = before == ResponseCategory.STABLE_ONE
+        after_stable1 = after == ResponseCategory.STABLE_ONE
+        assert not (after_stable1 & ~before_stable1).any()
+
+    @given(
+        beta0=st.floats(0.3, 1.0),
+        beta1=st.floats(1.0, 2.0),
+    )
+    @settings(max_examples=40)
+    def test_beta_apply_matches_scale(self, beta0, beta1):
+        pair = ThresholdPair(0.3, 0.7)
+        direct = pair.scale(beta0, beta1)
+        via_factors = BetaFactors(beta0, beta1).apply(pair)
+        assert via_factors.thr0 == pytest.approx(direct.thr0)
+        assert via_factors.thr1 == pytest.approx(direct.thr1)
+
+
+class TestDelayModelProperties:
+    @given(seed=st.integers(0, 2**31), k=st.integers(2, 48))
+    @SLOW
+    def test_delay_is_odd_under_global_flip_of_first_bit(self, seed, k):
+        """delta depends on c only through phi: flipping challenge bit 0
+        changes exactly the phi_0 contribution."""
+        puf = ArbiterPuf.create(k, seed=seed, nonlinearity=0.0)
+        ch = random_challenges(16, k, seed=seed + 1)
+        flipped = ch.copy()
+        flipped[:, 0] ^= 1
+        delta = puf.delay_difference(ch)
+        delta_f = puf.delay_difference(flipped)
+        phi0 = parity_features(ch)[:, 0]
+        np.testing.assert_allclose(
+            delta - delta_f, 2.0 * puf.weights[0] * phi0, atol=1e-9
+        )
+
+    @given(seed=st.integers(0, 2**31), n=st.integers(1, 5))
+    @SLOW
+    def test_probability_bounds(self, seed, n):
+        xpuf = XorArbiterPuf.create(n, 16, seed=seed)
+        ch = random_challenges(64, 16, seed=seed + 1)
+        p = xpuf.response_probability(ch)
+        assert (p >= 0.0).all() and (p <= 1.0).all()
+
+    @given(seed=st.integers(0, 2**31))
+    @SLOW
+    def test_noise_free_response_deterministic(self, seed):
+        puf = ArbiterPuf.create(16, seed=seed)
+        ch = random_challenges(64, 16, seed=seed + 1)
+        np.testing.assert_array_equal(
+            puf.noise_free_response(ch), puf.noise_free_response(ch)
+        )
+
+
+class TestAnalyticVsEmpiricalErrorRates:
+    """protocol_design's binomial math vs simulated sessions."""
+
+    def test_far_matches_simulation(self):
+        from repro.analysis.protocol_design import false_accept_rate
+
+        rng = np.random.default_rng(0)
+        n, tolerance, sessions = 12, 2, 40_000
+        mismatches = rng.binomial(n, 0.5, size=sessions)
+        empirical = (mismatches <= tolerance).mean()
+        analytic = false_accept_rate(n, tolerance)
+        assert empirical == pytest.approx(analytic, rel=0.1)
+
+    def test_frr_matches_simulation(self):
+        from repro.analysis.protocol_design import false_reject_rate
+
+        rng = np.random.default_rng(1)
+        n, tolerance, p_flip, sessions = 64, 1, 0.01, 40_000
+        flips = rng.binomial(n, p_flip, size=sessions)
+        empirical = (flips > tolerance).mean()
+        analytic = false_reject_rate(n, tolerance, p_flip)
+        assert empirical == pytest.approx(analytic, rel=0.1)
+
+    def test_impostor_sessions_match_far_model(self, enrolled_chip_and_record):
+        """End-to-end: impostor chips through the real protocol behave
+        like the coin-flip FAR model predicts (i.e. never pass 64-bit
+        zero-HD, and mismatch counts centre on n/2)."""
+        from repro.core.authentication import authenticate
+        from repro.silicon.chip import PufChip
+
+        _, record = enrolled_chip_and_record
+        selector = record.selector()
+        counts = []
+        for seed in range(8):
+            impostor = PufChip.create(4, 32, seed=5000 + seed)
+            result = authenticate(impostor, selector, 64, seed=seed)
+            assert not result.approved
+            counts.append(result.n_mismatches)
+        assert np.mean(counts) == pytest.approx(32, abs=8)
+
+
+class TestDatasetAlgebra:
+    @given(
+        n=st.integers(2, 60),
+        n_trials=st.integers(1, 10_000),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=40)
+    def test_stable_subset_idempotent(self, n, n_trials, seed):
+        rng = np.random.default_rng(seed)
+        soft = rng.integers(0, n_trials + 1, n) / n_trials
+        ds = SoftResponseDataset(random_challenges(n, 8, seed=seed), soft, n_trials)
+        once = ds.stable_subset()
+        twice = once.stable_subset()
+        assert len(once) == len(twice)
+        np.testing.assert_array_equal(once.soft_responses, twice.soft_responses)
+
+    @given(
+        n=st.integers(2, 60),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=40)
+    def test_subset_composition(self, n, seed):
+        rng = np.random.default_rng(seed)
+        soft = rng.uniform(0, 1, n)
+        ds = SoftResponseDataset(random_challenges(n, 8, seed=seed), soft, 100)
+        first = rng.permutation(n)[: max(n // 2, 1)]
+        second = np.arange(len(first))[:: max(len(first) // 3, 1)]
+        direct = ds.subset(first).subset(second)
+        composed = ds.subset(first[second])
+        np.testing.assert_array_equal(direct.challenges, composed.challenges)

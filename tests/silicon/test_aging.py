@@ -1,0 +1,99 @@
+"""Tests for the aging model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crp.challenges import random_challenges
+from repro.silicon.aging import AgingModel, age_chip, age_puf
+from repro.silicon.chip import PufChip
+from repro.silicon.fuses import FuseBlownError
+
+N_STAGES = 32
+
+
+class TestAgingModel:
+    def test_zero_hours_no_drift(self):
+        assert AgingModel().drift_scale(0.0) == 0.0
+
+    def test_reference_point(self):
+        model = AgingModel(amplitude=0.06, reference_hours=1000.0)
+        assert model.drift_scale(1000.0) == pytest.approx(0.06)
+
+    def test_power_law_growth(self):
+        model = AgingModel(amplitude=0.1, exponent=0.2, reference_hours=100.0)
+        # Ten times the stress -> 10**0.2 times the drift.
+        assert model.drift_scale(1000.0) / model.drift_scale(100.0) == pytest.approx(
+            10**0.2
+        )
+
+    def test_sublinear(self):
+        model = AgingModel()
+        assert model.drift_scale(2 * model.reference_hours) < 2 * model.drift_scale(
+            model.reference_hours
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AgingModel(amplitude=-0.1)
+        with pytest.raises(ValueError):
+            AgingModel(exponent=0.0)
+        with pytest.raises(ValueError):
+            AgingModel().drift_scale(-1.0)
+
+
+class TestAgePuf:
+    def test_fresh_puf_unchanged_at_zero_hours(self, arbiter_puf):
+        aged = age_puf(arbiter_puf, 0.0, seed=1)
+        np.testing.assert_array_equal(aged.weights, arbiter_puf.weights)
+
+    def test_drift_is_deterministic_per_seed(self, arbiter_puf):
+        a = age_puf(arbiter_puf, 10_000.0, seed=2)
+        b = age_puf(arbiter_puf, 10_000.0, seed=2)
+        np.testing.assert_array_equal(a.weights, b.weights)
+
+    def test_original_untouched(self, arbiter_puf):
+        before = arbiter_puf.weights.copy()
+        age_puf(arbiter_puf, 50_000.0, seed=3)
+        np.testing.assert_array_equal(arbiter_puf.weights, before)
+
+    def test_drift_grows_with_hours(self, arbiter_puf):
+        young = age_puf(arbiter_puf, 1000.0, seed=4)
+        old = age_puf(arbiter_puf, 87_600.0, seed=4)
+        d_young = np.linalg.norm(young.weights - arbiter_puf.weights)
+        d_old = np.linalg.norm(old.weights - arbiter_puf.weights)
+        assert d_old > d_young > 0.0
+
+    def test_responses_mostly_survive_one_life(self, arbiter_puf):
+        """Default aging flips only marginal responses after 10 years."""
+        aged = age_puf(arbiter_puf, 87_600.0, seed=5)
+        ch = random_challenges(10_000, N_STAGES, seed=6)
+        flips = (
+            aged.noise_free_response(ch) != arbiter_puf.noise_free_response(ch)
+        ).mean()
+        assert 0.0 < flips < 0.05
+
+
+class TestAgeChip:
+    def test_identity_and_structure_preserved(self):
+        chip = PufChip.create(3, N_STAGES, seed=7, chip_id="aging")
+        aged = age_chip(chip, 20_000.0, seed=8)
+        assert aged.chip_id == "aging"
+        assert aged.n_pufs == 3
+        assert not aged.is_deployed
+
+    def test_fuse_state_preserved(self):
+        chip = PufChip.create(2, N_STAGES, seed=9)
+        chip.blow_fuses()
+        aged = age_chip(chip, 20_000.0, seed=10)
+        assert aged.is_deployed
+        with pytest.raises(FuseBlownError):
+            aged.enrollment_individual_responses(0, random_challenges(2, N_STAGES, seed=0))
+
+    def test_constituents_age_independently(self):
+        chip = PufChip.create(2, N_STAGES, seed=11)
+        aged = age_chip(chip, 50_000.0, seed=12)
+        drift0 = aged.oracle().pufs[0].weights - chip.oracle().pufs[0].weights
+        drift1 = aged.oracle().pufs[1].weights - chip.oracle().pufs[1].weights
+        assert not np.allclose(drift0, drift1)

@@ -1,0 +1,163 @@
+"""Tests for the arbiter PUF simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.crp.challenges import random_challenges
+from repro.crp.transform import parity_features
+from repro.silicon.arbiter import ArbiterPuf
+from repro.silicon.environment import NOMINAL_CONDITION, OperatingCondition
+from repro.silicon.noise import NoiseModel
+
+N_STAGES = 32
+
+
+class TestConstruction:
+    def test_create_reproducible(self):
+        a = ArbiterPuf.create(N_STAGES, seed=1)
+        b = ArbiterPuf.create(N_STAGES, seed=1)
+        np.testing.assert_array_equal(a.weights, b.weights)
+
+    def test_distinct_seeds_distinct_instances(self):
+        a = ArbiterPuf.create(N_STAGES, seed=1)
+        b = ArbiterPuf.create(N_STAGES, seed=2)
+        assert not np.array_equal(a.weights, b.weights)
+
+    def test_n_stages(self, arbiter_puf):
+        assert arbiter_puf.n_stages == N_STAGES
+        assert arbiter_puf.weights.shape == (N_STAGES + 1,)
+
+    def test_weight_vector_validated(self):
+        with pytest.raises(ValueError, match="k\\+1"):
+            ArbiterPuf(weights=np.array([1.0]), noise=NoiseModel(0.1))
+
+    def test_sensitivity_vector_shape_validated(self):
+        with pytest.raises(ValueError, match="shape"):
+            ArbiterPuf(
+                weights=np.zeros(5),
+                noise=NoiseModel(0.1),
+                voltage_sensitivity_vector=np.zeros(3),
+            )
+
+    def test_explicit_noise_sigma(self):
+        puf = ArbiterPuf.create(N_STAGES, seed=3, noise_sigma=0.123)
+        assert puf.noise.sigma == pytest.approx(0.123)
+
+
+class TestDelayAndProbability:
+    def test_linear_instance_matches_parity_model(self, challenge_batch):
+        puf = ArbiterPuf.create(N_STAGES, seed=77, nonlinearity=0.0)
+        delta = puf.delay_difference(challenge_batch)
+        expected = parity_features(challenge_batch) @ puf.weights
+        np.testing.assert_allclose(delta, expected)
+
+    def test_default_instance_is_mostly_linear(self, arbiter_puf, challenge_batch):
+        """The second-order model-error term is a small perturbation."""
+        delta = arbiter_puf.delay_difference(challenge_batch)
+        linear = parity_features(challenge_batch) @ arbiter_puf.weights
+        residual = delta - linear
+        assert residual.std() > 0.0  # the nonlinearity exists...
+        assert residual.std() < 0.2 * linear.std()  # ...but stays small
+
+    def test_nonlinearity_level_calibrated(self, arbiter_puf, challenge_batch):
+        """Hard responses of the true PUF match the pure linear part
+        ~98 % of the time (refs [2-5] report this level on silicon)."""
+        true_bits = arbiter_puf.noise_free_response(challenge_batch)
+        linear_bits = (
+            parity_features(challenge_batch) @ arbiter_puf.weights > 0
+        ).astype(np.int8)
+        agreement = (true_bits == linear_bits).mean()
+        assert 0.95 < agreement < 1.0
+
+    def test_probability_is_cdf_of_delta(self, arbiter_puf, challenge_batch):
+        delta = arbiter_puf.delay_difference(challenge_batch)
+        p = arbiter_puf.response_probability(challenge_batch)
+        np.testing.assert_allclose(
+            p, stats.norm.cdf(delta / arbiter_puf.noise.sigma)
+        )
+
+    def test_noise_free_response_is_delta_sign(self, arbiter_puf, challenge_batch):
+        delta = arbiter_puf.delay_difference(challenge_batch)
+        r = arbiter_puf.noise_free_response(challenge_batch)
+        np.testing.assert_array_equal(r, (delta > 0).astype(np.int8))
+
+
+class TestEnvironmentEffects:
+    def test_nominal_effective_weights_unchanged(self, arbiter_puf):
+        np.testing.assert_allclose(
+            arbiter_puf.effective_weights(NOMINAL_CONDITION), arbiter_puf.weights
+        )
+
+    def test_corner_weights_drift(self, arbiter_puf):
+        corner = OperatingCondition(0.8, 60.0)
+        drifted = arbiter_puf.effective_weights(corner)
+        assert not np.allclose(drifted, arbiter_puf.weights)
+
+    def test_corner_drift_is_repeatable(self, arbiter_puf):
+        corner = OperatingCondition(0.8, 0.0)
+        a = arbiter_puf.effective_weights(corner)
+        b = arbiter_puf.effective_weights(corner)
+        np.testing.assert_array_equal(a, b)
+
+    def test_drift_grows_with_distance(self, arbiter_puf):
+        near = arbiter_puf.effective_weights(OperatingCondition(0.89, 26.0))
+        far = arbiter_puf.effective_weights(OperatingCondition(0.8, 60.0))
+        gain_near = arbiter_puf.environment.delay_gain(OperatingCondition(0.89, 26.0))
+        gain_far = arbiter_puf.environment.delay_gain(OperatingCondition(0.8, 60.0))
+        d_near = np.linalg.norm(near / gain_near - arbiter_puf.weights)
+        d_far = np.linalg.norm(far / gain_far - arbiter_puf.weights)
+        assert d_far > d_near
+
+    def test_most_responses_survive_corners(self, arbiter_puf, challenge_batch):
+        """The silicon analogue: corner drift flips only marginal bits."""
+        nominal = arbiter_puf.noise_free_response(challenge_batch)
+        corner = arbiter_puf.noise_free_response(
+            challenge_batch, OperatingCondition(0.8, 60.0)
+        )
+        flip_rate = (nominal != corner).mean()
+        assert 0.0 < flip_rate < 0.10
+
+
+class TestNoisyEvaluation:
+    def test_eval_shape_dtype(self, arbiter_puf, challenge_batch):
+        r = arbiter_puf.eval(challenge_batch)
+        assert r.shape == (len(challenge_batch),)
+        assert r.dtype == np.int8
+
+    def test_eval_with_explicit_rng_reproducible(self, arbiter_puf, challenge_batch):
+        a = arbiter_puf.eval(challenge_batch, rng=np.random.default_rng(7))
+        b = arbiter_puf.eval(challenge_batch, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_eval_agrees_with_noise_free_mostly(self, arbiter_puf, challenge_batch):
+        """~90 % of single evaluations match the sign of delta (80 % of
+        challenges never flip; flippers split the rest)."""
+        noisy = arbiter_puf.eval(challenge_batch, rng=np.random.default_rng(8))
+        clean = arbiter_puf.noise_free_response(challenge_batch)
+        assert (noisy == clean).mean() > 0.9
+
+    def test_eval_counts_range(self, arbiter_puf, challenge_batch):
+        counts = arbiter_puf.eval_counts(
+            challenge_batch[:100], 1000, rng=np.random.default_rng(9)
+        )
+        assert counts.min() >= 0 and counts.max() <= 1000
+
+    def test_eval_counts_mean_tracks_probability(self, arbiter_puf):
+        ch = random_challenges(50, N_STAGES, seed=10)
+        p = arbiter_puf.response_probability(ch)
+        counts = arbiter_puf.eval_counts(ch, 20_000, rng=np.random.default_rng(11))
+        np.testing.assert_allclose(counts / 20_000, p, atol=0.02)
+
+    def test_eval_counts_matches_repeated_eval_statistically(self, arbiter_puf):
+        """Binomial shortcut == literal loop in distribution (mean check)."""
+        ch = random_challenges(30, N_STAGES, seed=12)
+        rng = np.random.default_rng(13)
+        loop_counts = np.zeros(30)
+        for _ in range(300):
+            loop_counts += arbiter_puf.eval(ch, rng=rng)
+        binom_counts = arbiter_puf.eval_counts(ch, 300, rng=np.random.default_rng(14))
+        # Both estimate 300 * p; agree within joint binomial noise.
+        np.testing.assert_allclose(loop_counts, binom_counts, atol=60)

@@ -1,0 +1,120 @@
+"""Tests for the packaged PUF chip and lot fabrication."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crp.challenges import random_challenges
+from repro.silicon.chip import PAPER_LOT_SIZE, PufChip, fabricate_lot
+from repro.silicon.fuses import FuseBlownError
+
+N_STAGES = 32
+
+
+class TestLifecycle:
+    def test_enrollment_phase_initially(self, fresh_chip):
+        assert not fresh_chip.is_deployed
+        assert "enrollment" in repr(fresh_chip)
+
+    def test_soft_responses_before_blow(self, fresh_chip, challenge_batch):
+        ds = fresh_chip.enrollment_soft_responses(0, challenge_batch[:50], 1000)
+        assert len(ds) == 50
+
+    def test_individual_responses_before_blow(self, fresh_chip, challenge_batch):
+        r = fresh_chip.enrollment_individual_responses(1, challenge_batch[:50])
+        assert r.shape == (50,)
+
+    def test_blow_denies_enrollment_paths(self, fresh_chip, challenge_batch):
+        fresh_chip.blow_fuses()
+        assert fresh_chip.is_deployed
+        with pytest.raises(FuseBlownError):
+            fresh_chip.enrollment_soft_responses(0, challenge_batch[:10], 100)
+        with pytest.raises(FuseBlownError):
+            fresh_chip.enrollment_individual_responses(0, challenge_batch[:10])
+
+    def test_xor_response_survives_blow(self, fresh_chip, challenge_batch):
+        before = fresh_chip.xor_response(challenge_batch[:100])
+        fresh_chip.blow_fuses()
+        after = fresh_chip.xor_response(challenge_batch[:100])
+        assert before.shape == after.shape == (100,)
+
+    def test_puf_index_bounds(self, fresh_chip, challenge_batch):
+        with pytest.raises(IndexError):
+            fresh_chip.enrollment_individual_responses(4, challenge_batch[:5])
+        with pytest.raises(IndexError):
+            fresh_chip.enrollment_individual_responses(-1, challenge_batch[:5])
+
+
+class TestResponses:
+    def test_xor_matches_oracle_composition(self, fresh_chip, challenge_batch):
+        """The chip's pin output equals the XOR of constituent evals
+        (statistically: identical for stable challenges)."""
+        oracle = fresh_chip.oracle()
+        clean = oracle.noise_free_response(challenge_batch)
+        mask = oracle.stable_mask(
+            challenge_batch, 100_000, rng=np.random.default_rng(1)
+        )
+        pins = fresh_chip.xor_response(challenge_batch)
+        np.testing.assert_array_equal(pins[mask], clean[mask])
+
+    def test_xor_counts_match_repeated_queries(self, fresh_chip, challenge_batch):
+        """The binomial shortcut agrees with literal repeated queries."""
+        ch = challenge_batch[:60]
+        n_trials = 400
+        counts = fresh_chip.xor_counts(ch, n_trials)
+        assert counts.min() >= 0 and counts.max() <= n_trials
+        literal = np.zeros(60, dtype=np.int64)
+        for _ in range(n_trials):
+            literal += fresh_chip.xor_response(ch)
+        p = fresh_chip.oracle().response_probability(ch)
+        sigma = np.sqrt(n_trials * p * (1 - p))
+        tol = 5 * sigma + 1
+        assert (np.abs(counts - n_trials * p) <= tol).all()
+        assert (np.abs(literal - n_trials * p) <= tol).all()
+
+    def test_xor_counts_available_after_blow(self, fresh_chip, challenge_batch):
+        fresh_chip.blow_fuses()
+        counts = fresh_chip.xor_counts(challenge_batch[:10], 50)
+        assert counts.shape == (10,)
+
+    def test_xor_response_subset_width(self, fresh_chip, challenge_batch):
+        r = fresh_chip.xor_response_subset(2, challenge_batch[:50])
+        assert r.shape == (50,)
+
+    def test_subset_works_after_blow(self, fresh_chip, challenge_batch):
+        fresh_chip.blow_fuses()
+        r = fresh_chip.xor_response_subset(3, challenge_batch[:10])
+        assert r.shape == (10,)
+
+
+class TestFabricateLot:
+    def test_lot_size_constant(self):
+        assert PAPER_LOT_SIZE == 10
+
+    def test_lot_ids_unique(self):
+        lot = fabricate_lot(3, 2, N_STAGES, seed=1)
+        assert {chip.chip_id for chip in lot} == {"chip-0", "chip-1", "chip-2"}
+
+    def test_lot_chips_distinct(self):
+        lot = fabricate_lot(2, 1, N_STAGES, seed=2)
+        w0 = lot[0].oracle().pufs[0].weights
+        w1 = lot[1].oracle().pufs[0].weights
+        assert not np.array_equal(w0, w1)
+
+    def test_lot_reproducible(self):
+        a = fabricate_lot(2, 1, N_STAGES, seed=3)
+        b = fabricate_lot(2, 1, N_STAGES, seed=3)
+        np.testing.assert_array_equal(
+            a[0].oracle().pufs[0].weights, b[0].oracle().pufs[0].weights
+        )
+
+    def test_lot_responses_unique_across_chips(self):
+        """Different chips answer the same challenges differently
+        (~50 % inter-chip Hamming distance)."""
+        lot = fabricate_lot(2, 4, N_STAGES, seed=4)
+        ch = random_challenges(2000, N_STAGES, seed=5)
+        r0 = lot[0].oracle().noise_free_response(ch)
+        r1 = lot[1].oracle().noise_free_response(ch)
+        hd = (r0 != r1).mean()
+        assert 0.4 < hd < 0.6

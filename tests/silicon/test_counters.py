@@ -1,0 +1,101 @@
+"""Tests for soft-response measurement (repro.silicon.counters)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.crp.challenges import random_challenges
+from repro.silicon.counters import (
+    MEASUREMENT_METHODS,
+    measure_soft_responses,
+    soft_response_histogram,
+)
+
+N_STAGES = 32
+
+
+class TestMeasureSoftResponses:
+    def test_returns_dataset(self, arbiter_puf, challenge_batch):
+        ds = measure_soft_responses(arbiter_puf, challenge_batch, 1000)
+        assert len(ds) == len(challenge_batch)
+        assert ds.n_trials == 1000
+
+    def test_unknown_method_rejected(self, arbiter_puf, challenge_batch):
+        with pytest.raises(ValueError, match="unknown method"):
+            measure_soft_responses(arbiter_puf, challenge_batch, 100, method="exact")
+
+    def test_analytic_equals_probability(self, arbiter_puf, challenge_batch):
+        ds = measure_soft_responses(
+            arbiter_puf, challenge_batch, 1000, method="analytic"
+        )
+        np.testing.assert_allclose(
+            ds.soft_responses, arbiter_puf.response_probability(challenge_batch)
+        )
+
+    def test_binomial_montecarlo_agree(self, arbiter_puf):
+        """The shortcut and the literal loop estimate the same p."""
+        ch = random_challenges(60, N_STAGES, seed=1)
+        n_trials = 4000
+        binom = measure_soft_responses(
+            arbiter_puf, ch, n_trials, method="binomial",
+            rng=np.random.default_rng(2),
+        )
+        mc = measure_soft_responses(
+            arbiter_puf, ch, n_trials, method="montecarlo",
+            rng=np.random.default_rng(3),
+        )
+        p = arbiter_puf.response_probability(ch)
+        sigma = np.sqrt(p * (1 - p) / n_trials)
+        tol = 5 * sigma + 1e-9
+        assert (np.abs(binom.soft_responses - p) <= tol).all()
+        assert (np.abs(mc.soft_responses - p) <= tol).all()
+
+    def test_binomial_values_are_counter_multiples(self, arbiter_puf, challenge_batch):
+        ds = measure_soft_responses(
+            arbiter_puf, challenge_batch[:100], 250, rng=np.random.default_rng(4)
+        )
+        counts = ds.soft_responses * 250
+        np.testing.assert_allclose(counts, np.rint(counts))
+
+    def test_stable_fraction_near_calibration(self, arbiter_puf):
+        """The paper-calibrated PUF shows ~80 % stable challenges."""
+        ch = random_challenges(30_000, N_STAGES, seed=5)
+        ds = measure_soft_responses(
+            arbiter_puf, ch, 100_000, rng=np.random.default_rng(6)
+        )
+        assert ds.stable_fraction == pytest.approx(0.80, abs=0.05)
+
+    def test_methods_constant(self):
+        assert set(MEASUREMENT_METHODS) == {"binomial", "montecarlo", "analytic"}
+
+
+class TestSoftResponseHistogram:
+    def test_bins_cover_unit_interval(self):
+        centers, fracs = soft_response_histogram(np.array([0.0, 0.5, 1.0]))
+        assert len(centers) == 101
+        assert centers[0] == 0.0 and centers[-1] == 1.0
+        assert fracs.sum() == pytest.approx(1.0)
+
+    def test_extreme_bins_catch_exact_values(self):
+        soft = np.array([0.0, 0.004, 0.996, 1.0, 0.5])
+        _, fracs = soft_response_histogram(soft)
+        assert fracs[0] == pytest.approx(2 / 5)   # 0.0 and 0.004 round to bin 0.00
+        assert fracs[-1] == pytest.approx(2 / 5)  # 0.996 and 1.0 round to bin 1.00
+
+    def test_mid_bin_assignment(self):
+        _, fracs = soft_response_histogram(np.array([0.504]))
+        assert fracs[50] == pytest.approx(1.0)
+
+    def test_custom_bin_size(self):
+        centers, _ = soft_response_histogram(np.array([0.5]), bin_size=0.1)
+        assert len(centers) == 11
+
+    def test_invalid_bin_size(self):
+        with pytest.raises(ValueError):
+            soft_response_histogram(np.array([0.5]), bin_size=0.0)
+
+    def test_empty_input(self):
+        _, fracs = soft_response_histogram(np.array([]))
+        assert fracs.sum() == 0.0

@@ -1,0 +1,109 @@
+"""Tests for the process-variation delay model (repro.silicon.delays)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crp.challenges import random_challenges
+from repro.crp.transform import parity_features
+from repro.silicon.delays import (
+    StageDelays,
+    expected_delay_std,
+    sample_stage_delays,
+    sample_weights,
+    sequential_delay_difference,
+)
+
+
+class TestStageDelays:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match=r"\(k, 4\)"):
+            StageDelays(np.zeros((4, 3)))
+
+    def test_differences(self):
+        delays = np.array([[3.0, 1.0, 5.0, 2.0]])
+        sd = StageDelays(delays)
+        np.testing.assert_allclose(sd.straight_difference, [2.0])
+        np.testing.assert_allclose(sd.crossed_difference, [3.0])
+
+    def test_weights_length(self):
+        sd = sample_stage_delays(16, seed=1)
+        assert sd.to_linear_weights().shape == (17,)
+
+    def test_arbiter_offset_lands_in_constant_weight(self):
+        delays = np.zeros((4, 4))
+        w0 = StageDelays(delays, arbiter_offset=0.0).to_linear_weights()
+        w1 = StageDelays(delays, arbiter_offset=2.5).to_linear_weights()
+        np.testing.assert_allclose(w1 - w0, [0, 0, 0, 0, 2.5])
+
+
+class TestSampling:
+    def test_reproducible(self):
+        a = sample_stage_delays(8, seed=2)
+        b = sample_stage_delays(8, seed=2)
+        np.testing.assert_array_equal(a.delays, b.delays)
+        assert a.arbiter_offset == b.arbiter_offset
+
+    def test_sigma_rejected_non_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            sample_stage_delays(8, sigma=0.0)
+
+    def test_zero_arbiter_sigma_gives_zero_offset(self):
+        sd = sample_stage_delays(8, seed=3, arbiter_sigma=0.0)
+        assert sd.arbiter_offset == 0.0
+
+    def test_weight_variance_matches_theory(self):
+        """Interior weights have variance 2*sigma^2; ensemble check."""
+        weights = np.stack([sample_weights(32, seed=s) for s in range(400)])
+        interior = weights[:, 1:32]
+        assert abs(interior.var() - 2.0) < 0.15
+
+    def test_expected_delay_std(self):
+        assert expected_delay_std(32) == pytest.approx(np.sqrt(64.0))
+        assert expected_delay_std(8, sigma=2.0) == pytest.approx(2.0 * 4.0)
+
+    def test_empirical_delay_std_matches_expected(self):
+        """delta(c) over random challenges has std ~ expected_delay_std."""
+        stds = []
+        for s in range(30):
+            w = sample_weights(32, seed=s)
+            phi = parity_features(random_challenges(500, 32, seed=s))
+            stds.append((phi @ w).std())
+        assert abs(np.mean(stds) - expected_delay_std(32)) < 0.8
+
+
+class TestSequentialEvaluator:
+    @given(st.integers(1, 24), st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_closed_form(self, k, seed):
+        """The stage walk and the parity model are the same function."""
+        sd = sample_stage_delays(k, seed=seed)
+        ch = random_challenges(20, k, seed=seed + 1)
+        walked = sequential_delay_difference(sd, ch)
+        closed = parity_features(ch) @ sd.to_linear_weights()
+        np.testing.assert_allclose(walked, closed, atol=1e-10)
+
+    def test_straight_path_accumulates_a(self):
+        """All-zero challenge: delta = sum of straight differences + offset."""
+        delays = np.zeros((3, 4))
+        delays[:, 0] = [1.0, 2.0, 3.0]  # p_i; q = r = s = 0
+        sd = StageDelays(delays, arbiter_offset=0.5)
+        delta = sequential_delay_difference(sd, np.zeros((1, 3), dtype=np.int8))
+        assert delta[0] == pytest.approx(6.5)
+
+    def test_crossed_stage_negates_prefix(self):
+        """A crossed final stage flips the sign of the accumulated delta."""
+        delays = np.zeros((2, 4))
+        delays[0, 0] = 4.0  # stage 0 straight difference = 4
+        sd = StageDelays(delays)
+        straight = sequential_delay_difference(sd, np.array([[0, 0]], dtype=np.int8))
+        crossed = sequential_delay_difference(sd, np.array([[0, 1]], dtype=np.int8))
+        assert straight[0] == pytest.approx(4.0)
+        assert crossed[0] == pytest.approx(-4.0)
+
+    def test_challenge_width_checked(self):
+        sd = sample_stage_delays(4, seed=5)
+        with pytest.raises(ValueError, match="stages"):
+            sequential_delay_difference(sd, random_challenges(2, 5, seed=0))

@@ -1,0 +1,92 @@
+"""Tests for operating conditions and the environment model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.silicon.environment import (
+    NOMINAL_CONDITION,
+    PAPER_TEMPERATURES,
+    PAPER_VOLTAGES,
+    EnvironmentModel,
+    OperatingCondition,
+    paper_corner_grid,
+)
+
+
+class TestOperatingCondition:
+    def test_defaults_are_nominal(self):
+        assert OperatingCondition() == NOMINAL_CONDITION
+
+    def test_kelvin(self):
+        assert OperatingCondition(0.9, 25.0).temperature_kelvin == pytest.approx(298.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OperatingCondition(voltage=0.0)
+        with pytest.raises(ValueError):
+            OperatingCondition(temperature=-300.0)
+
+    def test_hashable_and_ordered(self):
+        grid = paper_corner_grid()
+        assert len(set(grid)) == 9
+        assert sorted(grid)[0].voltage == 0.8
+
+    def test_str(self):
+        assert str(OperatingCondition(0.8, 60.0)) == "0.80V/60C"
+
+
+class TestPaperGrid:
+    def test_nine_corners(self):
+        grid = paper_corner_grid()
+        assert len(grid) == 9
+        assert NOMINAL_CONDITION in grid
+
+    def test_covers_paper_ranges(self):
+        grid = paper_corner_grid()
+        assert {c.voltage for c in grid} == set(PAPER_VOLTAGES)
+        assert {c.temperature for c in grid} == set(PAPER_TEMPERATURES)
+
+    def test_custom_grid(self):
+        grid = paper_corner_grid(voltages=[0.9], temperatures=[0.0, 60.0])
+        assert len(grid) == 2
+
+
+class TestEnvironmentModel:
+    def test_nominal_is_identity(self):
+        env = EnvironmentModel()
+        assert env.delay_gain(NOMINAL_CONDITION) == pytest.approx(1.0)
+        assert env.noise_multiplier(NOMINAL_CONDITION) == pytest.approx(1.0)
+        assert env.drift_coefficients(NOMINAL_CONDITION) == (0.0, 0.0)
+
+    def test_low_voltage_slows_circuit(self):
+        env = EnvironmentModel()
+        assert env.delay_gain(OperatingCondition(0.8, 25.0)) > 1.0
+        assert env.delay_gain(OperatingCondition(1.0, 25.0)) < 1.0
+
+    def test_heat_slows_circuit(self):
+        env = EnvironmentModel()
+        assert env.delay_gain(OperatingCondition(0.9, 60.0)) > 1.0
+
+    def test_noise_grows_hot_and_low_voltage(self):
+        env = EnvironmentModel()
+        worst = env.noise_multiplier(OperatingCondition(0.8, 60.0))
+        best = env.noise_multiplier(OperatingCondition(1.0, 0.0))
+        assert worst > 1.0 > best
+
+    def test_drift_coefficients_signs(self):
+        env = EnvironmentModel()
+        c_v, c_t = env.drift_coefficients(OperatingCondition(0.8, 60.0))
+        assert c_v < 0  # below nominal voltage
+        assert c_t > 0  # above nominal temperature
+
+    def test_drift_scales_linearly(self):
+        env = EnvironmentModel()
+        c_v1, _ = env.drift_coefficients(OperatingCondition(0.8, 25.0))
+        c_v2, _ = env.drift_coefficients(OperatingCondition(1.0, 25.0))
+        assert c_v1 == pytest.approx(-c_v2)
+
+    def test_pathological_temperature_coefficient_rejected(self):
+        env = EnvironmentModel(gain_temperature_coefficient=1.0)
+        with pytest.raises(ValueError, match="non-positive"):
+            env.delay_gain(OperatingCondition(0.9, -30.0))

@@ -1,0 +1,157 @@
+"""Tests for the feed-forward arbiter PUF."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crp.challenges import random_challenges
+from repro.crp.transform import parity_features
+from repro.silicon.delays import sample_stage_delays
+from repro.silicon.feedforward import FeedForwardArbiterPuf, FeedForwardLoop
+from repro.silicon.noise import NoiseModel
+
+N_STAGES = 16
+
+
+class TestFeedForwardLoop:
+    def test_target_after_tap(self):
+        with pytest.raises(ValueError, match="after"):
+            FeedForwardLoop(tap=5, target=5)
+        with pytest.raises(ValueError, match="after"):
+            FeedForwardLoop(tap=5, target=3)
+
+    def test_negative_tap_rejected(self):
+        with pytest.raises(ValueError):
+            FeedForwardLoop(tap=-1, target=2)
+
+
+class TestConstruction:
+    def test_create(self):
+        puf = FeedForwardArbiterPuf.create(N_STAGES, [(3, 8)], seed=1)
+        assert puf.n_stages == N_STAGES
+        assert len(puf.loops) == 1
+
+    def test_duplicate_targets_rejected(self):
+        sd = sample_stage_delays(N_STAGES, seed=2)
+        with pytest.raises(ValueError, match="distinct"):
+            FeedForwardArbiterPuf(
+                sd,
+                [FeedForwardLoop(1, 5), FeedForwardLoop(2, 5)],
+                NoiseModel(0.1),
+            )
+
+    def test_target_outside_range_rejected(self):
+        sd = sample_stage_delays(N_STAGES, seed=3)
+        with pytest.raises(ValueError, match="outside"):
+            FeedForwardArbiterPuf(
+                sd, [FeedForwardLoop(1, N_STAGES)], NoiseModel(0.1)
+            )
+
+
+class TestEquivalenceWithLinear:
+    def test_loop_free_matches_linear_model(self):
+        """Without loops the walk reduces to the plain arbiter PUF."""
+        sd = sample_stage_delays(N_STAGES, seed=4)
+        puf = FeedForwardArbiterPuf(sd, [], NoiseModel(0.1))
+        ch = random_challenges(100, N_STAGES, seed=5)
+        delta = puf.delay_difference(ch)
+        expected = parity_features(ch) @ sd.to_linear_weights()
+        np.testing.assert_allclose(delta, expected, atol=1e-10)
+
+    def test_loop_overrides_target_bit(self):
+        """With a loop, the target's challenge bit is ignored."""
+        puf = FeedForwardArbiterPuf.create(N_STAGES, [(3, 8)], seed=6)
+        ch = random_challenges(200, N_STAGES, seed=7)
+        flipped = ch.copy()
+        flipped[:, 8] ^= 1
+        np.testing.assert_array_equal(
+            puf.noise_free_response(ch), puf.noise_free_response(flipped)
+        )
+
+    def test_loop_makes_response_nonlinear(self):
+        """A single linear model cannot fit a feed-forward PUF exactly."""
+        puf = FeedForwardArbiterPuf.create(N_STAGES, [(2, 10)], seed=8)
+        ch = random_challenges(4000, N_STAGES, seed=9)
+        r = puf.noise_free_response(ch).astype(np.float64) * 2 - 1
+        phi = parity_features(ch)
+        w, *_ = np.linalg.lstsq(phi, r, rcond=None)
+        predictions = (phi @ w > 0).astype(np.float64) * 2 - 1
+        accuracy = (predictions == r).mean()
+        assert accuracy < 0.99  # linear fit leaves residual error
+
+
+class TestFeedForwardXorPuf:
+    def test_create_and_shapes(self):
+        from repro.silicon.feedforward import FeedForwardXorPuf
+
+        xpuf = FeedForwardXorPuf.create(3, N_STAGES, [(3, 8)], seed=20)
+        assert xpuf.n_pufs == 3
+        assert xpuf.n_stages == N_STAGES
+        ch = random_challenges(40, N_STAGES, seed=21)
+        assert xpuf.noise_free_response(ch).shape == (40,)
+
+    def test_xor_composition(self):
+        from repro.silicon.feedforward import FeedForwardXorPuf
+
+        xpuf = FeedForwardXorPuf.create(2, N_STAGES, [(2, 9)], seed=22)
+        ch = random_challenges(100, N_STAGES, seed=23)
+        individual = np.stack([p.noise_free_response(ch) for p in xpuf.pufs])
+        np.testing.assert_array_equal(
+            xpuf.noise_free_response(ch),
+            np.bitwise_xor.reduce(individual, axis=0),
+        )
+
+    def test_constituents_independent(self):
+        from repro.silicon.feedforward import FeedForwardXorPuf
+
+        xpuf = FeedForwardXorPuf.create(2, N_STAGES, [(2, 9)], seed=24)
+        a = xpuf.pufs[0].stage_delays.delays
+        b = xpuf.pufs[1].stage_delays.delays
+        assert not np.array_equal(a, b)
+
+    def test_empty_rejected(self):
+        from repro.silicon.feedforward import FeedForwardXorPuf
+
+        with pytest.raises(ValueError, match="at least one"):
+            FeedForwardXorPuf([])
+
+    def test_soft_response_range(self):
+        from repro.silicon.feedforward import FeedForwardXorPuf
+
+        xpuf = FeedForwardXorPuf.create(2, N_STAGES, [(2, 9)], seed=25)
+        ch = random_challenges(30, N_STAGES, seed=26)
+        soft = xpuf.soft_response(ch, 30, rng=np.random.default_rng(27))
+        assert soft.min() >= 0.0 and soft.max() <= 1.0
+
+
+class TestNoisyEvaluation:
+    def test_eval_shape(self):
+        puf = FeedForwardArbiterPuf.create(N_STAGES, [(3, 8)], seed=10)
+        ch = random_challenges(50, N_STAGES, seed=11)
+        r = puf.eval(ch, rng=np.random.default_rng(12))
+        assert r.shape == (50,)
+        assert set(np.unique(r)) <= {0, 1}
+
+    def test_soft_response_range(self):
+        puf = FeedForwardArbiterPuf.create(N_STAGES, [(3, 8)], seed=13)
+        ch = random_challenges(30, N_STAGES, seed=14)
+        soft = puf.soft_response(ch, 50, rng=np.random.default_rng(15))
+        assert soft.min() >= 0.0 and soft.max() <= 1.0
+
+    def test_intermediate_arbiters_add_instability(self):
+        """Feed-forward PUFs are less stable than plain ones on the same
+        delays (the documented cost of the structure)."""
+        sd = sample_stage_delays(32, seed=16)
+        plain = FeedForwardArbiterPuf(sd, [], NoiseModel(0.3))
+        loops = [FeedForwardLoop(t, t + 8) for t in (2, 6, 10, 14, 18)]
+        ff = FeedForwardArbiterPuf(sd, loops, NoiseModel(0.3))
+        ch = random_challenges(1500, 32, seed=17)
+        rng_a, rng_b = np.random.default_rng(18), np.random.default_rng(19)
+        plain_soft = plain.soft_response(ch, 40, rng=rng_a)
+        ff_soft = ff.soft_response(ch, 40, rng=rng_b)
+
+        def unstable_fraction(soft):
+            return ((soft > 0) & (soft < 1)).mean()
+
+        assert unstable_fraction(ff_soft) > unstable_fraction(plain_soft)

@@ -1,0 +1,53 @@
+"""Tests for the one-time-programmable fuse model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.silicon.fuses import FuseBank, FuseBlownError, FuseState
+
+
+class TestFuseBank:
+    def test_starts_intact(self):
+        bank = FuseBank()
+        assert bank.state is FuseState.INTACT
+        assert not bank.is_blown
+
+    def test_access_while_intact(self):
+        bank = FuseBank()
+        bank.check_access()
+        bank.check_access()
+        assert bank.access_count == 2
+
+    def test_blow_disables_access(self):
+        bank = FuseBank()
+        bank.blow()
+        assert bank.is_blown
+        with pytest.raises(FuseBlownError, match="denied"):
+            bank.check_access("soft-response readout")
+
+    def test_access_count_frozen_after_blow(self):
+        bank = FuseBank()
+        bank.check_access()
+        bank.blow()
+        with pytest.raises(FuseBlownError):
+            bank.check_access()
+        assert bank.access_count == 1
+
+    def test_double_blow_rejected(self):
+        bank = FuseBank()
+        bank.blow()
+        with pytest.raises(FuseBlownError, match="already"):
+            bank.blow()
+
+    def test_error_message_names_operation(self):
+        bank = FuseBank()
+        bank.blow()
+        with pytest.raises(FuseBlownError, match="readout of PUF #2"):
+            bank.check_access("readout of PUF #2")
+
+    def test_repr_shows_state(self):
+        bank = FuseBank()
+        assert "intact" in repr(bank)
+        bank.blow()
+        assert "blown" in repr(bank)

@@ -1,0 +1,115 @@
+"""Tests for the noise model and its Fig.-2 calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.silicon.environment import EnvironmentModel, OperatingCondition
+from repro.silicon.noise import (
+    PAPER_N_TRIALS,
+    PAPER_STABLE_FRACTION,
+    NoiseModel,
+    calibrate_noise_sigma,
+    stable_probability,
+)
+
+
+class TestStableProbability:
+    def test_monotone_in_noise(self):
+        """More noise -> fewer stable challenges."""
+        probs = [stable_probability(r, 1000) for r in (0.01, 0.05, 0.2, 1.0)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_monotone_in_trials(self):
+        """Deeper counters catch more flips -> fewer stable challenges."""
+        assert stable_probability(0.05, 100) > stable_probability(0.05, 100_000)
+
+    def test_tiny_noise_everything_stable(self):
+        assert stable_probability(1e-6, 1000) > 0.999
+
+    def test_huge_noise_nothing_stable(self):
+        assert stable_probability(10.0, 100_000) < 1e-3
+
+    def test_single_trial_always_stable(self):
+        """With one trial every challenge trivially reads 0 or T."""
+        assert stable_probability(0.1, 1) == pytest.approx(1.0)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            stable_probability(0.0, 100)
+        with pytest.raises(ValueError):
+            stable_probability(0.1, 0)
+
+
+class TestCalibration:
+    def test_hits_paper_target(self):
+        sigma = calibrate_noise_sigma(8.0)
+        rho = sigma / 8.0
+        assert stable_probability(rho, PAPER_N_TRIALS) == pytest.approx(
+            PAPER_STABLE_FRACTION, abs=1e-9
+        )
+
+    def test_scales_with_sigma_delta(self):
+        assert calibrate_noise_sigma(16.0) == pytest.approx(
+            2.0 * calibrate_noise_sigma(8.0)
+        )
+
+    def test_other_targets(self):
+        tight = calibrate_noise_sigma(8.0, target_stable_fraction=0.95)
+        loose = calibrate_noise_sigma(8.0, target_stable_fraction=0.50)
+        assert tight < loose  # fewer flips demanded -> less noise allowed
+
+    def test_empirical_stable_fraction(self):
+        """The calibrated sigma reproduces the target on sampled deltas."""
+        rng = np.random.default_rng(0)
+        sigma_delta = 8.0
+        sigma_n = calibrate_noise_sigma(sigma_delta, n_trials=10_000)
+        delta = rng.normal(0, sigma_delta, 200_000)
+        from scipy import stats
+
+        p = stats.norm.cdf(delta / sigma_n)
+        stable = (
+            np.exp(10_000 * np.log(np.clip(p, 1e-300, 1.0)))
+            + np.exp(10_000 * np.log(np.clip(1 - p, 1e-300, 1.0)))
+        )
+        assert abs(stable.mean() - PAPER_STABLE_FRACTION) < 0.01
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            calibrate_noise_sigma(0.0)
+        with pytest.raises(ValueError):
+            calibrate_noise_sigma(8.0, target_stable_fraction=1.0)
+
+
+class TestNoiseModel:
+    def test_sigma_positive_required(self):
+        with pytest.raises(ValueError):
+            NoiseModel(0.0)
+
+    def test_nominal_sigma_unscaled(self):
+        model = NoiseModel(0.4)
+        assert model.sigma_at() == pytest.approx(0.4)
+
+    def test_environment_scaling(self):
+        model = NoiseModel(0.4, EnvironmentModel())
+        hot_low_v = OperatingCondition(0.8, 60.0)
+        assert model.sigma_at(hot_low_v) > 0.4
+        cold_high_v = OperatingCondition(1.0, 0.0)
+        assert model.sigma_at(cold_high_v) < 0.4
+
+    def test_frozen_environment(self):
+        model = NoiseModel(0.4, environment=None)
+        assert model.sigma_at(OperatingCondition(0.8, 60.0)) == pytest.approx(0.4)
+
+    def test_response_probability_monotone(self):
+        model = NoiseModel(1.0)
+        p = model.response_probability(np.array([-2.0, 0.0, 2.0]))
+        assert p[0] < p[1] < p[2]
+        assert p[1] == pytest.approx(0.5)
+
+    def test_response_probability_sharpens_with_less_noise(self):
+        delta = np.array([1.0])
+        sharp = NoiseModel(0.1).response_probability(delta)[0]
+        blunt = NoiseModel(10.0).response_probability(delta)[0]
+        assert sharp > blunt > 0.5

@@ -1,0 +1,86 @@
+"""Tests for the PXI-style chip tester."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crp.challenges import random_challenges
+from repro.silicon.chip import PufChip
+from repro.silicon.environment import (
+    NOMINAL_CONDITION,
+    OperatingCondition,
+    paper_corner_grid,
+)
+from repro.silicon.fuses import FuseBlownError
+from repro.silicon.tester import ChipTester
+
+N_STAGES = 32
+
+
+@pytest.fixture()
+def tester():
+    return ChipTester()
+
+
+class TestCampaign:
+    def test_default_condition_is_nominal(self, tester, fresh_chip, challenge_batch):
+        campaign = tester.measure_soft_responses(fresh_chip, challenge_batch[:200], 1000)
+        assert campaign.conditions == [NOMINAL_CONDITION]
+        assert len(campaign.datasets()) == fresh_chip.n_pufs
+
+    def test_multi_condition_campaign(self, tester, fresh_chip, challenge_batch):
+        conditions = paper_corner_grid(voltages=[0.8, 1.0], temperatures=[25.0])
+        campaign = tester.measure_soft_responses(
+            fresh_chip, challenge_batch[:100], 1000, conditions
+        )
+        assert len(campaign.conditions) == 2
+        for condition in conditions:
+            assert len(campaign.datasets(condition)) == 4
+
+    def test_unmeasured_condition_raises(self, tester, fresh_chip, challenge_batch):
+        campaign = tester.measure_soft_responses(fresh_chip, challenge_batch[:50], 100)
+        with pytest.raises(KeyError, match="not part of this campaign"):
+            campaign.datasets(OperatingCondition(1.0, 60.0))
+
+    def test_deployed_chip_rejected(self, tester, fresh_chip, challenge_batch):
+        fresh_chip.blow_fuses()
+        with pytest.raises(FuseBlownError):
+            tester.measure_soft_responses(fresh_chip, challenge_batch[:10], 100)
+
+    def test_empty_conditions_rejected(self, tester, fresh_chip, challenge_batch):
+        with pytest.raises(ValueError, match="empty"):
+            tester.measure_soft_responses(fresh_chip, challenge_batch[:10], 100, [])
+
+
+class TestStabilityComposition:
+    def test_stable_mask_shrinks_with_n(self, tester, fresh_chip, challenge_batch):
+        campaign = tester.measure_soft_responses(
+            fresh_chip, challenge_batch, 100_000
+        )
+        fractions = [
+            campaign.stable_fraction(n_pufs=n) for n in range(1, fresh_chip.n_pufs + 1)
+        ]
+        assert all(a >= b for a, b in zip(fractions, fractions[1:]))
+
+    def test_stable_fraction_default_all_pufs(self, tester, fresh_chip, challenge_batch):
+        campaign = tester.measure_soft_responses(fresh_chip, challenge_batch, 100_000)
+        assert campaign.stable_fraction() == campaign.stable_fraction(
+            n_pufs=fresh_chip.n_pufs
+        )
+
+    def test_n_pufs_bounds(self, tester, fresh_chip, challenge_batch):
+        campaign = tester.measure_soft_responses(fresh_chip, challenge_batch[:50], 100)
+        with pytest.raises(ValueError):
+            campaign.stable_mask(n_pufs=0)
+        with pytest.raises(ValueError):
+            campaign.stable_mask(n_pufs=5)
+
+    def test_measure_xor_stability(self, tester, challenge_batch):
+        chip = PufChip.create(3, N_STAGES, seed=77)
+        result = tester.measure_xor_stability(
+            chip, challenge_batch, 100_000, n_puf_values=[1, 2, 3]
+        )
+        assert set(result) == {1, 2, 3}
+        assert result[1] >= result[2] >= result[3]
+        assert result[1] == pytest.approx(0.8, abs=0.08)

@@ -1,0 +1,93 @@
+"""Tests for wafer-level spatial correlation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.silicon.wafer import Wafer, fabricate_wafer, uniqueness_vs_distance
+
+N_STAGES = 32
+
+
+@pytest.fixture(scope="module")
+def correlated_wafer():
+    return fabricate_wafer(
+        3, 3, 1, N_STAGES,
+        wafer_fraction=0.1, spatial_fraction=0.45, correlation_length=2.0,
+        seed=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def independent_wafer():
+    return fabricate_wafer(
+        3, 3, 1, N_STAGES, wafer_fraction=0.0, spatial_fraction=0.0, seed=1
+    )
+
+
+class TestFabricateWafer:
+    def test_grid_accessors(self, correlated_wafer):
+        assert len(correlated_wafer.chips) == 9
+        chip = correlated_wafer.chip_at(1, 2)
+        assert chip is correlated_wafer.chips[1 * 3 + 2]
+        assert correlated_wafer.position_of(5) == (1, 2)
+
+    def test_grid_bounds(self, correlated_wafer):
+        with pytest.raises(IndexError):
+            correlated_wafer.chip_at(3, 0)
+        with pytest.raises(IndexError):
+            correlated_wafer.position_of(9)
+
+    def test_distance_metric(self, correlated_wafer):
+        assert correlated_wafer.distance(0, 1) == pytest.approx(1.0)
+        assert correlated_wafer.distance(0, 4) == pytest.approx(np.sqrt(2))
+        assert correlated_wafer.distance(0, 0) == 0.0
+
+    def test_variance_preserved(self, correlated_wafer, independent_wafer):
+        """The variance mixing keeps the process sigma of each chip."""
+        def mean_var(wafer):
+            return np.mean(
+                [np.var(c.oracle().pufs[0].weights) for c in wafer.chips]
+            )
+
+        assert mean_var(correlated_wafer) == pytest.approx(
+            mean_var(independent_wafer), rel=0.4
+        )
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError, match="exceed 1"):
+            fabricate_wafer(2, 2, 1, 8, wafer_fraction=0.6, spatial_fraction=0.6)
+
+    def test_zero_fractions_independent(self, independent_wafer):
+        """No shared components: adjacent dies are uncorrelated."""
+        w0 = independent_wafer.chips[0].oracle().pufs[0].weights
+        w1 = independent_wafer.chips[1].oracle().pufs[0].weights
+        corr = np.corrcoef(w0, w1)[0, 1]
+        assert abs(corr) < 0.5
+
+    def test_neighbours_correlate(self, correlated_wafer):
+        w0 = correlated_wafer.chips[0].oracle().pufs[0].weights
+        w1 = correlated_wafer.chips[1].oracle().pufs[0].weights
+        corr = np.corrcoef(w0, w1)[0, 1]
+        assert corr > 0.2
+
+
+class TestUniquenessVsDistance:
+    def test_independent_flat_at_half(self, independent_wafer):
+        curve = uniqueness_vs_distance(independent_wafer, 2000, seed=2)
+        for value in curve.values():
+            assert value == pytest.approx(0.5, abs=0.06)
+
+    def test_correlation_pulls_neighbours_below_half(self, correlated_wafer):
+        curve = uniqueness_vs_distance(correlated_wafer, 2000, seed=3)
+        distances = sorted(curve)
+        assert curve[distances[0]] < 0.45  # adjacent dies too similar
+        # HD recovers (weakly monotone) with distance.
+        assert curve[distances[-1]] > curve[distances[0]]
+
+    def test_distance_buckets_cover_grid(self, correlated_wafer):
+        curve = uniqueness_vs_distance(correlated_wafer, 500, seed=4)
+        assert min(curve) == pytest.approx(1.0)
+        # Bucket keys are rounded to 3 decimals.
+        assert max(curve) == pytest.approx(np.hypot(2, 2), abs=1e-3)

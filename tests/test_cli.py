@@ -1,0 +1,87 @@
+"""Tests for the repro-puf command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    @pytest.mark.parametrize(
+        "command", ["stability", "enroll", "attack", "auth", "aging"]
+    )
+    def test_subcommands_parse(self, command):
+        args = build_parser().parse_args([command])
+        assert args.command == command
+
+    def test_global_seed(self):
+        args = build_parser().parse_args(["--seed", "9", "stability"])
+        assert args.seed == 9
+
+
+class TestCommands:
+    def test_stability(self, capsys):
+        code = main(
+            ["stability", "--n-pufs", "2", "--challenges", "2000",
+             "--trials", "1000"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ref" in out  # the 0.8**n reference column
+        assert out.count("\n") >= 2
+
+    def test_enroll_and_save(self, capsys, tmp_path):
+        path = tmp_path / "record.npz"
+        code = main(
+            ["enroll", "--n-pufs", "2", "--train", "800",
+             "--validation", "3000", "--save", str(path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "betas" in out
+        assert path.exists()
+
+    def test_attack(self, capsys):
+        code = main(
+            ["attack", "--n-pufs", "2", "--train", "3000", "--pool", "15000"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "accuracy" in out
+
+    def test_auth_sessions_pass(self, capsys):
+        code = main(["auth", "--n-pufs", "2", "--sessions", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3/3 sessions approved" in out
+
+    def test_figure_prints_json(self, capsys):
+        import json
+
+        code = main(["figure", "fig08"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert "thr0" in payload and "thr1" in payload
+
+    def test_figure_unknown_name_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+    def test_aging_table(self, capsys):
+        code = main(
+            ["aging", "--n-pufs", "2", "--selected", "2000",
+             "--amplitude", "0.3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "flip rate" in out

@@ -1,0 +1,186 @@
+"""Smoke tests for the programmatic experiment runners.
+
+Each runner is exercised at a deliberately tiny scale: the goal is to
+pin the result *schema* and the coarse physics (fractions in range,
+ordering relations), not the statistics -- the benchmarks own those.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_aging_study,
+    run_fig02,
+    run_fig03,
+    run_fig08,
+    run_fig09,
+    run_fig10,
+    run_fig11,
+    run_regression_methods,
+    run_salvage_comparison,
+    run_soft_vs_hard,
+    run_threshold_policy,
+)
+
+
+def _json_roundtrips(payload) -> bool:
+    json.dumps(payload)
+    return True
+
+
+class TestStabilityRunners:
+    def test_fig02_schema_and_range(self):
+        result = run_fig02(n_challenges=20_000, n_chips=2, seed=1)
+        assert _json_roundtrips(result)
+        assert 0.2 < result["stable_zero"] < 0.6
+        assert 0.2 < result["stable_one"] < 0.6
+        assert len(result["histogram"]) == 101
+        assert sum(result["histogram"]) == pytest.approx(1.0, abs=1e-6)
+
+    def test_fig03_monotone(self):
+        result = run_fig03(n_challenges=4000, n_pufs=3, seed=2)
+        assert _json_roundtrips(result)
+        fractions = [result["fractions"][str(n)] for n in (1, 2, 3)]
+        assert fractions[0] >= fractions[1] >= fractions[2]
+        assert 0.6 < result["decay_base"] < 0.95
+
+
+class TestThresholdRunners:
+    def test_fig08_invariants(self):
+        result = run_fig08(n_train=2000, seed=3)
+        assert result["pred_min"] < result["thr0"] < result["thr1"] < result["pred_max"]
+        assert result["false_stable_count"] == 0
+        assert _json_roundtrips(result)
+
+    def test_fig09_beta_bounds(self):
+        result = run_fig09(n_test=8000, n_chips=2, seed=4)
+        assert all(0 < b <= 1 for b in result["beta0_values"])
+        assert all(b >= 1 for b in result["beta1_values"])
+        assert result["fleet_beta0"] == min(result["beta0_values"])
+        assert result["fleet_beta1"] == max(result["beta1_values"])
+
+    def test_fig10_below_measured(self):
+        result = run_fig10(
+            n_test=10_000, n_validation=6000, train_sizes=(500, 2000), seed=5
+        )
+        for point in result["series"]:
+            assert point["predicted_stable"] < result["measured_stable"]
+
+    def test_fig11_stringency_ordering(self):
+        result = run_fig11(n_test=8000, seed=6)
+        assert result["betas_vt"][0] <= result["betas_nominal"][0]
+        assert result["betas_vt"][1] >= result["betas_nominal"][1]
+        assert result["stable_all_corners"] <= result["stable_nominal"]
+
+    def test_threshold_policy_ordering(self):
+        result = run_threshold_policy(n_eval=20_000, seed=7)
+        assert (
+            result["three_category"]["error_rate"]
+            < result["two_category"]["error_rate"]
+        )
+        assert result["three_category_beta"]["usable_fraction"] < 1.0
+
+
+class TestRegressionRunners:
+    def test_methods_schema(self):
+        result = run_regression_methods(n_train=1500, seed=8)
+        assert set(result) == {"linear", "probit", "mle", "logistic"}
+        for row in result.values():
+            assert row["cosine"] > 0.8
+            assert 0.8 < row["accuracy"] <= 1.0
+
+    def test_soft_vs_hard_rows(self):
+        series = run_soft_vs_hard(budgets=[150, 600], seed=9)
+        assert [row["budget"] for row in series] == [150, 600]
+        for row in series:
+            assert 0.5 < row["soft_accuracy"] <= 1.0
+
+
+class TestZeroHdRunner:
+    def test_rates_schema(self):
+        from repro.experiments import run_zero_hd_authentication
+
+        result = run_zero_hd_authentication(n_sessions=3, n_pufs=2, seed=30)
+        assert result["false_reject_rate"] == 0.0
+        assert result["false_accept_rate"] == 0.0
+        assert 0.0 <= result["random_challenge_reject_rate"] <= 1.0
+
+
+class TestBaselineComparisonRunner:
+    def test_all_schemes_sound(self):
+        from repro.experiments import run_baseline_comparison
+
+        result = run_baseline_comparison(n_candidates=5000, n_pufs=3, seed=31)
+        assert set(result) == {
+            "proposed", "measurement_table", "majority_vote", "noise_bifurcation",
+        }
+        for name, row in result.items():
+            assert row["honest_ok"], name
+            assert not row["impostor_ok"], name
+
+
+class TestAttackRunners:
+    def test_fig04_schema(self):
+        from repro.experiments import run_fig04
+
+        result = run_fig04(n_values=[2], n_challenge_pool=15_000, seed=20)
+        assert result["pool"] == 15_000
+        curve = result["curves"]["2"]
+        assert all(
+            {"n_train", "accuracy", "ms_per_crp"} <= set(point) for point in curve
+        )
+        # At this pool a 2-XOR PUF is learnable by the largest budget.
+        assert curve[-1]["accuracy"] > 0.9
+
+    def test_training_speed_schema(self):
+        from repro.experiments import run_training_speed
+
+        result = run_training_speed(n_train=2000, n_values=[2], seed=21)
+        row = result["2"]
+        assert row["n_train"] <= 2000
+        assert row["ms_per_crp"] > 0
+        assert row["iterations"] >= 1
+
+    def test_bifurcation_runner_gap(self):
+        from repro.experiments import run_bifurcation_attack
+
+        result = run_bifurcation_attack(budgets=[1500], seed=22)
+        row = result["series"][0]
+        assert row["bifurcated"] <= row["clean"] + 0.02
+        assert 0.8 < result["honest_match"] <= 1.0
+
+
+class TestFeedForwardRunner:
+    def test_comparison_trade(self):
+        from repro.experiments.feedforward import run_feedforward_comparison
+
+        result = run_feedforward_comparison(
+            n_values=(1,), n_train=3000, n_stability_challenges=500,
+            n_stability_trials=31, seed=12,
+        )
+        linear = result["linear"]["1"]
+        ff = result["feedforward"]["1"]
+        assert ff["stability"] < linear["stability"]
+        assert ff["mlp_accuracy"] < linear["mlp_accuracy"]
+
+
+class TestProtocolRunners:
+    def test_aging_series_monotone_policy(self):
+        result = run_aging_study(n_selected=3000, aging_amplitude=0.5,
+                                 n_pufs=2, seed=10)
+        nominal = result["flip_rates"]["nominal_beta"]
+        assert nominal[0] == 0.0
+        assert nominal[-1] >= nominal[0]
+        assert len(result["hours"]) == len(nominal)
+
+    def test_salvage_trade(self):
+        result = run_salvage_comparison(n_candidates=6000, n_pufs=4, seed=11)
+        assert result["salvage"]["yield"] > result["model"]["yield"]
+        assert result["model"]["honest_ok"]
+        assert result["salvage"]["honest_ok"]
+        assert not result["model"]["impostor_ok"]
+        assert not result["salvage"]["impostor_ok"]

@@ -1,0 +1,137 @@
+"""Tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.utils.validation import (
+    as_challenge_array,
+    as_float_array,
+    check_in_range,
+    check_positive_int,
+    check_probability,
+    is_binary_array,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_python_int(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(5), "x") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="positive"):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="positive"):
+            check_positive_int(-1, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError, match="int"):
+            check_positive_int(2.0, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError, match="int"):
+            check_positive_int(True, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_probability(value, "p")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds_accept_edges(self):
+        assert check_in_range(1.0, "x", 1.0, 2.0) == 1.0
+        assert check_in_range(2.0, "x", 1.0, 2.0) == 2.0
+
+    def test_exclusive_bounds_reject_edges(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.0, "x", 1.0, 2.0, inclusive=False)
+        with pytest.raises(ValueError):
+            check_in_range(2.0, "x", 1.0, 2.0, inclusive=False)
+
+    def test_one_sided(self):
+        assert check_in_range(100.0, "x", low=0.0) == 100.0
+        with pytest.raises(ValueError, match=">="):
+            check_in_range(-1.0, "x", low=0.0)
+
+
+class TestIsBinaryArray:
+    def test_int8_binary(self):
+        assert is_binary_array(np.array([0, 1, 1, 0], dtype=np.int8))
+
+    def test_bool(self):
+        assert is_binary_array(np.array([True, False]))
+
+    def test_float_binary(self):
+        assert is_binary_array(np.array([0.0, 1.0]))
+
+    def test_rejects_two(self):
+        assert not is_binary_array(np.array([0, 1, 2]))
+
+    def test_rejects_negative(self):
+        assert not is_binary_array(np.array([-1, 0]))
+
+    def test_rejects_fraction(self):
+        assert not is_binary_array(np.array([0.5]))
+
+
+class TestAsChallengeArray:
+    def test_promotes_1d(self):
+        out = as_challenge_array([0, 1, 0])
+        assert out.shape == (1, 3)
+        assert out.dtype == np.int8
+
+    def test_keeps_2d(self):
+        out = as_challenge_array([[0, 1], [1, 0]])
+        assert out.shape == (2, 2)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            as_challenge_array(np.zeros((2, 2, 2), dtype=np.int8))
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="0/1"):
+            as_challenge_array([[0, 2]])
+
+    def test_stage_count_checked(self):
+        with pytest.raises(ValueError, match="expected 4"):
+            as_challenge_array([[0, 1, 0]], n_stages=4)
+
+    def test_no_copy_for_int8(self):
+        arr = np.zeros((3, 4), dtype=np.int8)
+        assert as_challenge_array(arr) is arr
+
+    @given(
+        hnp.arrays(
+            dtype=np.int8,
+            shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=8),
+            elements=st.integers(0, 1),
+        )
+    )
+    def test_roundtrip_property(self, arr):
+        out = as_challenge_array(arr)
+        np.testing.assert_array_equal(out, arr)
+
+
+class TestAsFloatArray:
+    def test_converts(self):
+        out = as_float_array([1, 2], "x")
+        assert out.dtype == np.float64
+
+    def test_ndim_enforced(self):
+        with pytest.raises(ValueError, match="1-D"):
+            as_float_array([[1.0]], "x", ndim=1)

@@ -25,6 +25,21 @@ def full_scale() -> bool:
     return os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0", "false")
 
 
+def engine_jobs() -> int:
+    """Worker-process count for engine-backed benchmarks.
+
+    Set ``REPRO_JOBS`` to fan measurement chunks over worker processes
+    (0 = all cores).  Results are bit-identical at any value.
+    """
+    return int(os.environ.get("REPRO_JOBS", "1") or "1")
+
+
+def engine_chunk_size() -> "int | None":
+    """Engine chunk size override from ``REPRO_CHUNK_SIZE`` (None = default)."""
+    raw = os.environ.get("REPRO_CHUNK_SIZE", "")
+    return int(raw) if raw else None
+
+
 def scaled(default: int, full: int) -> int:
     """Pick the experiment size for the current scale."""
     return full if full_scale() else default

@@ -17,7 +17,7 @@ from repro.silicon.noise import PAPER_N_TRIALS
 
 from repro.experiments.stability import run_fig02 as run_experiment
 
-from _common import emit, format_row, save_results, scaled
+from _common import emit, engine_chunk_size, engine_jobs, format_row, save_results, scaled
 
 N_STAGES = 32
 
@@ -26,7 +26,11 @@ N_STAGES = 32
 def test_fig02_soft_response_distribution(benchmark, capsys):
     n_challenges = scaled(200_000, 1_000_000)
     result = benchmark.pedantic(
-        run_experiment, args=(n_challenges,), rounds=1, iterations=1
+        run_experiment,
+        args=(n_challenges,),
+        kwargs={"jobs": engine_jobs(), "chunk_size": engine_chunk_size()},
+        rounds=1,
+        iterations=1,
     )
     stable = result["stable_zero"] + result["stable_one"]
     n_total = result["n_chips"] * result["n_challenges_per_chip"]

@@ -11,7 +11,7 @@ from repro.silicon.noise import PAPER_N_TRIALS
 
 from repro.experiments.stability import run_fig03 as run_experiment
 
-from _common import emit, format_row, save_results, scaled
+from _common import emit, engine_chunk_size, engine_jobs, format_row, save_results, scaled
 
 N_STAGES = 32
 N_PUFS = 10
@@ -21,7 +21,11 @@ N_PUFS = 10
 def test_fig03_stable_fraction_vs_n(benchmark, capsys):
     n_challenges = scaled(100_000, 1_000_000)
     result = benchmark.pedantic(
-        run_experiment, args=(n_challenges,), rounds=1, iterations=1
+        run_experiment,
+        args=(n_challenges,),
+        kwargs={"jobs": engine_jobs(), "chunk_size": engine_chunk_size()},
+        rounds=1,
+        iterations=1,
     )
     fractions = {int(k): v for k, v in result["fractions"].items()}
     lines = [

@@ -28,7 +28,7 @@ from repro.silicon.noise import PAPER_N_TRIALS
 
 from repro.experiments.thresholds import run_fig12 as run_experiment
 
-from _common import emit, format_row, save_results, scaled
+from _common import emit, engine_chunk_size, engine_jobs, format_row, save_results, scaled
 
 N_STAGES = 32
 N_PUFS = 10
@@ -80,7 +80,11 @@ def _enroll_models(chip: PufChip, n_validation: int, seed: int):
 def test_fig12_predicted_stable_vs_n(benchmark, capsys):
     n_eval = scaled(60_000, 1_000_000)
     result = benchmark.pedantic(
-        run_experiment, args=(n_eval, 20_000), rounds=1, iterations=1
+        run_experiment,
+        args=(n_eval, 20_000),
+        kwargs={"jobs": engine_jobs(), "chunk_size": engine_chunk_size()},
+        rounds=1,
+        iterations=1,
     )
     curves = {
         "measured (nominal)": ("0.800**n", result["measured"]),

@@ -1,0 +1,202 @@
+"""Throughput of the chunked evaluation engine vs the seed code path.
+
+Three CRPs/sec measurements, all written to ``BENCH_throughput.json`` at
+the repo root:
+
+* **soft sweep** -- the Fig. 3 paper shape (10-input XOR PUF, one shared
+  challenge set, T = 100 000 counters).  The reference is a faithful
+  reimplementation of the pre-engine loop: parity features recomputed
+  per PUF, effective weights rebuilt per call, the gather-based
+  stage-interaction term and ``stats.norm.cdf``.  The engine must be at
+  least 3x faster.
+* **enrollment** -- the full Fig.-6 flow through the grid campaigns.
+* **identify** -- the server's vectorized stacked-matrix scoring.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+from scipy import stats
+
+from repro.core.enrollment import enroll_chip
+from repro.core.server import AuthenticationServer
+from repro.crp.challenges import random_challenges
+from repro.crp.transform import parity_features
+from repro.engine import EvaluationEngine
+from repro.silicon.chip import PufChip, fabricate_lot
+from repro.silicon.environment import NOMINAL_CONDITION
+from repro.silicon.noise import PAPER_N_TRIALS
+from repro.silicon.xorpuf import XorArbiterPuf
+
+from _common import emit, engine_chunk_size, engine_jobs, format_row, save_results, scaled
+
+N_STAGES = 32
+N_PUFS = 10
+ROOT_REPORT = Path(__file__).parent.parent / "BENCH_throughput.json"
+
+#: Acceptance floor for the engine-vs-seed-path speedup on the Fig. 3
+#: sweep shape.  The engine wins even single-core: shared features,
+#: the quadratic-form interaction term and the raw ``ndtr`` kernel.
+MIN_SPEEDUP = 3.0
+
+
+def _update_root_report(section: str, payload: dict) -> None:
+    """Merge one section into the repo-root throughput report."""
+    report = {}
+    if ROOT_REPORT.exists():
+        report = json.loads(ROOT_REPORT.read_text(encoding="utf-8"))
+    report[section] = payload
+    ROOT_REPORT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+
+def _seed_path_sweep(pufs, challenges, n_trials, rng):
+    """The pre-engine measurement loop, reimplemented faithfully.
+
+    Per PUF: parity features recomputed from scratch, effective weights
+    rebuilt, interaction term via fancy-index gather, probabilities via
+    ``stats.norm.cdf`` -- exactly what the seed's
+    ``measure_soft_responses`` + ``ArbiterPuf.eval_counts`` did.
+    """
+    condition = NOMINAL_CONDITION
+    soft = []
+    for puf in pufs:
+        phi = parity_features(challenges)
+        gain = puf.environment.delay_gain(condition)
+        c_v, c_t = puf.environment.drift_coefficients(condition)
+        effective = gain * (
+            puf.weights
+            + c_v * puf.voltage_sensitivity_vector
+            + c_t * puf.temperature_sensitivity_vector
+        )
+        delta = phi @ effective
+        idx, weights = puf.interaction_indices, puf.interaction_weights
+        if idx is not None and len(idx):
+            pairwise = phi[:, idx[:, 0]] * phi[:, idx[:, 1]]
+            delta = delta + gain * (pairwise @ weights)
+        p = stats.norm.cdf(delta / puf.noise.sigma_at(condition))
+        soft.append(rng.binomial(n_trials, p) / n_trials)
+    return np.stack(soft)
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def test_throughput_soft_sweep(benchmark, capsys):
+    n_challenges = scaled(200_000, 1_000_000)
+    xor_puf = XorArbiterPuf.create(N_PUFS, N_STAGES, seed=500)
+    challenges = random_challenges(n_challenges, N_STAGES, seed=501)
+    engine = EvaluationEngine(jobs=engine_jobs(), chunk_size=engine_chunk_size() or 65_536)
+    n_crps = n_challenges * N_PUFS
+
+    # Warm both paths (imports, BLAS thread pools, allocator).
+    _seed_path_sweep(xor_puf.pufs, challenges[:1000], PAPER_N_TRIALS, np.random.default_rng(0))
+    engine.soft_responses(xor_puf.pufs, challenges[:1000], PAPER_N_TRIALS, seed=0)
+
+    _, t_seed = _timed(
+        _seed_path_sweep, xor_puf.pufs, challenges, PAPER_N_TRIALS,
+        np.random.default_rng(502),
+    )
+    t_engine = benchmark.pedantic(
+        lambda: _timed(
+            engine.soft_responses, xor_puf.pufs, challenges, PAPER_N_TRIALS, seed=502
+        )[1],
+        rounds=1,
+        iterations=1,
+    )
+    speedup = t_seed / t_engine
+    payload = {
+        "shape": f"{N_PUFS} PUFs x {n_challenges} shared challenges, T={PAPER_N_TRIALS}",
+        "jobs": engine.jobs,
+        "chunk_size": engine.chunk_size,
+        "seed_path_seconds": t_seed,
+        "engine_seconds": t_engine,
+        "seed_path_crps_per_sec": n_crps / t_seed,
+        "engine_crps_per_sec": n_crps / t_engine,
+        "speedup": speedup,
+    }
+    _update_root_report("soft_sweep", payload)
+    save_results("throughput_soft_sweep", payload)
+    emit(capsys, "Throughput -- Fig. 3 soft-response sweep", [
+        f"  {payload['shape']}, jobs={engine.jobs}",
+        format_row("seed path", "--", f"{n_crps / t_seed / 1e6:.2f} M CRP/s"),
+        format_row("engine", "--", f"{n_crps / t_engine / 1e6:.2f} M CRP/s"),
+        format_row("speedup", f">= {MIN_SPEEDUP:.0f}x", f"{speedup:.1f}x"),
+    ])
+    assert speedup >= MIN_SPEEDUP
+
+
+def test_throughput_enrollment(benchmark, capsys):
+    n_enroll = scaled(2000, 5000)
+    n_validation = scaled(5000, 20_000)
+    n_pufs = 4
+
+    def run():
+        chip = PufChip.create(n_pufs, N_STAGES, seed=510, chip_id="bench")
+        return _timed(
+            enroll_chip,
+            chip,
+            n_enroll_challenges=n_enroll,
+            n_validation_challenges=n_validation,
+            n_trials=PAPER_N_TRIALS,
+            jobs=engine_jobs(),
+            chunk_size=engine_chunk_size(),
+            seed=511,
+        )[1]
+
+    elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    n_crps = n_pufs * (n_enroll + n_validation)  # nominal-only validation
+    payload = {
+        "shape": f"{n_pufs} PUFs, {n_enroll} train + {n_validation} validation, T={PAPER_N_TRIALS}",
+        "jobs": engine_jobs(),
+        "seconds": elapsed,
+        "measured_crps": n_crps,
+        "crps_per_sec": n_crps / elapsed,
+    }
+    _update_root_report("enrollment", payload)
+    save_results("throughput_enrollment", payload)
+    emit(capsys, "Throughput -- enrollment (Fig. 6 flow)", [
+        f"  {payload['shape']}",
+        format_row("enrollment", "--", f"{n_crps / elapsed / 1e3:.0f} k CRP/s"),
+    ])
+
+
+def test_throughput_identify(benchmark, capsys):
+    n_identities = 3
+    n_challenges = 64
+    repeats = 20
+    lot = fabricate_lot(n_identities, 3, N_STAGES, seed=520)
+    server = AuthenticationServer()
+    for i, chip in enumerate(lot):
+        server.enroll(
+            chip, seed=521 + i,
+            n_enroll_challenges=1200, n_validation_challenges=5000,
+        )
+
+    def run():
+        start = time.perf_counter()
+        for r in range(repeats):
+            server.identify(lot[r % n_identities], n_challenges=n_challenges, seed=530 + r)
+        return time.perf_counter() - start
+
+    elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    n_crps = repeats * n_identities * n_challenges
+    payload = {
+        "shape": f"{n_identities} identities x {n_challenges} challenges x {repeats} calls",
+        "seconds": elapsed,
+        "crps_per_sec": n_crps / elapsed,
+        "identifies_per_sec": repeats / elapsed,
+    }
+    _update_root_report("identify", payload)
+    save_results("throughput_identify", payload)
+    emit(capsys, "Throughput -- vectorized identify", [
+        f"  {payload['shape']}",
+        format_row("identify", "--", f"{repeats / elapsed:.0f} calls/s"),
+        format_row("scored CRPs", "--", f"{n_crps / elapsed / 1e3:.0f} k CRP/s"),
+    ])

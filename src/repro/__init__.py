@@ -8,6 +8,9 @@ The package provides:
   fuses, tester);
 * :mod:`repro.crp` -- challenge generation, the parity feature
   transform, and CRP/soft-response datasets;
+* :mod:`repro.engine` -- the chunked, multi-core CRP evaluation engine
+  behind every measurement campaign (shared features, bounded memory,
+  deterministic worker fan-out);
 * :mod:`repro.attacks` -- MLP and logistic-regression modeling attacks;
 * :mod:`repro.analysis` -- stability and PUF-quality metrics;
 * :mod:`repro.baselines` -- prior-work authentication schemes used as
@@ -46,6 +49,7 @@ from repro.crp import (
     parity_features,
     random_challenges,
 )
+from repro.engine import EvaluationEngine
 from repro.silicon import (
     NOMINAL_CONDITION,
     ArbiterPuf,
@@ -74,6 +78,7 @@ __all__ = [
     "SoftResponseDataset",
     "parity_features",
     "random_challenges",
+    "EvaluationEngine",
     "NOMINAL_CONDITION",
     "ArbiterPuf",
     "EnvironmentModel",

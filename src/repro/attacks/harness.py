@@ -29,6 +29,7 @@ import numpy as np
 from repro.attacks.features import attack_matrices
 from repro.crp.challenges import random_challenges
 from repro.crp.dataset import CrpDataset, train_test_split_indices
+from repro.engine import DEFAULT_CHUNK_SIZE, EvaluationEngine
 from repro.silicon.environment import NOMINAL_CONDITION, OperatingCondition
 from repro.silicon.xorpuf import XorArbiterPuf
 from repro.utils.rng import SeedLike, derive_generator
@@ -49,9 +50,17 @@ def collect_stable_xor_crps(
     *,
     train_fraction: float = 0.9,
     condition: OperatingCondition = NOMINAL_CONDITION,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
     seed: SeedLike = None,
 ) -> Tuple[CrpDataset, CrpDataset]:
     """Measure, stability-filter and split CRPs exactly as the paper does.
+
+    The 1 M-challenge stability sweep (step 1-2) streams through the
+    chunked evaluation engine: challenge features are computed once per
+    chunk and shared across all constituents, memory stays bounded by
+    *chunk_size*, and ``jobs > 1`` fans chunks over worker processes
+    with bit-identical results.
 
     Returns
     -------
@@ -71,10 +80,14 @@ def collect_stable_xor_crps(
     challenges = random_challenges(
         n_challenges, xor_puf.n_stages, derive_generator(seed, "challenges")
     )
-    stable = xor_puf.stable_mask(
-        challenges, n_trials, condition, derive_generator(seed, "measurement")
+    engine = EvaluationEngine(
+        jobs=jobs, chunk_size=DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size
     )
-    responses = xor_puf.noise_free_response(challenges, condition)
+    stable = engine.stable_mask(
+        xor_puf, challenges, n_trials, condition,
+        seed=derive_generator(seed, "measurement"),
+    )
+    responses = engine.noise_free_xor_response(xor_puf, challenges, condition)
     train_idx, test_idx = train_test_split_indices(
         n_challenges, train_fraction, derive_generator(seed, "split")
     )

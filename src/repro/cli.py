@@ -30,7 +30,6 @@ from repro.core.server import AuthenticationServer
 from repro.crp.challenges import random_challenges
 from repro.silicon.aging import AgingModel, age_chip
 from repro.silicon.chip import PufChip
-from repro.silicon.counters import measure_soft_responses
 from repro.silicon.environment import paper_corner_grid
 from repro.silicon.xorpuf import XorArbiterPuf
 
@@ -44,6 +43,16 @@ def build_parser() -> argparse.ArgumentParser:
         description="XOR arbiter PUF reproduction experiments (DAC'17).",
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for measurement campaigns "
+             "(0 = all cores; results are identical at any value)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="challenges per evaluation-engine chunk "
+             "(bounds peak memory; default 65536)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("stability", help="stable-CRP fraction vs XOR width (Fig. 3)")
@@ -98,14 +107,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_stability(args: argparse.Namespace) -> int:
+    from repro.experiments.stability import make_engine
+
     xor_puf = XorArbiterPuf.create(args.n_pufs, args.n_stages, seed=args.seed)
     challenges = random_challenges(args.challenges, args.n_stages, seed=args.seed + 1)
-    per_puf = [
-        measure_soft_responses(
-            puf, challenges, args.trials, rng=np.random.default_rng(args.seed + 2 + i)
-        )
-        for i, puf in enumerate(xor_puf.pufs)
-    ]
+    engine = make_engine(args.jobs, args.chunk_size)
+    per_puf = engine.measure_xor_constituents(
+        xor_puf, challenges, args.trials, seed=args.seed + 2
+    )
     fractions = stable_fraction_by_n(per_puf)
     from repro.viz import ascii_decay_table
 
@@ -121,6 +130,8 @@ def _cmd_enroll(args: argparse.Namespace) -> int:
         n_enroll_challenges=args.train,
         n_validation_challenges=args.validation,
         validation_conditions=conditions,
+        jobs=args.jobs,
+        chunk_size=args.chunk_size,
         seed=args.seed + 1,
     )
     print(f"enrolled {chip.chip_id}: betas {record.betas}")
@@ -138,7 +149,8 @@ def _cmd_enroll(args: argparse.Namespace) -> int:
 def _cmd_attack(args: argparse.Namespace) -> int:
     xor_puf = XorArbiterPuf.create(args.n_pufs, args.n_stages, seed=args.seed)
     train, test = collect_stable_xor_crps(
-        xor_puf, args.pool, 100_000, seed=args.seed + 1
+        xor_puf, args.pool, 100_000,
+        jobs=args.jobs, chunk_size=args.chunk_size, seed=args.seed + 1,
     )
     size = min(args.train, len(train))
     train_x, train_y, test_x, test_y = attack_matrices(
@@ -161,6 +173,8 @@ def _cmd_auth(args: argparse.Namespace) -> int:
         n_enroll_challenges=5000,
         n_validation_challenges=20_000,
         validation_conditions=paper_corner_grid() if args.corners else None,
+        jobs=args.jobs,
+        chunk_size=args.chunk_size,
     )
     corners = paper_corner_grid()
     failures = 0
@@ -205,6 +219,9 @@ _FIGURE_RUNNERS = {
               {"n_eval": 1_000_000}),
 }
 
+#: Figure runners that accept the engine's ``jobs``/``chunk_size`` knobs.
+_ENGINE_FIGURES = frozenset({"fig02", "fig03", "fig12"})
+
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     import json
@@ -215,6 +232,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     runner = getattr(experiments, runner_name)
     kwargs = dict(full if args.full else quick)
     kwargs["seed"] = args.seed
+    if args.name in _ENGINE_FIGURES:
+        kwargs["jobs"] = args.jobs
+        kwargs["chunk_size"] = args.chunk_size
     result = runner(**kwargs)
     print(json.dumps(result, indent=2, default=float))
     return 0

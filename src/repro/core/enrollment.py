@@ -143,6 +143,8 @@ def enroll_chip(
     beta_step: float = 0.01,
     measurement_method: str = "binomial",
     blow_fuses: bool = True,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
     seed: SeedLike = None,
 ) -> EnrollmentRecord:
     """Run the full Fig.-6 enrollment on *chip*.
@@ -173,6 +175,12 @@ def enroll_chip(
         Whether to end the enrollment phase (disable with care; only
         experiment harnesses that re-enroll the same chip should pass
         ``False``).
+    jobs:
+        Worker processes for the measurement campaigns (< 1 = all
+        cores).  Results are bit-identical at any value.
+    chunk_size:
+        Challenge chunk size of the evaluation engine; ``None`` keeps
+        the engine default.
     seed:
         Root seed for challenge draws.
     """
@@ -193,26 +201,36 @@ def enroll_chip(
         n_validation_challenges, chip.n_stages, derive_generator(seed, "validate")
     )
 
+    # Both campaigns run through the chunked evaluation engine: one
+    # measurement over all constituents at nominal (training) and one
+    # over the full PUF x condition grid (validation), so the challenge
+    # features are computed once per campaign instead of once per cell.
+    train_sets = chip.enrollment_soft_response_grid(
+        train_challenges,
+        n_trials,
+        [NOMINAL_CONDITION],
+        method=measurement_method,
+        jobs=jobs,
+        chunk_size=chunk_size,
+    )[0]
+    validation_grid = chip.enrollment_soft_response_grid(
+        validation_challenges,
+        n_trials,
+        conditions,
+        method=measurement_method,
+        jobs=jobs,
+        chunk_size=chunk_size,
+    )
+
     models: List[LinearPufModel] = []
     base_pairs: List[ThresholdPair] = []
     reports: List[RegressionReport] = []
     per_puf_betas: List[BetaFactors] = []
     for index in range(chip.n_pufs):
-        train = chip.enrollment_soft_responses(
-            index, train_challenges, n_trials, method=measurement_method
-        )
+        train = train_sets[index]
         model, report = fit_soft_response_model(train, method=method)
         pair = determine_thresholds(model.predict_soft(train_challenges), train)
-        validations = [
-            chip.enrollment_soft_responses(
-                index,
-                validation_challenges,
-                n_trials,
-                condition,
-                method=measurement_method,
-            )
-            for condition in conditions
-        ]
+        validations = [grid_row[index] for grid_row in validation_grid]
         per_puf_betas.append(
             find_beta_factors(model, pair, validations, step=beta_step)
         )

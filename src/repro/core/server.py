@@ -176,13 +176,26 @@ class AuthenticationServer:
         """
         if not self._records:
             raise UnknownChipError("no identities enrolled")
-        scores: Dict[str, float] = {}
-        for chip_id in self.enrolled_ids:
-            challenges, predicted = self.selector(chip_id).select(
+        ids = self.enrolled_ids
+        blocks = [
+            self.selector(chip_id).select(
                 n_challenges, derive_generator(seed, "identify", chip_id)
             )
-            responses = np.asarray(responder.xor_response(challenges, condition))
-            scores[chip_id] = float((responses == predicted).mean())
+            for chip_id in ids
+        ]
+        # One stacked responder query plus one vectorized comparison for
+        # all identities.  Scores are bit-identical to the per-identity
+        # loop: each identity's selection generator is unchanged, and a
+        # numpy Generator fills a concatenated noise array with exactly
+        # the values the per-block calls would have drawn in sequence.
+        stacked = np.concatenate([challenges for challenges, _ in blocks])
+        predicted = np.stack([predicted for _, predicted in blocks])
+        responses = np.asarray(responder.xor_response(stacked, condition))
+        responses = responses.reshape(len(ids), n_challenges)
+        match = (responses == predicted).mean(axis=1)
+        scores: Dict[str, float] = {
+            chip_id: float(value) for chip_id, value in zip(ids, match)
+        }
         best_id = max(scores, key=scores.get)
         best_score = scores[best_id]
         return IdentificationResult(

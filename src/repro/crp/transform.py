@@ -18,6 +18,8 @@ substrate rather than with either consumer.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.utils.validation import as_challenge_array
@@ -33,7 +35,8 @@ __all__ = [
 def to_signed(challenges: np.ndarray) -> np.ndarray:
     """Map {0, 1} challenge bits to the {+1, -1} convention (0 -> +1)."""
     challenges = as_challenge_array(challenges)
-    return (1 - 2 * challenges.astype(np.int16)).astype(np.int8)
+    # int8 arithmetic cannot overflow here (values are 0/2 and +/-1).
+    return 1 - 2 * challenges
 
 
 def from_signed(signed: np.ndarray) -> np.ndarray:
@@ -51,7 +54,11 @@ def n_features(n_stages: int) -> int:
     return n_stages + 1
 
 
-def parity_features(challenges: np.ndarray) -> np.ndarray:
+def parity_features(
+    challenges: np.ndarray,
+    *,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """Compute the parity feature matrix ``phi`` for a batch of challenges.
 
     Parameters
@@ -59,6 +66,10 @@ def parity_features(challenges: np.ndarray) -> np.ndarray:
     challenges:
         Array of shape ``(n, k)`` with {0, 1} entries (a single 1-D
         challenge is also accepted).
+    out:
+        Optional preallocated float64 buffer of shape ``(n, k + 1)``.
+        The chunked evaluation engine passes the same buffer for every
+        chunk so the hot loop allocates nothing.
 
     Returns
     -------
@@ -67,10 +78,20 @@ def parity_features(challenges: np.ndarray) -> np.ndarray:
         suffix product ``prod_{j>=i} (1 - 2 c_j)`` and the final column is
         the constant 1.
     """
-    signed = to_signed(challenges).astype(np.float64)
-    n, k = signed.shape
-    phi = np.ones((n, k + 1), dtype=np.float64)
+    challenges = as_challenge_array(challenges)
+    n, k = challenges.shape
+    if out is None:
+        out = np.empty((n, k + 1), dtype=np.float64)
+    elif out.shape != (n, k + 1) or out.dtype != np.float64:
+        raise ValueError(
+            f"out must be a float64 array of shape ({n}, {k + 1}), got "
+            f"{out.dtype} {out.shape}"
+        )
+    # Signed bits are written straight into the feature buffer as float64
+    # (single conversion; the old path went int8 -> int16 -> int8 -> float64).
+    np.multiply(challenges, -2.0, out=out[:, :k])
+    out[:, :k] += 1.0
+    out[:, k] = 1.0
     # Suffix products: phi[:, i] = signed[:, i] * signed[:, i+1] * ... * signed[:, k-1]
-    np.cumprod(signed[:, ::-1], axis=1, out=signed[:, ::-1])
-    phi[:, :k] = signed
-    return phi
+    np.cumprod(out[:, k - 1 :: -1], axis=1, out=out[:, k - 1 :: -1])
+    return out

@@ -1,0 +1,21 @@
+"""Chunked, multi-core CRP evaluation engine.
+
+The performance substrate behind the paper-scale measurement campaigns:
+parity features are computed once per challenge chunk and shared across
+every PUF and operating condition, chunks stream through bounded memory,
+and ``jobs > 1`` fans chunks out over worker processes with results that
+stay bit-identical at any worker count or chunk size.
+
+Entry point: :class:`~repro.engine.engine.EvaluationEngine`.
+"""
+
+from repro.engine.engine import DEFAULT_CHUNK_SIZE, ENGINE_METHODS, EvaluationEngine
+from repro.engine.worker import RNG_BLOCK, block_generator
+
+__all__ = [
+    "EvaluationEngine",
+    "DEFAULT_CHUNK_SIZE",
+    "ENGINE_METHODS",
+    "RNG_BLOCK",
+    "block_generator",
+]

@@ -14,34 +14,46 @@ archived next to the benchmark artefacts.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 import numpy as np
 
 from repro.analysis.stability import decay_base, stable_fraction_by_n, summarize_soft_responses
 from repro.crp.challenges import random_challenges
+from repro.engine import DEFAULT_CHUNK_SIZE, EvaluationEngine
 from repro.silicon.chip import PAPER_LOT_SIZE, fabricate_lot
-from repro.silicon.counters import measure_soft_responses
 from repro.silicon.noise import PAPER_N_TRIALS
 from repro.silicon.xorpuf import XorArbiterPuf
 from repro.utils.validation import check_positive_int
 
-__all__ = ["run_fig02", "run_fig03", "N_STAGES"]
+__all__ = ["run_fig02", "run_fig03", "N_STAGES", "make_engine"]
 
 #: Stage count of the paper's test chips, used by every experiment.
 N_STAGES = 32
+
+
+def make_engine(jobs: int = 1, chunk_size: Optional[int] = None) -> EvaluationEngine:
+    """Engine from the runners' common ``jobs``/``chunk_size`` knobs."""
+    return EvaluationEngine(
+        jobs=jobs, chunk_size=DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size
+    )
 
 
 def run_fig02(
     n_challenges: int,
     n_chips: int = PAPER_LOT_SIZE,
     seed: int = 0,
+    *,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Fig. 2: soft-response distribution of single MUX PUFs.
 
     Measures ``n_challenges`` (split over a *n_chips* lot) with
     100 k-deep counters at nominal and averages the per-chip
-    histograms.
+    histograms.  The whole lot is measured on one shared challenge
+    matrix in a single engine campaign, so the challenge features are
+    computed once for all chips.
 
     Returns
     -------
@@ -52,11 +64,14 @@ def run_fig02(
     check_positive_int(n_challenges, "n_challenges")
     lot = fabricate_lot(n_chips, 1, N_STAGES, seed=seed)
     per_challenge = max(n_challenges // n_chips, 1000)
+    challenges = random_challenges(per_challenge, N_STAGES, seed=seed + 1)
+    engine = make_engine(jobs, chunk_size)
+    per_chip = engine.measure_lot(
+        lot, challenges, PAPER_N_TRIALS, seed=seed + 2
+    )
     zeros, ones, histograms = [], [], []
-    for index, chip in enumerate(lot):
-        challenges = random_challenges(per_challenge, N_STAGES, seed=seed + index + 1)
-        dataset = chip.enrollment_soft_responses(0, challenges, PAPER_N_TRIALS)
-        summary = summarize_soft_responses(dataset)
+    for datasets in per_chip:
+        summary = summarize_soft_responses(datasets[0])
         zeros.append(summary.stable_zero_fraction)
         ones.append(summary.stable_one_fraction)
         histograms.append(summary.histogram_fractions)
@@ -73,11 +88,15 @@ def run_fig03(
     n_challenges: int,
     n_pufs: int = 10,
     seed: int = 0,
+    *,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Fig. 3: measured stable-CRP fraction vs XOR width.
 
     Measures every constituent of one *n_pufs*-wide XOR PUF on a shared
-    challenge matrix and composes the per-PUF stability masks.
+    challenge matrix (one engine campaign, features computed once) and
+    composes the per-PUF stability masks.
 
     Returns
     -------
@@ -87,12 +106,10 @@ def run_fig03(
     check_positive_int(n_challenges, "n_challenges")
     xor_puf = XorArbiterPuf.create(n_pufs, N_STAGES, seed=seed)
     challenges = random_challenges(n_challenges, N_STAGES, seed=seed + 1)
-    per_puf = [
-        measure_soft_responses(
-            puf, challenges, PAPER_N_TRIALS, rng=np.random.default_rng(seed + 10 + i)
-        )
-        for i, puf in enumerate(xor_puf.pufs)
-    ]
+    engine = make_engine(jobs, chunk_size)
+    per_puf = engine.measure_xor_constituents(
+        xor_puf, challenges, PAPER_N_TRIALS, seed=seed + 10
+    )
     fractions = stable_fraction_by_n(per_puf)
     return {
         "n_challenges": n_challenges,

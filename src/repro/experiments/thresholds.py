@@ -7,7 +7,7 @@ returns a JSON-serialisable dict (see per-function docs for keys).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,10 +25,10 @@ from repro.core.thresholds import (
 from repro.crp.challenges import random_challenges
 from repro.silicon.chip import PAPER_LOT_SIZE, PufChip, fabricate_lot
 from repro.silicon.counters import measure_soft_responses
-from repro.silicon.environment import paper_corner_grid
+from repro.silicon.environment import NOMINAL_CONDITION, paper_corner_grid
 from repro.silicon.noise import PAPER_N_TRIALS
 
-from repro.experiments.stability import N_STAGES
+from repro.experiments.stability import N_STAGES, make_engine
 
 __all__ = [
     "run_fig08",
@@ -221,10 +221,25 @@ def _enroll_fig12_models(
     chip: PufChip,
     n_validation: int,
     seed: int,
+    engine,
 ) -> Tuple[list, list, BetaFactors, BetaFactors]:
-    """Per-PUF models, thresholds, and nominal/V-T fleet betas."""
+    """Per-PUF models, thresholds, and nominal/V-T fleet betas.
+
+    The validation measurements -- one shared challenge matrix across
+    all constituents and all 1 + 9 conditions -- run as a single engine
+    campaign, so the challenge features are computed once for the whole
+    ``(condition, PUF)`` grid.
+    """
     models, pairs = [], []
     validation_ch = random_challenges(n_validation, N_STAGES, seed=seed + 500)
+    grid_conditions = [NOMINAL_CONDITION] + list(paper_corner_grid())
+    val_grid = engine.measure_grid(
+        chip.oracle().pufs,
+        validation_ch,
+        PAPER_N_TRIALS,
+        grid_conditions,
+        seed=seed + 200,
+    )
     nominal_beta_list, vt_beta_list = [], []
     for index in range(chip.n_pufs):
         puf = chip.oracle().pufs[index]
@@ -235,19 +250,8 @@ def _enroll_fig12_models(
         )
         model, _ = fit_soft_response_model(train)
         pair = determine_thresholds(model.predict_soft(train_ch), train)
-        nominal_val = [
-            measure_soft_responses(
-                puf, validation_ch, PAPER_N_TRIALS,
-                rng=np.random.default_rng(seed + 200 + index),
-            )
-        ]
-        corner_val = [
-            measure_soft_responses(
-                puf, validation_ch, PAPER_N_TRIALS, condition,
-                rng=np.random.default_rng(seed + 300 + index * 10 + c),
-            )
-            for c, condition in enumerate(paper_corner_grid())
-        ]
+        nominal_val = [val_grid[0][index]]
+        corner_val = [row[index] for row in val_grid[1:]]
         nominal_beta_list.append(find_beta_factors(model, pair, nominal_val))
         vt_beta_list.append(find_beta_factors(model, pair, corner_val))
         models.append(model)
@@ -265,6 +269,9 @@ def run_fig12(
     n_validation: int = 20_000,
     n_pufs: int = 10,
     seed: int = 0,
+    *,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Fig. 12: stable fraction vs n under three selection regimes.
 
@@ -273,18 +280,18 @@ def run_fig12(
     dicts plus the beta pairs.
     """
     chip = PufChip.create(n_pufs, N_STAGES, seed=seed)
+    engine = make_engine(jobs, chunk_size)
     models, pairs, betas_nom, betas_vt = _enroll_fig12_models(
-        chip, n_validation, seed
+        chip, n_validation, seed, engine
     )
     xor_model = XorPufModel(models)
     eval_ch = random_challenges(n_eval, N_STAGES, seed=seed + 999)
     measured_masks = np.stack(
         [
-            measure_soft_responses(
-                chip.oracle().pufs[i], eval_ch, PAPER_N_TRIALS,
-                rng=np.random.default_rng(seed + 600 + i),
-            ).stable_mask
-            for i in range(n_pufs)
+            dataset.stable_mask
+            for dataset in engine.measure_xor_constituents(
+                chip.oracle(), eval_ch, PAPER_N_TRIALS, seed=seed + 600
+            )
         ]
     )
 

@@ -96,6 +96,29 @@ class ArbiterPuf:
     interaction_weights: Optional[np.ndarray] = None
     rng: np.random.Generator = dataclasses.field(default_factory=np.random.default_rng)
 
+    #: Attribute rebinds that invalidate the per-condition weight cache.
+    _EFFECTIVE_WEIGHT_FIELDS = frozenset(
+        {
+            "weights",
+            "environment",
+            "voltage_sensitivity_vector",
+            "temperature_sensitivity_vector",
+        }
+    )
+    #: Attribute rebinds that invalidate the interaction quadratic form.
+    _INTERACTION_FIELDS = frozenset({"interaction_indices", "interaction_weights"})
+
+    def __setattr__(self, name: str, value) -> None:
+        # Keep the derived caches coherent: rebinding any physics field
+        # drops the cache it feeds.  (In-place mutation of an already
+        # bound array is *not* detected; the library always rebinds or
+        # builds a fresh instance via dataclasses.replace.)
+        if name in self._EFFECTIVE_WEIGHT_FIELDS:
+            self.__dict__.pop("_effective_weight_cache", None)
+        elif name in self._INTERACTION_FIELDS:
+            self.__dict__.pop("_interaction_q", None)
+        object.__setattr__(self, name, value)
+
     def __post_init__(self) -> None:
         self.weights = np.asarray(self.weights, dtype=np.float64)
         if self.weights.ndim != 1 or len(self.weights) < 2:
@@ -236,19 +259,77 @@ class ArbiterPuf:
     def effective_weights(
         self, condition: OperatingCondition = NOMINAL_CONDITION
     ) -> np.ndarray:
-        """Weights after voltage/temperature drift and common-mode gain."""
-        gain = self.environment.delay_gain(condition)
-        c_v, c_t = self.environment.drift_coefficients(condition)
-        drifted = (
-            self.weights
-            + c_v * self.voltage_sensitivity_vector
-            + c_t * self.temperature_sensitivity_vector
-        )
-        return gain * drifted
+        """Weights after voltage/temperature drift and common-mode gain.
+
+        Cached per :class:`OperatingCondition` (the result is read-only);
+        rebinding ``weights``, ``environment`` or either sensitivity
+        vector invalidates the cache.
+        """
+        cache = self.__dict__.get("_effective_weight_cache")
+        if cache is None:
+            cache = {}
+            self.__dict__["_effective_weight_cache"] = cache
+        effective = cache.get(condition)
+        if effective is None:
+            gain = self.environment.delay_gain(condition)
+            c_v, c_t = self.environment.drift_coefficients(condition)
+            drifted = (
+                self.weights
+                + c_v * self.voltage_sensitivity_vector
+                + c_t * self.temperature_sensitivity_vector
+            )
+            effective = gain * drifted
+            effective.flags.writeable = False
+            cache[condition] = effective
+        return effective
+
+    @property
+    def interaction_matrix(self) -> Optional[np.ndarray]:
+        """Quadratic-form matrix ``Q`` of the stage-interaction term.
+
+        ``delta_interaction = sum_m w_m phi_i phi_j`` is evaluated as
+        ``((phi @ Q) * phi).sum(axis=1)`` — a small BLAS GEMM instead of
+        two fancy-indexed ``(n, m)`` gathers, which is what makes the
+        nonlinearity affordable at paper scale.  ``None`` for an ideally
+        linear instance.
+        """
+        if "_interaction_q" not in self.__dict__:
+            q = None
+            if self.interaction_indices is not None and len(self.interaction_indices):
+                k1 = len(self.weights)
+                q = np.zeros((k1, k1), dtype=np.float64)
+                np.add.at(
+                    q,
+                    (self.interaction_indices[:, 0], self.interaction_indices[:, 1]),
+                    self.interaction_weights,
+                )
+                q.flags.writeable = False
+            self.__dict__["_interaction_q"] = q
+        return self.__dict__["_interaction_q"]
 
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
+    def delay_difference_from_features(
+        self,
+        phi: np.ndarray,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+    ) -> np.ndarray:
+        """``delta(c)`` from a precomputed parity feature matrix.
+
+        Fast path for batch evaluators: ``phi(c)`` depends only on the
+        challenge, so one feature matrix can be shared across all PUFs
+        of an XOR PUF, all chips of a lot and every operating condition
+        (see :mod:`repro.engine`).
+        """
+        phi = np.asarray(phi, dtype=np.float64)
+        delta = phi @ self.effective_weights(condition)
+        q = self.interaction_matrix
+        if q is not None:
+            gain = self.environment.delay_gain(condition)
+            delta += gain * ((phi @ q) * phi).sum(axis=1)
+        return delta
+
     def delay_difference(
         self,
         challenges: np.ndarray,
@@ -256,16 +337,19 @@ class ArbiterPuf:
     ) -> np.ndarray:
         """Noise-free delay difference ``delta(c)`` at *condition*."""
         challenges = as_challenge_array(challenges, self.n_stages)
-        phi = parity_features(challenges)
-        delta = phi @ self.effective_weights(condition)
-        if self.interaction_indices is not None and len(self.interaction_indices):
-            pairwise = (
-                phi[:, self.interaction_indices[:, 0]]
-                * phi[:, self.interaction_indices[:, 1]]
-            )
-            gain = self.environment.delay_gain(condition)
-            delta = delta + gain * (pairwise @ self.interaction_weights)
-        return delta
+        return self.delay_difference_from_features(
+            parity_features(challenges), condition
+        )
+
+    def response_probability_from_features(
+        self,
+        phi: np.ndarray,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+    ) -> np.ndarray:
+        """``Pr(response = 1)`` from a precomputed feature matrix."""
+        return self.noise.response_probability(
+            self.delay_difference_from_features(phi, condition), condition
+        )
 
     def response_probability(
         self,
@@ -276,6 +360,14 @@ class ArbiterPuf:
         return self.noise.response_probability(
             self.delay_difference(challenges, condition), condition
         )
+
+    def noise_free_response_from_features(
+        self,
+        phi: np.ndarray,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+    ) -> np.ndarray:
+        """Sign of the delay difference from a precomputed feature matrix."""
+        return (self.delay_difference_from_features(phi, condition) > 0).astype(np.int8)
 
     def noise_free_response(
         self,
@@ -296,6 +388,19 @@ class ArbiterPuf:
         delta = self.delay_difference(challenges, condition)
         noise = rng.normal(0.0, self.noise.sigma_at(condition), size=delta.shape)
         return (delta + noise > 0).astype(np.int8)
+
+    def eval_counts_from_features(
+        self,
+        phi: np.ndarray,
+        n_trials: int,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Counter value over *n_trials* from a precomputed feature matrix."""
+        n_trials = check_positive_int(n_trials, "n_trials")
+        rng = self.rng if rng is None else rng
+        p = self.response_probability_from_features(phi, condition)
+        return rng.binomial(n_trials, p).astype(np.int64)
 
     def eval_counts(
         self,

@@ -18,7 +18,7 @@ equivalent lot with independent manufacturing randomness per chip.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -124,6 +124,56 @@ class PufChip:
         puf = self._constituent(puf_index)
         return measure_soft_responses(
             puf, challenges, n_trials, condition, method=method
+        )
+
+    def enrollment_soft_response_grid(
+        self,
+        challenges: np.ndarray,
+        n_trials: int,
+        conditions: Sequence[OperatingCondition] = (NOMINAL_CONDITION,),
+        *,
+        method: str = "binomial",
+        jobs: int = 1,
+        chunk_size: Optional[int] = None,
+        seed=None,
+    ) -> List[List[SoftResponseDataset]]:
+        """``[condition][puf]`` soft-response grid over every constituent.
+
+        The batched counterpart of :meth:`enrollment_soft_responses`:
+        one fuse-gated campaign measures all PUFs of the chip at all
+        *conditions* on a shared challenge matrix, so the challenge
+        features are computed once for the whole grid (see
+        :class:`~repro.engine.engine.EvaluationEngine`).
+
+        Raises :class:`~repro.silicon.fuses.FuseBlownError` after
+        deployment.
+        """
+        self._fuses.check_access("soft-response readout of all PUFs")
+        if method == "montecarlo":
+            # The literal loop has no batched equivalent; fall back to
+            # per-cell measurements.
+            return [
+                [
+                    measure_soft_responses(
+                        puf, challenges, n_trials, condition, method=method
+                    )
+                    for puf in self._xor_puf.pufs
+                ]
+                for condition in conditions
+            ]
+        from repro.engine import DEFAULT_CHUNK_SIZE, EvaluationEngine
+
+        engine = EvaluationEngine(
+            jobs=jobs,
+            chunk_size=DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size,
+        )
+        return engine.measure_grid(
+            self._xor_puf.pufs,
+            challenges,
+            n_trials,
+            conditions,
+            seed=self._xor_puf.pufs[0].rng if seed is None else seed,
+            method=method,
         )
 
     def enrollment_individual_responses(

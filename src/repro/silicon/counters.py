@@ -52,8 +52,15 @@ def measure_soft_responses(
     *,
     method: str = "binomial",
     rng: Optional[np.random.Generator] = None,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> SoftResponseDataset:
     """Measure soft responses of *puf* for a batch of challenges.
+
+    ``binomial`` and ``analytic`` measurements run on the chunked
+    :class:`~repro.engine.engine.EvaluationEngine` (bounded memory,
+    optional multi-process fan-out); ``montecarlo`` keeps the literal
+    loop below, whose per-trial noise draws cannot be block-keyed.
 
     Parameters
     ----------
@@ -71,6 +78,12 @@ def measure_soft_responses(
     rng:
         Generator for the measurement randomness; defaults to the PUF's
         own evaluation generator.
+    jobs:
+        Worker processes for the engine-backed methods (``montecarlo``
+        ignores it); < 1 means all cores.
+    chunk_size:
+        Engine chunk size in challenges; ``None`` keeps the engine
+        default.
     """
     if method not in MEASUREMENT_METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {MEASUREMENT_METHODS}")
@@ -78,14 +91,20 @@ def measure_soft_responses(
     n_trials = check_positive_int(n_trials, "n_trials")
     rng = puf.rng if rng is None else rng
 
-    if method == "analytic":
-        soft = puf.response_probability(challenges, condition)
-    elif method == "binomial":
-        counts = puf.eval_counts(challenges, n_trials, condition, rng)
-        soft = counts / n_trials
-    else:  # montecarlo
+    if method == "montecarlo":
         soft = _montecarlo_soft(puf, challenges, n_trials, condition, rng)
-    return SoftResponseDataset(challenges, soft, n_trials)
+        return SoftResponseDataset(challenges, soft, n_trials)
+
+    # Imported lazily: repro.engine imports this package's siblings, so a
+    # top-level import here would create a circular partial import.
+    from repro.engine import DEFAULT_CHUNK_SIZE, EvaluationEngine
+
+    engine = EvaluationEngine(
+        jobs=jobs, chunk_size=DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size
+    )
+    return engine.measure_soft_responses(
+        puf, challenges, n_trials, condition, seed=rng, method=method
+    )
 
 
 def _montecarlo_soft(

@@ -25,7 +25,7 @@ from __future__ import annotations
 import dataclasses
 
 import numpy as np
-from scipy import optimize, stats
+from scipy import optimize, special, stats
 
 from repro.silicon.environment import EnvironmentModel, NOMINAL_CONDITION, OperatingCondition
 from repro.utils.validation import check_in_range, check_positive_int
@@ -155,6 +155,11 @@ class NoiseModel:
         delta: np.ndarray,
         condition: OperatingCondition = NOMINAL_CONDITION,
     ) -> np.ndarray:
-        """``Pr(response = 1)`` for delay differences *delta* at *condition*."""
+        """``Pr(response = 1)`` for delay differences *delta* at *condition*.
+
+        Uses :func:`scipy.special.ndtr` directly (the kernel behind
+        ``stats.norm.cdf``, minus the distribution-machinery overhead --
+        this sits on the per-evaluation hot path).
+        """
         delta = np.asarray(delta, dtype=np.float64)
-        return stats.norm.cdf(delta / self.sigma_at(condition))
+        return special.ndtr(delta / self.sigma_at(condition))

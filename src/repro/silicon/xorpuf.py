@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.crp.transform import parity_features
 from repro.silicon.arbiter import ArbiterPuf
 from repro.silicon.environment import (
     EnvironmentModel,
@@ -28,7 +29,7 @@ from repro.silicon.environment import (
     OperatingCondition,
 )
 from repro.utils.rng import SeedLike, derive_generator
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import as_challenge_array, check_positive_int
 
 __all__ = ["XorArbiterPuf", "xor_probability"]
 
@@ -107,14 +108,36 @@ class XorArbiterPuf:
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
+    def individual_probabilities_from_features(
+        self,
+        phi: np.ndarray,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+    ) -> np.ndarray:
+        """Per-constituent 1-probabilities from a shared feature matrix."""
+        return np.stack(
+            [
+                puf.response_probability_from_features(phi, condition)
+                for puf in self.pufs
+            ]
+        )
+
     def individual_probabilities(
         self,
         challenges: np.ndarray,
         condition: OperatingCondition = NOMINAL_CONDITION,
     ) -> np.ndarray:
         """``(n_pufs, n_challenges)`` per-constituent 1-probabilities."""
-        return np.stack(
-            [puf.response_probability(challenges, condition) for puf in self.pufs]
+        phi = parity_features(as_challenge_array(challenges, self.n_stages))
+        return self.individual_probabilities_from_features(phi, condition)
+
+    def response_probability_from_features(
+        self,
+        phi: np.ndarray,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+    ) -> np.ndarray:
+        """``Pr(xor response = 1)`` from a shared feature matrix."""
+        return xor_probability(
+            self.individual_probabilities_from_features(phi, condition)
         )
 
     def response_probability(
@@ -125,14 +148,26 @@ class XorArbiterPuf:
         """Exact ``Pr(xor response = 1)`` per challenge."""
         return xor_probability(self.individual_probabilities(challenges, condition))
 
+    def noise_free_response_from_features(
+        self,
+        phi: np.ndarray,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+    ) -> np.ndarray:
+        """XOR of the constituents' noise-free responses (shared features)."""
+        responses = [
+            puf.noise_free_response_from_features(phi, condition)
+            for puf in self.pufs
+        ]
+        return np.bitwise_xor.reduce(np.stack(responses), axis=0)
+
     def noise_free_response(
         self,
         challenges: np.ndarray,
         condition: OperatingCondition = NOMINAL_CONDITION,
     ) -> np.ndarray:
         """XOR of the constituents' noise-free responses."""
-        responses = [puf.noise_free_response(challenges, condition) for puf in self.pufs]
-        return np.bitwise_xor.reduce(np.stack(responses), axis=0)
+        phi = parity_features(as_challenge_array(challenges, self.n_stages))
+        return self.noise_free_response_from_features(phi, condition)
 
     def eval(
         self,

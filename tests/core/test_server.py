@@ -145,6 +145,32 @@ class TestIdentify:
         assert result.chip_id is None
         assert result.match_fraction < 0.95
 
+    def test_vectorized_scores_match_reference_loop(self, multi_server):
+        """The stacked-matrix identify equals the per-identity loop bit-for-bit.
+
+        Two chips fabricated from the same seed carry identical noise
+        generators; one answers the reference loop, the other the
+        vectorized path, so both see the same noise stream.
+        """
+        from repro.utils.rng import derive_generator
+
+        _, server = multi_server
+        device_loop = PufChip.create(3, N_STAGES, seed=31337, chip_id="twin")
+        device_vec = PufChip.create(3, N_STAGES, seed=31337, chip_id="twin")
+        seed, n_challenges = 74, 64
+
+        expected = {}
+        for chip_id in server.enrolled_ids:
+            challenges, predicted = server.selector(chip_id).select(
+                n_challenges, derive_generator(seed, "identify", chip_id)
+            )
+            responses = np.asarray(device_loop.xor_response(challenges))
+            expected[chip_id] = float((responses == predicted).mean())
+
+        result = server.identify(device_vec, n_challenges=n_challenges, seed=seed)
+        assert result.scores == expected
+        assert result.match_fraction == max(expected.values())
+
     def test_empty_database_raises(self):
         with pytest.raises(UnknownChipError, match="no identities"):
             AuthenticationServer().identify(

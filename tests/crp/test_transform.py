@@ -103,3 +103,30 @@ class TestParityFeatures:
         sums = phi.sum(axis=0)
         np.testing.assert_allclose(sums[:-1], 0.0)
         assert sums[-1] == 256.0
+
+
+class TestParityFeaturesOutBuffer:
+    def test_out_buffer_is_filled_and_returned(self):
+        ch = random_challenges(40, 12, seed=7)
+        buf = np.full((40, 13), np.nan)
+        result = parity_features(ch, out=buf)
+        assert result is buf
+        np.testing.assert_array_equal(buf, parity_features(ch))
+
+    def test_out_buffer_reusable_across_batches(self):
+        buf = np.empty((25, 9), dtype=np.float64)
+        first = parity_features(random_challenges(25, 8, seed=8), out=buf).copy()
+        ch2 = random_challenges(25, 8, seed=9)
+        second = parity_features(ch2, out=buf)
+        np.testing.assert_array_equal(second, parity_features(ch2))
+        assert not np.array_equal(first, second)
+
+    def test_rejects_wrong_shape(self):
+        ch = random_challenges(10, 8, seed=10)
+        with pytest.raises(ValueError, match="out must be"):
+            parity_features(ch, out=np.empty((10, 8)))
+
+    def test_rejects_wrong_dtype(self):
+        ch = random_challenges(10, 8, seed=11)
+        with pytest.raises(ValueError, match="out must be"):
+            parity_features(ch, out=np.empty((10, 9), dtype=np.float32))

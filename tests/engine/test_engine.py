@@ -1,0 +1,254 @@
+"""Tests for the chunked, multi-core CRP evaluation engine.
+
+The load-bearing properties here are the determinism guarantees: results
+must be bit-identical at any worker count and any chunk size, and the
+chunked streaming must keep a million-challenge sweep inside a bounded
+memory budget instead of materialising the full feature matrix.
+"""
+
+from __future__ import annotations
+
+import os
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core.enrollment import enroll_chip
+from repro.crp.challenges import random_challenges
+from repro.engine import DEFAULT_CHUNK_SIZE, RNG_BLOCK, EvaluationEngine
+from repro.silicon.arbiter import ArbiterPuf
+from repro.silicon.chip import PufChip, fabricate_lot
+from repro.silicon.environment import NOMINAL_CONDITION, OperatingCondition
+from repro.silicon.fuses import FuseBlownError
+from repro.silicon.xorpuf import XorArbiterPuf
+
+N_STAGES = 24
+CORNER = OperatingCondition(voltage=0.8, temperature=125.0)
+
+#: Peak traced allocation allowed for the 1 M-challenge memory-guard
+#: sweep.  The unchunked feature matrix alone would be ~200 MB at
+#: k = 24; the chunked engine should stay far below that.
+MEMORY_BUDGET_MB = float(os.environ.get("REPRO_TEST_MEMORY_BUDGET_MB", "120"))
+
+
+@pytest.fixture(scope="module")
+def puf_bank():
+    return [ArbiterPuf.create(N_STAGES, seed=300 + i) for i in range(4)]
+
+
+@pytest.fixture(scope="module")
+def challenges():
+    # Three full RNG blocks plus a ragged tail, so multi-chunk runs
+    # exercise both the reused phi buffer and the partial final chunk.
+    return random_challenges(3 * RNG_BLOCK + 777, N_STAGES, seed=310)
+
+
+class TestConstruction:
+    def test_chunk_size_rounded_down_to_rng_block(self):
+        assert EvaluationEngine(chunk_size=100).chunk_size == RNG_BLOCK
+        assert EvaluationEngine(chunk_size=2 * RNG_BLOCK + 1).chunk_size == 2 * RNG_BLOCK
+
+    def test_default_chunk_size_is_block_aligned(self):
+        assert DEFAULT_CHUNK_SIZE % RNG_BLOCK == 0
+        assert EvaluationEngine().chunk_size == DEFAULT_CHUNK_SIZE
+
+    def test_jobs_zero_means_all_cores(self):
+        assert EvaluationEngine(jobs=0).jobs == (os.cpu_count() or 1)
+        assert EvaluationEngine(jobs=None).jobs == (os.cpu_count() or 1)
+
+    def test_rejects_non_positive_chunk_size(self):
+        with pytest.raises(ValueError):
+            EvaluationEngine(chunk_size=0)
+
+
+class TestValidation:
+    def test_rejects_empty_puf_bank(self, challenges):
+        with pytest.raises(ValueError, match="at least one PUF"):
+            EvaluationEngine().soft_counts([], challenges, 10)
+
+    def test_rejects_mixed_stage_counts(self, challenges):
+        pufs = [ArbiterPuf.create(N_STAGES, seed=1), ArbiterPuf.create(16, seed=2)]
+        with pytest.raises(ValueError, match="stage count"):
+            EvaluationEngine().soft_counts(pufs, challenges, 10)
+
+    def test_rejects_empty_conditions(self, puf_bank, challenges):
+        with pytest.raises(ValueError, match="operating condition"):
+            EvaluationEngine().soft_counts(puf_bank, challenges, 10, [])
+
+    def test_rejects_unknown_method(self, puf_bank, challenges):
+        with pytest.raises(ValueError, match="unknown engine method"):
+            EvaluationEngine().soft_counts(puf_bank, challenges, 10, method="montecarlo")
+
+
+class TestDeterminism:
+    """jobs=N == jobs=1 and chunked == unchunked, bit for bit."""
+
+    def test_soft_counts_invariant_to_jobs(self, puf_bank, challenges):
+        conditions = [NOMINAL_CONDITION, CORNER]
+        serial = EvaluationEngine(jobs=1, chunk_size=RNG_BLOCK).soft_counts(
+            puf_bank, challenges, 500, conditions, seed=7
+        )
+        pooled = EvaluationEngine(jobs=4, chunk_size=RNG_BLOCK).soft_counts(
+            puf_bank, challenges, 500, conditions, seed=7
+        )
+        np.testing.assert_array_equal(serial, pooled)
+
+    def test_soft_counts_invariant_to_chunk_size(self, puf_bank, challenges):
+        conditions = [NOMINAL_CONDITION, CORNER]
+        one_chunk = EvaluationEngine(chunk_size=len(challenges) + RNG_BLOCK).soft_counts(
+            puf_bank, challenges, 500, conditions, seed=7
+        )
+        many_chunks = EvaluationEngine(chunk_size=RNG_BLOCK).soft_counts(
+            puf_bank, challenges, 500, conditions, seed=7
+        )
+        np.testing.assert_array_equal(one_chunk, many_chunks)
+
+    def test_stable_mask_invariant_and_consistent_with_counts(self, challenges):
+        xor_puf = XorArbiterPuf.create(3, N_STAGES, seed=320)
+        masks = [
+            EvaluationEngine(jobs=jobs, chunk_size=chunk).stable_mask(
+                xor_puf, challenges, 200, seed=8
+            )
+            for jobs, chunk in [(1, 10**9), (1, RNG_BLOCK), (3, 2 * RNG_BLOCK)]
+        ]
+        np.testing.assert_array_equal(masks[0], masks[1])
+        np.testing.assert_array_equal(masks[0], masks[2])
+        counts = EvaluationEngine().soft_counts(
+            xor_puf.pufs, challenges, 200, seed=8
+        )
+        expected = ((counts == 0) | (counts == 200)).all(axis=(0, 1))
+        np.testing.assert_array_equal(masks[0], expected)
+
+    def test_noise_free_chunked_matches_direct(self, challenges):
+        xor_puf = XorArbiterPuf.create(3, N_STAGES, seed=321)
+        chunked = EvaluationEngine(chunk_size=RNG_BLOCK).noise_free_xor_response(
+            xor_puf, challenges
+        )
+        np.testing.assert_array_equal(chunked, xor_puf.noise_free_response(challenges))
+
+    def test_analytic_matches_direct_probabilities(self, puf_bank, challenges):
+        soft = EvaluationEngine(chunk_size=RNG_BLOCK).soft_responses(
+            puf_bank, challenges, 100, [CORNER], method="analytic"
+        )
+        for pi, puf in enumerate(puf_bank):
+            np.testing.assert_array_equal(
+                soft[0, pi], puf.response_probability(challenges, CORNER)
+            )
+
+    def test_analytic_does_not_consume_generator_state(self, puf_bank, challenges):
+        rng = np.random.default_rng(9)
+        before = rng.bit_generator.state
+        EvaluationEngine().soft_counts(
+            puf_bank, challenges[:100], 100, seed=rng, method="analytic"
+        )
+        assert rng.bit_generator.state == before
+
+
+class TestGridHelpers:
+    def test_measure_grid_shapes_and_sharing(self, puf_bank, challenges):
+        conditions = [NOMINAL_CONDITION, CORNER]
+        grid = EvaluationEngine().measure_grid(
+            puf_bank, challenges[:500], 1000, conditions, seed=10
+        )
+        assert len(grid) == 2 and all(len(row) == len(puf_bank) for row in grid)
+        for row in grid:
+            for ds in row:
+                assert ds.n_trials == 1000
+                assert ds.soft_responses.shape == (500,)
+
+    def test_measure_soft_responses_matches_counters_module(self, puf_bank):
+        from repro.silicon.counters import measure_soft_responses
+
+        puf = puf_bank[0]
+        ch = random_challenges(600, N_STAGES, seed=311)
+        via_engine = EvaluationEngine().measure_soft_responses(
+            puf, ch, 1000, seed=np.random.default_rng(12)
+        )
+        via_counters = measure_soft_responses(
+            puf, ch, 1000, rng=np.random.default_rng(12)
+        )
+        np.testing.assert_array_equal(
+            via_engine.soft_responses, via_counters.soft_responses
+        )
+
+    def test_measure_lot_nesting(self, challenges):
+        lot = fabricate_lot(2, 2, N_STAGES, seed=330)
+        per_chip = EvaluationEngine().measure_lot(lot, challenges[:300], 500, seed=13)
+        assert len(per_chip) == 2
+        assert all(len(row) == 2 for row in per_chip)
+
+    def test_measure_lot_respects_fuse_gate(self, challenges):
+        chip = PufChip.create(2, N_STAGES, seed=331)
+        chip.blow_fuses()
+        with pytest.raises(FuseBlownError):
+            EvaluationEngine().measure_lot([chip], challenges[:100], 100, seed=14)
+
+
+class TestEnrollmentDeterminism:
+    """Enrollment records are invariant to jobs and chunk_size."""
+
+    @staticmethod
+    def _enroll(jobs, chunk_size):
+        chip = PufChip.create(2, N_STAGES, seed=340, chip_id="engine-det")
+        return enroll_chip(
+            chip,
+            n_enroll_challenges=5000,
+            n_validation_challenges=6000,
+            n_trials=500,
+            jobs=jobs,
+            chunk_size=chunk_size,
+            seed=341,
+        )
+
+    def test_records_bit_identical_across_jobs_and_chunking(self):
+        serial = self._enroll(jobs=1, chunk_size=RNG_BLOCK)
+        pooled = self._enroll(jobs=2, chunk_size=4 * RNG_BLOCK)
+        for a, b in zip(serial.xor_model.models, pooled.xor_model.models):
+            np.testing.assert_array_equal(a.weights, b.weights)
+        assert [(p.thr0, p.thr1) for p in serial.base_pairs] == [
+            (p.thr0, p.thr1) for p in pooled.base_pairs
+        ]
+        assert serial.betas == pooled.betas
+
+
+class TestAttackHarnessDeterminism:
+    def test_stable_crp_collection_invariant_to_jobs(self):
+        from repro.attacks.harness import collect_stable_xor_crps
+
+        serial = collect_stable_xor_crps(
+            XorArbiterPuf.create(3, N_STAGES, seed=350),
+            10_000, 200, seed=351,
+            jobs=1, chunk_size=RNG_BLOCK,
+        )
+        pooled = collect_stable_xor_crps(
+            XorArbiterPuf.create(3, N_STAGES, seed=350),
+            10_000, 200, seed=351,
+            jobs=2, chunk_size=2 * RNG_BLOCK,
+        )
+        for a, b in zip(serial, pooled):
+            np.testing.assert_array_equal(a.challenges, b.challenges)
+            np.testing.assert_array_equal(a.responses, b.responses)
+
+
+class TestMemoryGuard:
+    def test_million_challenge_sweep_stays_within_chunk_budget(self):
+        """A 1 M-challenge sweep must stream, not materialise, features.
+
+        The full phi matrix would be 8 * 1e6 * 25 bytes = 200 MB; the
+        chunked engine's peak traced allocation must stay under
+        ``MEMORY_BUDGET_MB`` (output array + one chunk of temporaries).
+        """
+        puf = ArbiterPuf.create(N_STAGES, seed=360)
+        challenges = random_challenges(1_000_000, N_STAGES, seed=361)
+        engine = EvaluationEngine(jobs=1, chunk_size=DEFAULT_CHUNK_SIZE)
+        tracemalloc.start()
+        try:
+            counts = engine.soft_counts([puf], challenges, 100, seed=362)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert counts.shape == (1, 1, 1_000_000)
+        assert peak < MEMORY_BUDGET_MB * 1e6, (
+            f"peak {peak / 1e6:.1f} MB exceeds budget {MEMORY_BUDGET_MB} MB"
+        )

@@ -161,3 +161,81 @@ class TestNoisyEvaluation:
         binom_counts = arbiter_puf.eval_counts(ch, 300, rng=np.random.default_rng(14))
         # Both estimate 300 * p; agree within joint binomial noise.
         np.testing.assert_allclose(loop_counts, binom_counts, atol=60)
+
+
+class TestEffectiveWeightCache:
+    def test_repeated_calls_return_cached_object(self, arbiter_puf):
+        first = arbiter_puf.effective_weights()
+        second = arbiter_puf.effective_weights()
+        assert first is second
+        assert not first.flags.writeable
+
+    def test_cached_per_condition(self, arbiter_puf):
+        corner = OperatingCondition(voltage=0.8, temperature=125.0)
+        nominal = arbiter_puf.effective_weights()
+        at_corner = arbiter_puf.effective_weights(corner)
+        assert at_corner is arbiter_puf.effective_weights(corner)
+        assert at_corner is not nominal
+
+    def test_rebinding_weights_invalidates_cache(self):
+        puf = ArbiterPuf.create(16, seed=21)
+        before = puf.effective_weights().copy()
+        puf.weights = puf.weights * 2.0
+        np.testing.assert_allclose(puf.effective_weights(), 2.0 * before)
+
+    def test_rebinding_sensitivity_vector_invalidates_cache(self):
+        puf = ArbiterPuf.create(16, seed=22)
+        corner = OperatingCondition(voltage=0.8, temperature=125.0)
+        before = puf.effective_weights(corner).copy()
+        puf.voltage_sensitivity_vector = puf.voltage_sensitivity_vector * 3.0
+        after = puf.effective_weights(corner)
+        assert not np.allclose(after, before)
+
+    def test_replace_produces_independent_cache(self):
+        import dataclasses as dc
+
+        puf = ArbiterPuf.create(16, seed=23)
+        puf.effective_weights()
+        clone = dc.replace(puf, weights=puf.weights * 2.0)
+        np.testing.assert_allclose(
+            clone.effective_weights(), 2.0 * puf.effective_weights()
+        )
+
+    def test_interaction_matrix_rebuilt_after_rebinding(self):
+        puf = ArbiterPuf.create(16, seed=24)
+        assert puf.interaction_matrix is not None
+        q_before = puf.interaction_matrix
+        puf.interaction_weights = puf.interaction_weights * 2.0
+        np.testing.assert_allclose(puf.interaction_matrix, 2.0 * q_before)
+
+    def test_pickle_roundtrip_preserves_behaviour(self, arbiter_puf):
+        import pickle
+
+        ch = random_challenges(50, N_STAGES, seed=25)
+        clone = pickle.loads(pickle.dumps(arbiter_puf))
+        np.testing.assert_allclose(
+            clone.delay_difference(ch), arbiter_puf.delay_difference(ch)
+        )
+
+
+class TestFromFeaturesFastPaths:
+    def test_delay_difference_matches_challenge_path(self, arbiter_puf):
+        ch = random_challenges(64, N_STAGES, seed=26)
+        phi = parity_features(ch)
+        np.testing.assert_array_equal(
+            arbiter_puf.delay_difference_from_features(phi),
+            arbiter_puf.delay_difference(ch),
+        )
+
+    def test_probability_and_noise_free_match(self, arbiter_puf):
+        corner = OperatingCondition(voltage=0.8, temperature=125.0)
+        ch = random_challenges(64, N_STAGES, seed=27)
+        phi = parity_features(ch)
+        np.testing.assert_array_equal(
+            arbiter_puf.response_probability_from_features(phi, corner),
+            arbiter_puf.response_probability(ch, corner),
+        )
+        np.testing.assert_array_equal(
+            arbiter_puf.noise_free_response_from_features(phi, corner),
+            arbiter_puf.noise_free_response(ch, corner),
+        )

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.core",
     "repro.crp",
+    "repro.engine",
     "repro.experiments",
     "repro.silicon",
     "repro.utils",

@@ -52,6 +52,7 @@ def collect_stable_xor_crps(
     condition: OperatingCondition = NOMINAL_CONDITION,
     jobs: int = 1,
     chunk_size: Optional[int] = None,
+    checkpoint_dir=None,
     seed: SeedLike = None,
 ) -> Tuple[CrpDataset, CrpDataset]:
     """Measure, stability-filter and split CRPs exactly as the paper does.
@@ -60,7 +61,8 @@ def collect_stable_xor_crps(
     chunked evaluation engine: challenge features are computed once per
     chunk and shared across all constituents, memory stays bounded by
     *chunk_size*, and ``jobs > 1`` fans chunks over worker processes
-    with bit-identical results.
+    with bit-identical results.  *checkpoint_dir* journals per-chunk
+    results so an interrupted sweep resumes from the last good chunk.
 
     Returns
     -------
@@ -81,7 +83,9 @@ def collect_stable_xor_crps(
         n_challenges, xor_puf.n_stages, derive_generator(seed, "challenges")
     )
     engine = EvaluationEngine(
-        jobs=jobs, chunk_size=DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size
+        jobs=jobs,
+        chunk_size=DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size,
+        checkpoint_dir=checkpoint_dir,
     )
     stable = engine.stable_mask(
         xor_puf, challenges, n_trials, condition,

@@ -36,6 +36,36 @@ from repro.silicon.xorpuf import XorArbiterPuf
 __all__ = ["main", "build_parser"]
 
 
+def _jobs_arg(text: str) -> int:
+    """``--jobs`` validator: a non-negative int (0 = all cores)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--jobs expects an integer, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 0 (0 = all cores), got {value}"
+        )
+    return value
+
+
+def _chunk_size_arg(text: str) -> int:
+    """``--chunk-size`` validator: a positive int."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--chunk-size expects an integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"--chunk-size must be >= 1, got {value}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-puf`` argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -44,22 +74,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument(
-        "--jobs", type=int, default=1,
+        "--jobs", type=_jobs_arg, default=1,
         help="worker processes for measurement campaigns "
              "(0 = all cores; results are identical at any value)",
     )
     parser.add_argument(
-        "--chunk-size", type=int, default=None,
+        "--chunk-size", type=_chunk_size_arg, default=None,
         help="challenges per evaluation-engine chunk "
              "(bounds peak memory; default 65536)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_resume(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--resume", metavar="CAMPAIGN_DIR", default=None,
+            help="checkpoint directory: chunk results are journalled "
+                 "there, and re-running with the same directory resumes "
+                 "an interrupted campaign from the last good chunk "
+                 "(bit-identical at any --jobs/--chunk-size)",
+        )
 
     p = sub.add_parser("stability", help="stable-CRP fraction vs XOR width (Fig. 3)")
     p.add_argument("--n-pufs", type=int, default=10)
     p.add_argument("--n-stages", type=int, default=32)
     p.add_argument("--challenges", type=int, default=20_000)
     p.add_argument("--trials", type=int, default=100_000)
+    add_resume(p)
 
     p = sub.add_parser("enroll", help="run the Fig.-6 enrollment and print the record")
     p.add_argument("--n-pufs", type=int, default=4)
@@ -69,12 +109,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--corners", action="store_true",
                    help="validate betas across the 9 V/T corners")
     p.add_argument("--save", metavar="PATH", help="write the record to an .npz file")
+    add_resume(p)
 
     p = sub.add_parser("attack", help="MLP modeling attack on stable CRPs (Fig. 4)")
     p.add_argument("--n-pufs", type=int, default=4)
     p.add_argument("--n-stages", type=int, default=32)
     p.add_argument("--train", type=int, default=10_000)
     p.add_argument("--pool", type=int, default=60_000)
+    add_resume(p)
 
     p = sub.add_parser("auth", help="zero-HD authentication sessions (Fig. 7)")
     p.add_argument("--n-pufs", type=int, default=4)
@@ -103,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--full", action="store_true",
         help="paper-scale sizes instead of quick defaults",
     )
+    add_resume(p)
     return parser
 
 
@@ -111,7 +154,7 @@ def _cmd_stability(args: argparse.Namespace) -> int:
 
     xor_puf = XorArbiterPuf.create(args.n_pufs, args.n_stages, seed=args.seed)
     challenges = random_challenges(args.challenges, args.n_stages, seed=args.seed + 1)
-    engine = make_engine(args.jobs, args.chunk_size)
+    engine = make_engine(args.jobs, args.chunk_size, args.resume)
     per_puf = engine.measure_xor_constituents(
         xor_puf, challenges, args.trials, seed=args.seed + 2
     )
@@ -132,6 +175,7 @@ def _cmd_enroll(args: argparse.Namespace) -> int:
         validation_conditions=conditions,
         jobs=args.jobs,
         chunk_size=args.chunk_size,
+        checkpoint_dir=args.resume,
         seed=args.seed + 1,
     )
     print(f"enrolled {chip.chip_id}: betas {record.betas}")
@@ -150,7 +194,8 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     xor_puf = XorArbiterPuf.create(args.n_pufs, args.n_stages, seed=args.seed)
     train, test = collect_stable_xor_crps(
         xor_puf, args.pool, 100_000,
-        jobs=args.jobs, chunk_size=args.chunk_size, seed=args.seed + 1,
+        jobs=args.jobs, chunk_size=args.chunk_size,
+        checkpoint_dir=args.resume, seed=args.seed + 1,
     )
     size = min(args.train, len(train))
     train_x, train_y, test_x, test_y = attack_matrices(
@@ -235,6 +280,15 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     if args.name in _ENGINE_FIGURES:
         kwargs["jobs"] = args.jobs
         kwargs["chunk_size"] = args.chunk_size
+        kwargs["checkpoint_dir"] = args.resume
+    elif args.resume is not None:
+        print(
+            f"error: figure {args.name!r} does not run through the "
+            f"evaluation engine; --resume is only supported for "
+            f"{', '.join(sorted(_ENGINE_FIGURES))}",
+            file=sys.stderr,
+        )
+        return 2
     result = runner(**kwargs)
     print(json.dumps(result, indent=2, default=float))
     return 0

@@ -22,10 +22,29 @@ from repro.silicon.environment import NOMINAL_CONDITION, OperatingCondition
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_positive_int
 
-__all__ = ["Responder", "AuthResult", "authenticate", "ZERO_HAMMING_DISTANCE"]
+__all__ = [
+    "Responder",
+    "AuthResult",
+    "DeviceReadError",
+    "authenticate",
+    "ZERO_HAMMING_DISTANCE",
+]
 
 #: The paper's approval criterion: no mismatched bit is tolerated.
 ZERO_HAMMING_DISTANCE = 0
+
+
+class DeviceReadError(RuntimeError):
+    """A transient device/transport failure during a response read.
+
+    Raised by responders whose underlying channel hiccupped (radio
+    dropout, bus timeout, brown-out).  The server treats it as
+    *retriable* -- but each retry must use a **fresh** selected
+    challenge set: replaying the same challenges would hand an
+    eavesdropper the repeated/partial transcripts that chosen-challenge
+    attacks feed on, and would break the zero-HD protocol's one-shot
+    sampling assumption.
+    """
 
 
 class Responder(Protocol):
@@ -56,6 +75,9 @@ class AuthResult:
         Mismatch budget that was applied (0 = paper's policy).
     condition:
         Operating condition the device responded under.
+    attempts:
+        Protocol attempts consumed, counting sessions abandoned to
+        transient device failures; 1 means the first session completed.
     """
 
     approved: bool
@@ -63,6 +85,7 @@ class AuthResult:
     n_mismatches: int
     tolerance: int
     condition: OperatingCondition
+    attempts: int = 1
 
     @property
     def hamming_distance(self) -> float:

@@ -145,6 +145,7 @@ def enroll_chip(
     blow_fuses: bool = True,
     jobs: int = 1,
     chunk_size: Optional[int] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
     seed: SeedLike = None,
 ) -> EnrollmentRecord:
     """Run the full Fig.-6 enrollment on *chip*.
@@ -181,6 +182,11 @@ def enroll_chip(
     chunk_size:
         Challenge chunk size of the evaluation engine; ``None`` keeps
         the engine default.
+    checkpoint_dir:
+        Campaign directory for crash-safe measurement: per-chunk
+        results are journalled there and a rerun pointed at the same
+        directory resumes from the last good chunk (bit-identical to
+        an uninterrupted run at any ``jobs``/``chunk_size``).
     seed:
         Root seed for challenge draws.
     """
@@ -212,6 +218,7 @@ def enroll_chip(
         method=measurement_method,
         jobs=jobs,
         chunk_size=chunk_size,
+        checkpoint_dir=checkpoint_dir,
     )[0]
     validation_grid = chip.enrollment_soft_response_grid(
         validation_challenges,
@@ -220,6 +227,7 @@ def enroll_chip(
         method=measurement_method,
         jobs=jobs,
         chunk_size=chunk_size,
+        checkpoint_dir=checkpoint_dir,
     )
 
     models: List[LinearPufModel] = []

@@ -11,12 +11,14 @@ model masquerade as a device, for security evaluations.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Dict, Mapping, Optional
 
 import numpy as np
 
 from repro.core.authentication import (
     AuthResult,
+    DeviceReadError,
     Responder,
     ZERO_HAMMING_DISTANCE,
     authenticate,
@@ -130,12 +132,26 @@ class AuthenticationServer:
         tolerance: int = ZERO_HAMMING_DISTANCE,
         condition: OperatingCondition = NOMINAL_CONDITION,
         seed: SeedLike = None,
+        max_attempts: int = 1,
+        retry_delay: float = 0.0,
     ) -> AuthResult:
         """Authenticate *responder* against a claimed identity.
 
         ``claimed_id`` defaults to the responder's own ``chip_id``
         attribute (the honest case); pass a different id to model an
         impostor presenting someone else's identity.
+
+        Transient device failures
+        -------------------------
+        When *max_attempts* is above 1, a session aborted by a
+        :class:`~repro.core.authentication.DeviceReadError` is retried
+        with a **fresh** selected challenge set (each attempt derives an
+        independent selection stream).  The same challenges are never
+        re-sent: repeated or partial transcripts are exactly what
+        chosen-challenge attacks harvest, so transcripts stay one-shot
+        per the zero-HD protocol.  Attempts are bounded; the last
+        failure propagates.  *retry_delay* seconds (doubling per
+        attempt) separate retries.
         """
         if claimed_id is None:
             claimed_id = getattr(responder, "chip_id", None)
@@ -143,14 +159,37 @@ class AuthenticationServer:
                 raise ValueError(
                     "responder has no chip_id attribute; pass claimed_id explicitly"
                 )
-        return authenticate(
-            responder,
-            self.selector(claimed_id),
-            n_challenges,
-            tolerance=tolerance,
-            condition=condition,
-            seed=derive_generator(seed, "auth", claimed_id),
-        )
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        selector = self.selector(claimed_id)
+        for attempt in range(max_attempts):
+            # Attempt 0 keeps the historical seed derivation so existing
+            # experiments reproduce bit-for-bit; later attempts extend
+            # the key path, giving an independent (never replayed)
+            # challenge draw.
+            if attempt == 0:
+                session_seed = derive_generator(seed, "auth", claimed_id)
+            else:
+                session_seed = derive_generator(
+                    seed, "auth", claimed_id, "retry", attempt
+                )
+            try:
+                result = authenticate(
+                    responder,
+                    selector,
+                    n_challenges,
+                    tolerance=tolerance,
+                    condition=condition,
+                    seed=session_seed,
+                )
+            except DeviceReadError:
+                if attempt + 1 >= max_attempts:
+                    raise
+                if retry_delay > 0:
+                    time.sleep(retry_delay * 2**attempt)
+                continue
+            return dataclasses.replace(result, attempts=attempt + 1)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def identify(
         self,

@@ -16,8 +16,11 @@ Both support train/test splitting, stability filtering with the paper's
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import io
+import zipfile
 from pathlib import Path
-from typing import Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -29,11 +32,94 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "CorruptDatasetError",
     "CrpDataset",
     "SoftResponseDataset",
     "is_stable_soft",
     "train_test_split_indices",
 ]
+
+
+class CorruptDatasetError(RuntimeError):
+    """A dataset file is truncated, damaged or fails its checksum.
+
+    Raised instead of the raw NumPy/zipfile internals so callers can
+    distinguish "this file is damaged -- re-measure or restore it" from
+    programming errors.
+    """
+
+
+def _payload_checksum(arrays: Dict[str, np.ndarray]) -> str:
+    """SHA-256 over the named arrays' dtype, shape and raw bytes."""
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(arr.dtype).encode())
+        digest.update(str(arr.shape).encode())
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def _atomic_savez(path: Path, arrays: Dict[str, np.ndarray], faults=None) -> None:
+    """Crash-safe ``.npz`` write: tmp + fsync + rename, checksum embedded.
+
+    The checksum covers every payload array and is verified by
+    :func:`_checked_load`, so a torn write or bit rot surfaces as
+    :class:`CorruptDatasetError` instead of silently wrong science.
+    """
+    if faults is not None:
+        from repro.faults import Site
+
+        faults.check(Site.DATASET_SAVE)
+    if path.suffix != ".npz":
+        # Match np.savez's historical name munging so legacy call
+        # sites keep producing the same files.
+        path = path.with_name(path.name + ".npz")
+    buffer = io.BytesIO()
+    np.savez_compressed(
+        buffer, checksum=np.str_(_payload_checksum(arrays)), **arrays
+    )
+    from repro.engine.runtime import atomic_write_bytes
+
+    atomic_write_bytes(path, buffer.getvalue())
+
+
+def _checked_load(path: Path, required: Tuple[str, ...], faults=None) -> Dict[str, np.ndarray]:
+    """Load an ``.npz``, verifying structure and (if present) checksum.
+
+    Files written before checksums existed load fine -- the checksum is
+    only verified when the field is present.
+    """
+    if faults is not None:
+        from repro.faults import Site
+
+        faults.check(Site.DATASET_LOAD)
+    try:
+        with np.load(Path(path), allow_pickle=False) as data:
+            arrays = {name: data[name] for name in data.files}
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError, KeyError) as exc:
+        raise CorruptDatasetError(
+            f"dataset file {path} is unreadable or truncated: {exc}"
+        ) from exc
+    missing = [name for name in required if name not in arrays]
+    if missing:
+        raise CorruptDatasetError(
+            f"dataset file {path} is missing required arrays {missing} "
+            f"(found {sorted(arrays)})"
+        )
+    stored = arrays.pop("checksum", None)
+    if stored is not None:
+        payload = {name: arrays[name] for name in required}
+        actual = _payload_checksum(payload)
+        if str(stored) != actual:
+            raise CorruptDatasetError(
+                f"dataset file {path} failed its SHA-256 checksum "
+                "(stored payload does not match the recorded digest)"
+            )
+    return arrays
 
 
 def is_stable_soft(
@@ -123,17 +209,28 @@ class CrpDataset:
         tr, te = train_test_split_indices(len(self), train_fraction, seed)
         return self.subset(tr), self.subset(te)
 
-    def save(self, path: Union[str, Path]) -> None:
-        """Serialise to a compressed ``.npz`` file."""
-        np.savez_compressed(
-            Path(path), challenges=self.challenges, responses=self.responses
+    def save(self, path: Union[str, Path], *, faults=None) -> None:
+        """Serialise to a compressed ``.npz`` file.
+
+        The write is atomic (tmp + fsync + rename) and embeds a payload
+        checksum, so a crash mid-save never leaves a torn file and any
+        later damage is caught by :meth:`load`.
+        """
+        _atomic_savez(
+            Path(path),
+            {"challenges": self.challenges, "responses": self.responses},
+            faults=faults,
         )
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "CrpDataset":
-        """Load a dataset previously written by :meth:`save`."""
-        with np.load(Path(path)) as data:
-            return cls(data["challenges"], data["responses"])
+    def load(cls, path: Union[str, Path], *, faults=None) -> "CrpDataset":
+        """Load a dataset previously written by :meth:`save`.
+
+        Raises :class:`CorruptDatasetError` on truncated, damaged or
+        checksum-failing files (legacy checksum-free files still load).
+        """
+        data = _checked_load(Path(path), ("challenges", "responses"), faults=faults)
+        return cls(data["challenges"], data["responses"])
 
 
 @dataclasses.dataclass(frozen=True)
@@ -218,21 +315,33 @@ class SoftResponseDataset:
         tr, te = train_test_split_indices(len(self), train_fraction, seed)
         return self.subset(tr), self.subset(te)
 
-    def save(self, path: Union[str, Path]) -> None:
-        """Serialise to a compressed ``.npz`` file."""
-        np.savez_compressed(
+    def save(self, path: Union[str, Path], *, faults=None) -> None:
+        """Serialise to a compressed ``.npz`` file.
+
+        Atomic and checksummed; see :meth:`CrpDataset.save`.
+        """
+        _atomic_savez(
             Path(path),
-            challenges=self.challenges,
-            soft_responses=self.soft_responses,
-            n_trials=np.int64(self.n_trials),
+            {
+                "challenges": self.challenges,
+                "soft_responses": self.soft_responses,
+                "n_trials": np.int64(self.n_trials),
+            },
+            faults=faults,
         )
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "SoftResponseDataset":
-        """Load a dataset previously written by :meth:`save`."""
-        with np.load(Path(path)) as data:
-            return cls(
-                data["challenges"],
-                data["soft_responses"],
-                int(data["n_trials"]),
-            )
+    def load(cls, path: Union[str, Path], *, faults=None) -> "SoftResponseDataset":
+        """Load a dataset previously written by :meth:`save`.
+
+        Raises :class:`CorruptDatasetError` on truncated, damaged or
+        checksum-failing files (legacy checksum-free files still load).
+        """
+        data = _checked_load(
+            Path(path), ("challenges", "soft_responses", "n_trials"), faults=faults
+        )
+        return cls(
+            data["challenges"],
+            data["soft_responses"],
+            int(data["n_trials"]),
+        )

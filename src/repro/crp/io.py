@@ -17,6 +17,7 @@ readers validate shape and value ranges loudly rather than guessing.
 
 from __future__ import annotations
 
+import io
 from pathlib import Path
 from typing import Union
 
@@ -24,6 +25,17 @@ import numpy as np
 
 from repro.crp.dataset import CrpDataset, SoftResponseDataset
 from repro.utils.validation import check_positive_int
+
+
+def _atomic_write_text(path: Path, text: str, faults=None) -> None:
+    """Crash-safe text write (tmp + fsync + rename) with a fault hook."""
+    if faults is not None:
+        from repro.faults import Site
+
+        faults.check(Site.DATASET_SAVE)
+    from repro.engine.runtime import atomic_write_bytes
+
+    atomic_write_bytes(path, text.encode("utf-8"))
 
 __all__ = [
     "save_crps_csv",
@@ -35,8 +47,12 @@ __all__ = [
 _PathLike = Union[str, Path]
 
 
-def save_crps_csv(dataset: CrpDataset, path: _PathLike) -> None:
-    """Write a hard-response dataset as ``c_1,...,c_k,response`` rows."""
+def save_crps_csv(dataset: CrpDataset, path: _PathLike, *, faults=None) -> None:
+    """Write a hard-response dataset as ``c_1,...,c_k,response`` rows.
+
+    The write is atomic (tmp + fsync + rename): a crash mid-export
+    never leaves a half-written table behind.
+    """
     path = Path(path)
     k = dataset.n_stages
     header = (
@@ -44,18 +60,23 @@ def save_crps_csv(dataset: CrpDataset, path: _PathLike) -> None:
         f"# columns: c_0..c_{k - 1}, response\n"
     )
     table = np.column_stack([dataset.challenges, dataset.responses])
-    with path.open("w", encoding="utf-8") as handle:
-        handle.write(header)
-        np.savetxt(handle, table, fmt="%d", delimiter=",")
+    buffer = io.StringIO()
+    buffer.write(header)
+    np.savetxt(buffer, table, fmt="%d", delimiter=",")
+    _atomic_write_text(path, buffer.getvalue(), faults=faults)
 
 
-def load_crps_csv(path: _PathLike) -> CrpDataset:
+def load_crps_csv(path: _PathLike, *, faults=None) -> CrpDataset:
     """Read a file written by :func:`save_crps_csv` (or compatible).
 
     Any comment lines (``#``) are skipped; every data row must hold the
     same number of 0/1 integers, the last being the response.
     """
     path = Path(path)
+    if faults is not None:
+        from repro.faults import Site
+
+        faults.check(Site.DATASET_LOAD)
     table = np.loadtxt(path, delimiter=",", comments="#", dtype=np.int64, ndmin=2)
     if table.shape[1] < 2:
         raise ValueError(
@@ -64,29 +85,33 @@ def load_crps_csv(path: _PathLike) -> CrpDataset:
     return CrpDataset(table[:, :-1].astype(np.int8), table[:, -1].astype(np.int8))
 
 
-def save_soft_responses_csv(dataset: SoftResponseDataset, path: _PathLike) -> None:
+def save_soft_responses_csv(
+    dataset: SoftResponseDataset, path: _PathLike, *, faults=None
+) -> None:
     """Write a soft-response dataset as ``c_1,...,c_k,soft`` rows.
 
     The counter depth is stored on a header line and restored by
-    :func:`load_soft_responses_csv`.
+    :func:`load_soft_responses_csv`.  The write is atomic.
     """
     path = Path(path)
     k = dataset.n_stages
-    header = (
+    buffer = io.StringIO()
+    buffer.write(
         f"# repro soft-response export: n_stages={k} n_rows={len(dataset)}\n"
         f"# n_trials={dataset.n_trials}\n"
         f"# columns: c_0..c_{k - 1}, soft_response\n"
     )
-    with path.open("w", encoding="utf-8") as handle:
-        handle.write(header)
-        for challenge, soft in zip(dataset.challenges, dataset.soft_responses):
-            bits = ",".join(str(int(bit)) for bit in challenge)
-            handle.write(f"{bits},{float(soft)!r}\n")
+    for challenge, soft in zip(dataset.challenges, dataset.soft_responses):
+        bits = ",".join(str(int(bit)) for bit in challenge)
+        buffer.write(f"{bits},{float(soft)!r}\n")
+    _atomic_write_text(path, buffer.getvalue(), faults=faults)
 
 
 def load_soft_responses_csv(
     path: _PathLike,
     n_trials: int | None = None,
+    *,
+    faults=None,
 ) -> SoftResponseDataset:
     """Read a file written by :func:`save_soft_responses_csv`.
 
@@ -99,6 +124,10 @@ def load_soft_responses_csv(
         header line.
     """
     path = Path(path)
+    if faults is not None:
+        from repro.faults import Site
+
+        faults.check(Site.DATASET_LOAD)
     header_trials: int | None = None
     with path.open("r", encoding="utf-8") as handle:
         for line in handle:

@@ -10,6 +10,17 @@ Entry point: :class:`~repro.engine.engine.EvaluationEngine`.
 """
 
 from repro.engine.engine import DEFAULT_CHUNK_SIZE, ENGINE_METHODS, EvaluationEngine
+from repro.engine.runtime import (
+    CampaignEvent,
+    CampaignReport,
+    CheckpointMismatchError,
+    CheckpointStore,
+    ChunkValidationError,
+    CorruptChunkError,
+    DEFAULT_RETRY,
+    RetryPolicy,
+    campaign_fingerprint,
+)
 from repro.engine.worker import RNG_BLOCK, block_generator
 
 __all__ = [
@@ -18,4 +29,13 @@ __all__ = [
     "ENGINE_METHODS",
     "RNG_BLOCK",
     "block_generator",
+    "RetryPolicy",
+    "DEFAULT_RETRY",
+    "CampaignEvent",
+    "CampaignReport",
+    "CheckpointStore",
+    "CheckpointMismatchError",
+    "ChunkValidationError",
+    "CorruptChunkError",
+    "campaign_fingerprint",
 ]

@@ -29,13 +29,23 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Iterator, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.crp.dataset import SoftResponseDataset
+from repro.engine.runtime import (
+    CampaignReport,
+    CheckpointStore,
+    ChunkValidationError,
+    DEFAULT_RETRY,
+    RetryPolicy,
+    campaign_fingerprint,
+    run_chunks,
+)
 from repro.engine.worker import RNG_BLOCK, evaluate_chunk, noise_free_chunk
+from repro.faults import FaultPlan
 from repro.silicon.arbiter import ArbiterPuf
 from repro.silicon.environment import NOMINAL_CONDITION, OperatingCondition
 from repro.silicon.xorpuf import XorArbiterPuf
@@ -72,10 +82,31 @@ class EvaluationEngine:
         :data:`~repro.engine.worker.RNG_BLOCK` (minimum one block) so
         chunk boundaries always coincide with RNG-block boundaries --
         the invariant behind chunk-count-independent results.
+    retry:
+        Per-chunk timeout / bounded-retry / backoff policy (see
+        :class:`~repro.engine.runtime.RetryPolicy`).  Recovery never
+        changes results, only whether a campaign survives.
+    checkpoint_dir:
+        Campaign root directory.  When set, every completed chunk is
+        persisted atomically with a checksum and a killed sweep resumes
+        bit-identically from the last good chunk -- at any later
+        ``jobs``/``chunk_size`` (the campaign is keyed by content, not
+        by execution geometry).  ``None`` (default) disables
+        checkpointing.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` for failure-path
+        testing; production runs leave it ``None`` and pay nothing.
     """
 
     jobs: Optional[int] = 1
     chunk_size: int = DEFAULT_CHUNK_SIZE
+    retry: RetryPolicy = DEFAULT_RETRY
+    checkpoint_dir: Optional[Union[str, Path]] = None
+    faults: Optional[FaultPlan] = None
+    #: Failure/recovery trail of the most recent sweep (read-only).
+    last_report: Optional[CampaignReport] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         jobs = self.jobs
@@ -84,6 +115,12 @@ class EvaluationEngine:
         object.__setattr__(self, "jobs", int(jobs))
         chunk = check_positive_int(self.chunk_size, "chunk_size")
         object.__setattr__(self, "chunk_size", max(1, chunk // RNG_BLOCK) * RNG_BLOCK)
+        if not isinstance(self.retry, RetryPolicy):
+            raise TypeError(
+                f"retry must be a RetryPolicy, got {type(self.retry).__name__}"
+            )
+        if self.checkpoint_dir is not None:
+            object.__setattr__(self, "checkpoint_dir", Path(self.checkpoint_dir))
 
     # ------------------------------------------------------------------
     # Core counter sweep
@@ -321,6 +358,20 @@ class EvaluationEngine:
             for start in range(0, max(n, 1), self.chunk_size)
         ]
 
+    def _open_checkpoint(
+        self, kind: str, fingerprint: str, meta: dict
+    ) -> Optional[CheckpointStore]:
+        if self.checkpoint_dir is None:
+            return None
+        return CheckpointStore(
+            self.checkpoint_dir, kind, fingerprint, meta=meta, faults=self.faults
+        )
+
+    def _begin_report(self) -> CampaignReport:
+        report = CampaignReport()
+        object.__setattr__(self, "last_report", report)
+        return report
+
     def _evaluated_chunks(
         self,
         pufs: List[ArbiterPuf],
@@ -330,42 +381,70 @@ class EvaluationEngine:
         root: np.random.SeedSequence,
         method: str,
     ) -> Iterator[Tuple[_Bounds, np.ndarray]]:
-        """Yield ``((start, stop), counts)`` per chunk, inline or pooled."""
+        """Yield ``((start, stop), counts)`` per chunk, fault-tolerantly."""
         bounds = self._chunk_bounds(len(challenges))
-        if self.jobs == 1 or len(bounds) == 1:
-            phi_buf = self._feature_buffer(bounds, pufs[0].n_stages)
-            for start, stop in bounds:
-                buf = phi_buf if stop - start == self.chunk_size else None
-                yield (start, stop), evaluate_chunk(
-                    pufs,
-                    challenges[start:stop],
-                    conditions,
-                    n_trials,
-                    root,
-                    start // RNG_BLOCK,
-                    method,
-                    buf,
-                )
-            return
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(bounds))) as pool:
-            futures = [
-                (
-                    (start, stop),
-                    pool.submit(
-                        evaluate_chunk,
-                        pufs,
-                        challenges[start:stop],
-                        conditions,
-                        n_trials,
-                        root,
-                        start // RNG_BLOCK,
-                        method,
-                    ),
-                )
-                for start, stop in bounds
-            ]
-            for bound, future in futures:
-                yield bound, future.result()
+        phi_buf = (
+            self._feature_buffer(bounds, pufs[0].n_stages) if self.jobs == 1 else None
+        )
+        dtype = np.float64 if method == "analytic" else np.int64
+        grid = (len(conditions), len(pufs))
+
+        def make_call(start, stop, chunk_index, in_worker, attempt):
+            buf = None
+            if not in_worker and phi_buf is not None and stop - start == self.chunk_size:
+                buf = phi_buf
+            args = (
+                pufs,
+                challenges[start:stop],
+                conditions,
+                n_trials,
+                root,
+                start // RNG_BLOCK,
+                method,
+                buf,
+                self.faults,
+                chunk_index,
+                attempt,
+                in_worker,
+            )
+            return evaluate_chunk, args
+
+        def validate(payload, n_rows):
+            self._validate_counts(payload, grid + (n_rows,), dtype, n_trials, method)
+
+        checkpoint = None
+        if self.checkpoint_dir is not None:
+            fingerprint = campaign_fingerprint(
+                "counts",
+                method,
+                n_trials,
+                repr(root.entropy),
+                repr(tuple(root.spawn_key)),
+                RNG_BLOCK,
+                challenges,
+                pufs,
+                conditions,
+            )
+            checkpoint = self._open_checkpoint(
+                "counts",
+                fingerprint,
+                meta={
+                    "n_challenges": len(challenges),
+                    "n_pufs": len(pufs),
+                    "n_conditions": len(conditions),
+                    "n_trials": n_trials,
+                    "method": method,
+                },
+            )
+        yield from run_chunks(
+            bounds,
+            jobs=self.jobs,
+            make_call=make_call,
+            validate=validate,
+            retry=self.retry,
+            checkpoint=checkpoint,
+            report=self._begin_report(),
+        )
 
     def _noise_free_chunks(
         self,
@@ -374,26 +453,96 @@ class EvaluationEngine:
         condition: OperatingCondition,
     ) -> Iterator[Tuple[_Bounds, np.ndarray]]:
         bounds = self._chunk_bounds(len(challenges))
-        if self.jobs == 1 or len(bounds) == 1:
-            phi_buf = self._feature_buffer(bounds, pufs[0].n_stages)
-            for start, stop in bounds:
-                buf = phi_buf if stop - start == self.chunk_size else None
-                yield (start, stop), noise_free_chunk(
-                    pufs, challenges[start:stop], condition, buf
-                )
+        phi_buf = (
+            self._feature_buffer(bounds, pufs[0].n_stages) if self.jobs == 1 else None
+        )
+        n_pufs = len(pufs)
+
+        def make_call(start, stop, chunk_index, in_worker, attempt):
+            buf = None
+            if not in_worker and phi_buf is not None and stop - start == self.chunk_size:
+                buf = phi_buf
+            args = (
+                pufs,
+                challenges[start:stop],
+                condition,
+                buf,
+                self.faults,
+                chunk_index,
+                attempt,
+                in_worker,
+            )
+            return noise_free_chunk, args
+
+        def validate(payload, n_rows):
+            self._validate_bits(payload, (n_pufs, n_rows))
+
+        checkpoint = None
+        if self.checkpoint_dir is not None:
+            fingerprint = campaign_fingerprint(
+                "noisefree", challenges, pufs, condition
+            )
+            checkpoint = self._open_checkpoint(
+                "noisefree",
+                fingerprint,
+                meta={"n_challenges": len(challenges), "n_pufs": n_pufs},
+            )
+        yield from run_chunks(
+            bounds,
+            jobs=self.jobs,
+            make_call=make_call,
+            validate=validate,
+            retry=self.retry,
+            checkpoint=checkpoint,
+            report=self._begin_report(),
+        )
+
+    @staticmethod
+    def _validate_counts(
+        payload: np.ndarray,
+        shape: Tuple[int, ...],
+        dtype: np.dtype,
+        n_trials: int,
+        method: str,
+    ) -> None:
+        """Cheap integrity screen: shape, dtype and value range.
+
+        An in-flight corruption (or a buggy worker) almost always lands
+        outside the legitimate value range -- counters live in
+        ``[0, n_trials]`` and probabilities in ``[0, 1]`` -- so this
+        turns silent data damage into a retriable failure.
+        """
+        if not isinstance(payload, np.ndarray):
+            raise ChunkValidationError(
+                f"chunk payload is {type(payload).__name__}, expected ndarray"
+            )
+        if payload.shape != shape:
+            raise ChunkValidationError(
+                f"chunk payload shape {payload.shape}, expected {shape}"
+            )
+        if payload.dtype != dtype:
+            raise ChunkValidationError(
+                f"chunk payload dtype {payload.dtype}, expected {dtype}"
+            )
+        if payload.size == 0:
             return
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(bounds))) as pool:
-            futures = [
-                (
-                    (start, stop),
-                    pool.submit(
-                        noise_free_chunk, pufs, challenges[start:stop], condition
-                    ),
-                )
-                for start, stop in bounds
-            ]
-            for bound, future in futures:
-                yield bound, future.result()
+        low, high = payload.min(), payload.max()
+        limit = 1.0 if method == "analytic" else n_trials
+        if low < 0 or high > limit:
+            raise ChunkValidationError(
+                f"chunk payload values outside [0, {limit}]: "
+                f"min={low}, max={high}"
+            )
+
+    @staticmethod
+    def _validate_bits(payload: np.ndarray, shape: Tuple[int, ...]) -> None:
+        if not isinstance(payload, np.ndarray) or payload.shape != shape:
+            raise ChunkValidationError(
+                f"chunk payload shape "
+                f"{getattr(payload, 'shape', None)}, expected {shape}"
+            )
+        if payload.size and (payload.min() < 0 or payload.max() > 1):
+            raise ChunkValidationError("noise-free chunk holds non-bit values")
 
     def _feature_buffer(
         self, bounds: List[_Bounds], n_stages: int

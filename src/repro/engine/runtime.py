@@ -1,0 +1,679 @@
+"""Fault-tolerant campaign runtime: checkpoints, retries, degradation.
+
+At paper scale a counter sweep is 1 M challenges x 100 k evaluations x
+10 chips x 9 V/T corners -- hours of wall clock.  This module wraps the
+engine's chunk dispatch in the machinery long campaigns need:
+
+* :class:`CheckpointStore` -- per-chunk results persisted under a
+  campaign directory with atomic writes (tmp + fsync + rename) and
+  SHA-256 checksums, journalled in a manifest so a killed sweep resumes
+  bit-identically from the last good chunk.  Campaigns are keyed by a
+  content fingerprint (PUFs, challenges, seed, method), **not** by
+  ``jobs``/``chunk_size``, so a sweep may resume at a different worker
+  count or chunk size -- the engine's RNG-block determinism guarantees
+  the bits come out the same.
+* :class:`RetryPolicy` -- per-chunk timeout plus bounded retries with
+  exponential backoff and deterministic jitter.
+* :func:`run_chunks` -- the dispatch loop: pool submission, timeout
+  enforcement, payload validation, retry, and graceful degradation from
+  the process pool to in-process serial execution on repeated failure
+  or a broken pool.
+* :class:`CampaignReport` -- a structured trail of every retry,
+  fallback, checksum failure and resumed chunk, so operators can see
+  *how* a campaign survived, not just that it did.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import io
+import json
+import os
+import pickle
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.faults import FaultPlan, InjectedCampaignAbort, Site
+
+__all__ = [
+    "RetryPolicy",
+    "CampaignEvent",
+    "CampaignReport",
+    "CheckpointStore",
+    "CorruptChunkError",
+    "CheckpointMismatchError",
+    "ChunkValidationError",
+    "campaign_fingerprint",
+    "run_chunks",
+    "atomic_write_bytes",
+    "DEFAULT_RETRY",
+]
+
+_Bounds = Tuple[int, int]
+_PathLike = Union[str, Path]
+
+#: Manifest schema version (bumped on layout changes).
+_MANIFEST_VERSION = 1
+
+
+class CorruptChunkError(RuntimeError):
+    """A checkpointed chunk failed its checksum or could not be parsed."""
+
+
+class CheckpointMismatchError(RuntimeError):
+    """A campaign directory's manifest does not match the requested sweep."""
+
+
+class ChunkValidationError(RuntimeError):
+    """A computed chunk payload failed shape/dtype/range validation."""
+
+
+# ----------------------------------------------------------------------
+# Atomic file plumbing
+# ----------------------------------------------------------------------
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write *data* to *path* crash-safely: tmp file + fsync + rename.
+
+    Readers never observe a partial file; after a crash either the old
+    content or the new content is present, never a torn mix.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    # Make the rename itself durable where the platform allows it.
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff, jitter and a timeout.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts per chunk (first try included) before the chunk
+        is handed to the serial-fallback path.
+    base_delay:
+        Backoff before the first retry, in seconds.
+    backoff:
+        Multiplier applied per further retry.
+    max_delay:
+        Backoff ceiling, in seconds.
+    jitter:
+        Fraction of the delay added as deterministic jitter (derived
+        from the attempt number, so schedules are reproducible).
+    timeout:
+        Per-chunk wall-clock budget when running on the process pool;
+        ``None`` disables timeout enforcement.
+    pool_chunk_failures:
+        After this many chunks individually exhaust their pool retries,
+        the pool is abandoned and the rest of the campaign runs
+        serially in-process.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    backoff: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.1
+    timeout: Optional[float] = None
+    pool_chunk_failures: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must lie in [0, 1], got {self.jitter}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.pool_chunk_failures < 1:
+            raise ValueError(
+                f"pool_chunk_failures must be >= 1, got {self.pool_chunk_failures}"
+            )
+
+    def delay(self, attempt: int, key: int = 0) -> float:
+        """Backoff before retry number *attempt* (1-based), with jitter.
+
+        Jitter is a deterministic function of ``(attempt, key)`` so two
+        runs of the same campaign sleep identically -- randomised
+        schedules would make failure traces irreproducible.
+        """
+        if attempt < 1:
+            return 0.0
+        raw = self.base_delay * self.backoff ** (attempt - 1)
+        raw = min(raw, self.max_delay)
+        if self.jitter:
+            # Cheap splitmix-style hash -> [0, 1) fraction.
+            h = (attempt * 0x9E3779B9 + key * 0x85EBCA6B) & 0xFFFFFFFF
+            h ^= h >> 16
+            h = (h * 0x45D9F3B) & 0xFFFFFFFF
+            raw *= 1.0 + self.jitter * ((h & 0xFFFF) / 0x10000)
+        return raw
+
+
+#: The engine's default policy: three attempts, no timeout (timeouts
+#: are opt-in because legitimate chunk durations vary enormously).
+DEFAULT_RETRY = RetryPolicy()
+
+
+# ----------------------------------------------------------------------
+# Campaign report
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class CampaignEvent:
+    """One entry in a campaign's failure/recovery trail."""
+
+    kind: str
+    chunk: Optional[_Bounds] = None
+    attempt: int = 0
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "chunk": list(self.chunk) if self.chunk is not None else None,
+            "attempt": self.attempt,
+            "detail": self.detail,
+        }
+
+
+class CampaignReport:
+    """Structured record of one campaign run.
+
+    Every retry, timeout, checksum failure, pool fallback and resumed
+    chunk is appended as a :class:`CampaignEvent`; counters summarise
+    the totals.  The report is what turns "it eventually finished" into
+    an auditable failure trail.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[CampaignEvent] = []
+        self.chunks_total = 0
+        self.chunks_computed = 0
+        self.chunks_resumed = 0
+        self.retries = 0
+        self.serial_fallbacks = 0
+        self.pool_abandoned = False
+
+    def record(
+        self,
+        kind: str,
+        chunk: Optional[_Bounds] = None,
+        attempt: int = 0,
+        detail: str = "",
+    ) -> None:
+        self.events.append(CampaignEvent(kind, chunk, attempt, detail))
+        if kind == "retry":
+            self.retries += 1
+        elif kind == "serial_fallback":
+            self.serial_fallbacks += 1
+        elif kind == "pool_abandoned":
+            self.pool_abandoned = True
+        elif kind == "chunk_resumed":
+            self.chunks_resumed += 1
+        elif kind == "chunk_computed":
+            self.chunks_computed += 1
+
+    def events_of(self, kind: str) -> List[CampaignEvent]:
+        """All recorded events of one kind."""
+        return [event for event in self.events if event.kind == kind]
+
+    @property
+    def clean(self) -> bool:
+        """Whether the campaign completed without a single recovery action."""
+        return not (self.retries or self.serial_fallbacks or self.pool_abandoned)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "chunks_total": self.chunks_total,
+            "chunks_computed": self.chunks_computed,
+            "chunks_resumed": self.chunks_resumed,
+            "retries": self.retries,
+            "serial_fallbacks": self.serial_fallbacks,
+            "pool_abandoned": self.pool_abandoned,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CampaignReport(chunks={self.chunks_resumed}+{self.chunks_computed}"
+            f"/{self.chunks_total}, retries={self.retries}, "
+            f"serial_fallbacks={self.serial_fallbacks}, "
+            f"pool_abandoned={self.pool_abandoned})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Checkpoint store
+# ----------------------------------------------------------------------
+def campaign_fingerprint(kind: str, *parts: Any) -> str:
+    """Content fingerprint identifying one campaign's exact work.
+
+    Everything that determines the output bits goes in: the sweep kind,
+    method, trial depth, seed material, PUF parameters, challenge bytes
+    and operating conditions.  ``jobs`` and ``chunk_size`` deliberately
+    do **not** -- the engine's results are independent of them, so a
+    resume may change either.
+    """
+    digest = hashlib.sha256()
+    digest.update(kind.encode("utf-8"))
+    for part in parts:
+        digest.update(b"\x00")
+        if isinstance(part, np.ndarray):
+            arr = np.ascontiguousarray(part)
+            digest.update(str(arr.dtype).encode())
+            digest.update(str(arr.shape).encode())
+            digest.update(arr.tobytes())
+        elif isinstance(part, bytes):
+            digest.update(part)
+        elif isinstance(part, (str, int, float, bool, type(None))):
+            digest.update(repr(part).encode("utf-8"))
+        else:
+            # Structured objects (PUFs, conditions): pickle is stable
+            # for the same in-memory values within a library version.
+            digest.update(pickle.dumps(part, protocol=4))
+    return digest.hexdigest()
+
+
+class CheckpointStore:
+    """Journalled per-chunk persistence for one campaign.
+
+    Layout under the campaign *root* directory::
+
+        root/
+          <kind>-<fingerprint[:16]>/
+            manifest.json             # journal: config + chunk index
+            chunk-<start>-<stop>.npy  # one array per completed chunk
+
+    Each campaign (unique fingerprint) owns its own subdirectory, so
+    one root can host the many sweeps of an enrollment without
+    collisions.  All writes are atomic; every chunk entry in the
+    manifest carries the SHA-256 of the chunk file's bytes, so torn or
+    corrupted files are detected on load and simply recomputed.
+    """
+
+    def __init__(
+        self,
+        root: _PathLike,
+        kind: str,
+        fingerprint: str,
+        meta: Optional[Dict[str, Any]] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.kind = kind
+        self.fingerprint = fingerprint
+        self.directory = self.root / f"{kind}-{fingerprint[:16]}"
+        self._faults = faults
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._manifest_path = self.directory / "manifest.json"
+        self._chunks: Dict[str, Dict[str, Any]] = {}
+        if self._manifest_path.exists():
+            self._load_manifest()
+        else:
+            self._meta = dict(meta or {})
+            self._write_manifest()
+
+    # -- manifest ------------------------------------------------------
+    def _load_manifest(self) -> None:
+        try:
+            manifest = json.loads(self._manifest_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise CheckpointMismatchError(
+                f"unreadable campaign manifest at {self._manifest_path}: {exc}"
+            ) from exc
+        if manifest.get("fingerprint") != self.fingerprint:
+            raise CheckpointMismatchError(
+                f"campaign directory {self.directory} belongs to a different "
+                f"sweep (manifest fingerprint {manifest.get('fingerprint')!r}, "
+                f"expected {self.fingerprint!r})"
+            )
+        self._meta = manifest.get("meta", {})
+        self._chunks = manifest.get("chunks", {})
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "version": _MANIFEST_VERSION,
+            "kind": self.kind,
+            "fingerprint": self.fingerprint,
+            "meta": self._meta,
+            "chunks": self._chunks,
+        }
+        atomic_write_bytes(
+            self._manifest_path,
+            json.dumps(manifest, indent=2, sort_keys=True).encode("utf-8"),
+        )
+
+    @property
+    def completed_chunks(self) -> int:
+        """Number of chunks journalled as complete."""
+        return len(self._chunks)
+
+    # -- chunk round-trips ---------------------------------------------
+    @staticmethod
+    def _key(start: int, stop: int) -> str:
+        return f"{start}-{stop}"
+
+    def _chunk_path(self, start: int, stop: int) -> Path:
+        return self.directory / f"chunk-{start}-{stop}.npy"
+
+    def has(self, start: int, stop: int) -> bool:
+        """Whether a journalled chunk exists for exactly this range."""
+        return self._key(start, stop) in self._chunks
+
+    def store(self, start: int, stop: int, payload: np.ndarray, index: int = 0) -> None:
+        """Persist one chunk atomically and journal its checksum."""
+        buffer = io.BytesIO()
+        np.save(buffer, np.ascontiguousarray(payload), allow_pickle=False)
+        data = buffer.getvalue()
+        if self._faults is not None:
+            data = self._faults.corrupt_bytes(Site.CHUNK_FILE, data, index=index)
+        path = self._chunk_path(start, stop)
+        atomic_write_bytes(path, data)
+        self._chunks[self._key(start, stop)] = {
+            "file": path.name,
+            "sha256": _sha256(data),
+            "rows": stop - start,
+        }
+        self._write_manifest()
+
+    def load(self, start: int, stop: int) -> np.ndarray:
+        """Load one journalled chunk, verifying its checksum.
+
+        Raises
+        ------
+        CorruptChunkError
+            If the file is missing, fails its checksum, or cannot be
+            parsed.  Callers treat this as "not checkpointed" and
+            recompute.
+        """
+        entry = self._chunks.get(self._key(start, stop))
+        if entry is None:
+            raise CorruptChunkError(f"chunk {start}-{stop} is not journalled")
+        path = self.directory / entry["file"]
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            raise CorruptChunkError(
+                f"chunk file {path.name} unreadable: {exc}"
+            ) from exc
+        if _sha256(data) != entry["sha256"]:
+            raise CorruptChunkError(
+                f"chunk file {path.name} failed its SHA-256 checksum"
+            )
+        try:
+            return np.load(io.BytesIO(data), allow_pickle=False)
+        except (ValueError, OSError, EOFError) as exc:
+            raise CorruptChunkError(
+                f"chunk file {path.name} unparseable: {exc}"
+            ) from exc
+
+    def _ranges(self) -> List[_Bounds]:
+        ranges = []
+        for key in self._chunks:
+            lo, hi = key.split("-")
+            ranges.append((int(lo), int(hi)))
+        return sorted(ranges)
+
+    def covers(self, start: int, stop: int) -> bool:
+        """Whether journalled chunks fully tile ``[start, stop)``.
+
+        Chunk files are keyed by challenge-row ranges, so a sweep
+        resumed with a *different* chunk size can still reuse earlier
+        work: any requested range that the old chunks tile completely
+        is assembled from them instead of recomputed.
+        """
+        cursor = start
+        ranges = self._ranges()
+        while cursor < stop:
+            piece = next((r for r in ranges if r[0] <= cursor < r[1]), None)
+            if piece is None:
+                return False
+            cursor = piece[1]
+        return True
+
+    def load_range(self, start: int, stop: int) -> np.ndarray:
+        """Assemble ``[start, stop)`` from journalled chunks (any geometry).
+
+        Raises :class:`CorruptChunkError` if the range is not fully
+        covered or any contributing chunk fails its checksum.
+        """
+        pieces: List[np.ndarray] = []
+        cursor = start
+        ranges = self._ranges()
+        while cursor < stop:
+            piece = next((r for r in ranges if r[0] <= cursor < r[1]), None)
+            if piece is None:
+                raise CorruptChunkError(
+                    f"rows {cursor}-{stop} are not journalled"
+                )
+            arr = self.load(*piece)
+            lo = cursor - piece[0]
+            hi = min(piece[1], stop) - piece[0]
+            pieces.append(arr[..., lo:hi])
+            cursor += hi - lo
+        if len(pieces) == 1:
+            return np.ascontiguousarray(pieces[0])
+        return np.concatenate(pieces, axis=-1)
+
+    def discard(self, start: int, stop: int) -> None:
+        """Drop a chunk from the journal (e.g. after checksum failure)."""
+        entry = self._chunks.pop(self._key(start, stop), None)
+        if entry is not None:
+            self._write_manifest()
+            try:
+                (self.directory / entry["file"]).unlink()
+            except OSError:
+                pass
+
+    def prune_corrupt(self, start: int, stop: int) -> int:
+        """Discard every journalled chunk overlapping ``[start, stop)``
+        that fails verification; returns how many were dropped."""
+        dropped = 0
+        for lo, hi in self._ranges():
+            if hi <= start or lo >= stop:
+                continue
+            try:
+                self.load(lo, hi)
+            except CorruptChunkError:
+                self.discard(lo, hi)
+                dropped += 1
+        return dropped
+
+
+# ----------------------------------------------------------------------
+# Fault-tolerant dispatch loop
+# ----------------------------------------------------------------------
+def run_chunks(
+    bounds: List[_Bounds],
+    *,
+    jobs: int,
+    make_call: Callable[[int, int, int, bool, bool], Tuple[Callable, tuple]],
+    validate: Callable[[np.ndarray, int], None],
+    retry: RetryPolicy = DEFAULT_RETRY,
+    checkpoint: Optional[CheckpointStore] = None,
+    report: Optional[CampaignReport] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Iterator[Tuple[_Bounds, np.ndarray]]:
+    """Yield ``((start, stop), payload)`` for every chunk, fault-tolerantly.
+
+    Parameters
+    ----------
+    bounds:
+        Chunk boundaries, in challenge-row coordinates.
+    jobs:
+        Worker processes; 1 means in-process serial execution.
+    make_call:
+        ``make_call(start, stop, chunk_index, in_worker, attempt)``
+        returning a picklable ``(function, args)`` pair computing the
+        chunk.  The runtime re-invokes it per attempt so workers can
+        make deterministic fault decisions from the attempt number.
+    validate:
+        Called with ``(payload, n_rows)``; raises
+        :class:`ChunkValidationError` on a corrupt payload, which the
+        runtime treats as a retriable failure.
+    retry:
+        Timeout/backoff policy.
+    checkpoint:
+        Optional persistent store; completed chunks are loaded instead
+        of recomputed and new results are journalled as they finish.
+    report:
+        Trail collector (a fresh one is created if omitted).
+    sleep:
+        Backoff sleeper, injectable for tests.
+
+    Chunks are yielded in ``bounds`` order.  :class:`InjectedCampaignAbort`
+    is never caught -- it simulates a hard kill.
+    """
+    if report is None:
+        report = CampaignReport()
+    report.chunks_total += len(bounds)
+
+    pool: Optional[ProcessPoolExecutor] = None
+    pending: Dict[int, Any] = {}
+    pool_chunk_failures = 0
+
+    def resumed(index: int, start: int, stop: int) -> Optional[np.ndarray]:
+        if checkpoint is None or not checkpoint.covers(start, stop):
+            return None
+        try:
+            payload = checkpoint.load_range(start, stop)
+            validate(payload, stop - start)
+        except (CorruptChunkError, ChunkValidationError) as exc:
+            checkpoint.prune_corrupt(start, stop)
+            report.record("chunk_corrupt", (start, stop), detail=str(exc))
+            return None
+        report.record("chunk_resumed", (start, stop))
+        return payload
+
+    def compute_serial(index: int, start: int, stop: int) -> np.ndarray:
+        """In-process execution with its own bounded retry loop."""
+        last_error: Optional[BaseException] = None
+        for attempt in range(retry.max_attempts):
+            fn, args = make_call(start, stop, index, False, attempt)
+            try:
+                payload = fn(*args)
+                validate(payload, stop - start)
+                return payload
+            except InjectedCampaignAbort:
+                raise
+            except Exception as exc:  # noqa: BLE001 - recovery loop
+                last_error = exc
+                report.record(
+                    "retry", (start, stop), attempt, f"serial: {exc!r}"
+                )
+                if attempt + 1 < retry.max_attempts:
+                    sleep(retry.delay(attempt + 1, key=index))
+        raise RuntimeError(
+            f"chunk {start}-{stop} failed after {retry.max_attempts} "
+            f"serial attempts"
+        ) from last_error
+
+    def submit(index: int, start: int, stop: int, attempt: int):
+        fn, args = make_call(start, stop, index, True, attempt)
+        return pool.submit(fn, *args)
+
+    def abandon_pool(reason: str) -> None:
+        nonlocal pool
+        if pool is None:
+            return
+        report.record("pool_abandoned", detail=reason)
+        pool.shutdown(wait=False, cancel_futures=True)
+        pool = None
+        pending.clear()
+
+    use_pool = jobs > 1 and len(bounds) > 1
+    if use_pool:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(bounds)))
+        for index, (start, stop) in enumerate(bounds):
+            if checkpoint is not None and checkpoint.covers(start, stop):
+                continue  # probably resumable; submit lazily if not
+            pending[index] = submit(index, start, stop, attempt=0)
+
+    try:
+        for index, (start, stop) in enumerate(bounds):
+            payload = resumed(index, start, stop)
+            was_resumed = payload is not None
+            if payload is None and pool is not None:
+                future = pending.pop(index, None)
+                if future is None:
+                    future = submit(index, start, stop, attempt=0)
+                attempt = 0
+                while payload is None:
+                    try:
+                        result = future.result(timeout=retry.timeout)
+                        validate(result, stop - start)
+                        payload = result
+                        break
+                    except InjectedCampaignAbort:
+                        raise
+                    except BrokenExecutor as exc:
+                        abandon_pool(f"broken process pool: {exc!r}")
+                        break
+                    except FutureTimeoutError:
+                        future.cancel()
+                        report.record(
+                            "retry",
+                            (start, stop),
+                            attempt,
+                            f"timeout after {retry.timeout}s",
+                        )
+                    except Exception as exc:  # noqa: BLE001 - recovery loop
+                        report.record("retry", (start, stop), attempt, repr(exc))
+                    attempt += 1
+                    if attempt >= retry.max_attempts:
+                        pool_chunk_failures += 1
+                        report.record(
+                            "serial_fallback",
+                            (start, stop),
+                            attempt,
+                            "pool retries exhausted",
+                        )
+                        if pool_chunk_failures >= retry.pool_chunk_failures:
+                            abandon_pool(
+                                f"{pool_chunk_failures} chunks exhausted "
+                                "their pool retries"
+                            )
+                        break
+                    sleep(retry.delay(attempt, key=index))
+                    if pool is None:
+                        break
+                    future = submit(index, start, stop, attempt=attempt)
+            if payload is None:
+                payload = compute_serial(index, start, stop)
+            if not was_resumed:
+                report.record("chunk_computed", (start, stop))
+                if checkpoint is not None:
+                    checkpoint.store(start, stop, payload, index=index)
+            yield (start, stop), payload
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)

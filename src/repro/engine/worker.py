@@ -26,6 +26,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.crp.transform import parity_features
+from repro.faults import FaultPlan, Site
 from repro.silicon.arbiter import ArbiterPuf
 from repro.silicon.environment import OperatingCondition
 
@@ -65,6 +66,10 @@ def evaluate_chunk(
     first_block: int,
     method: str = "binomial",
     phi_out: Optional[np.ndarray] = None,
+    faults: Optional[FaultPlan] = None,
+    chunk_index: int = 0,
+    attempt: int = 0,
+    in_worker: bool = False,
 ) -> np.ndarray:
     """Evaluate one block-aligned chunk of challenges.
 
@@ -93,6 +98,17 @@ def evaluate_chunk(
         probability, no randomness).
     phi_out:
         Optional preallocated feature buffer, reused across chunks.
+    faults:
+        Optional fault plan consulted at :data:`repro.faults.Site.ENGINE_CHUNK`
+        on entry and :data:`~repro.faults.Site.ENGINE_RESULT` on return
+        (no-op when ``None``).
+    chunk_index:
+        Engine chunk index, used only to address injected faults.
+    attempt:
+        Retry attempt number for deterministic fault firing.
+    in_worker:
+        Whether this call runs inside a process-pool worker (lets
+        ``pool_only`` faults spare the serial fallback path).
 
     Returns
     -------
@@ -100,6 +116,10 @@ def evaluate_chunk(
         ``(n_conditions, n_pufs, n)`` array -- int64 counter values for
         ``binomial``, float64 probabilities for ``analytic``.
     """
+    if faults is not None:
+        faults.check(
+            Site.ENGINE_CHUNK, chunk_index, attempt=attempt, in_worker=in_worker
+        )
     n = len(challenges)
     phi = parity_features(challenges, out=phi_out)
     dtype = np.float64 if method == "analytic" else np.int64
@@ -114,6 +134,10 @@ def evaluate_chunk(
                 stop = min(offset + RNG_BLOCK, n)
                 rng = block_generator(root, first_block + offset // RNG_BLOCK, ci, pi)
                 out[ci, pi, offset:stop] = rng.binomial(n_trials, p[offset:stop])
+    if faults is not None:
+        out = faults.corrupt(
+            Site.ENGINE_RESULT, out, chunk_index, attempt=attempt, in_worker=in_worker
+        )
     return out
 
 
@@ -122,9 +146,22 @@ def noise_free_chunk(
     challenges: np.ndarray,
     condition: OperatingCondition,
     phi_out: Optional[np.ndarray] = None,
+    faults: Optional[FaultPlan] = None,
+    chunk_index: int = 0,
+    attempt: int = 0,
+    in_worker: bool = False,
 ) -> np.ndarray:
     """``(n_pufs, n)`` noise-free responses for one chunk (shared phi)."""
+    if faults is not None:
+        faults.check(
+            Site.ENGINE_CHUNK, chunk_index, attempt=attempt, in_worker=in_worker
+        )
     phi = parity_features(challenges, out=phi_out)
-    return np.stack(
+    out = np.stack(
         [puf.noise_free_response_from_features(phi, condition) for puf in pufs]
     )
+    if faults is not None:
+        out = faults.corrupt(
+            Site.ENGINE_RESULT, out, chunk_index, attempt=attempt, in_worker=in_worker
+        )
+    return out

@@ -14,7 +14,8 @@ archived next to the benchmark artefacts.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
@@ -32,10 +33,21 @@ __all__ = ["run_fig02", "run_fig03", "N_STAGES", "make_engine"]
 N_STAGES = 32
 
 
-def make_engine(jobs: int = 1, chunk_size: Optional[int] = None) -> EvaluationEngine:
-    """Engine from the runners' common ``jobs``/``chunk_size`` knobs."""
+def make_engine(
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+) -> EvaluationEngine:
+    """Engine from the runners' common ``jobs``/``chunk_size`` knobs.
+
+    *checkpoint_dir* enables crash-safe campaigns: per-chunk results are
+    journalled there, and a rerun pointed at the same directory resumes
+    from the last good chunk (see :mod:`repro.engine.runtime`).
+    """
     return EvaluationEngine(
-        jobs=jobs, chunk_size=DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size
+        jobs=jobs,
+        chunk_size=DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size,
+        checkpoint_dir=checkpoint_dir,
     )
 
 
@@ -46,6 +58,7 @@ def run_fig02(
     *,
     jobs: int = 1,
     chunk_size: Optional[int] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
 ) -> Dict[str, Any]:
     """Fig. 2: soft-response distribution of single MUX PUFs.
 
@@ -65,7 +78,7 @@ def run_fig02(
     lot = fabricate_lot(n_chips, 1, N_STAGES, seed=seed)
     per_challenge = max(n_challenges // n_chips, 1000)
     challenges = random_challenges(per_challenge, N_STAGES, seed=seed + 1)
-    engine = make_engine(jobs, chunk_size)
+    engine = make_engine(jobs, chunk_size, checkpoint_dir)
     per_chip = engine.measure_lot(
         lot, challenges, PAPER_N_TRIALS, seed=seed + 2
     )
@@ -91,6 +104,7 @@ def run_fig03(
     *,
     jobs: int = 1,
     chunk_size: Optional[int] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
 ) -> Dict[str, Any]:
     """Fig. 3: measured stable-CRP fraction vs XOR width.
 
@@ -106,7 +120,7 @@ def run_fig03(
     check_positive_int(n_challenges, "n_challenges")
     xor_puf = XorArbiterPuf.create(n_pufs, N_STAGES, seed=seed)
     challenges = random_challenges(n_challenges, N_STAGES, seed=seed + 1)
-    engine = make_engine(jobs, chunk_size)
+    engine = make_engine(jobs, chunk_size, checkpoint_dir)
     per_puf = engine.measure_xor_constituents(
         xor_puf, challenges, PAPER_N_TRIALS, seed=seed + 10
     )

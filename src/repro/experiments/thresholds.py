@@ -7,7 +7,8 @@ returns a JSON-serialisable dict (see per-function docs for keys).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -272,6 +273,7 @@ def run_fig12(
     *,
     jobs: int = 1,
     chunk_size: Optional[int] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
 ) -> Dict[str, Any]:
     """Fig. 12: stable fraction vs n under three selection regimes.
 
@@ -280,7 +282,7 @@ def run_fig12(
     dicts plus the beta pairs.
     """
     chip = PufChip.create(n_pufs, N_STAGES, seed=seed)
-    engine = make_engine(jobs, chunk_size)
+    engine = make_engine(jobs, chunk_size, checkpoint_dir)
     models, pairs, betas_nom, betas_vt = _enroll_fig12_models(
         chip, n_validation, seed, engine
     )

@@ -51,9 +51,16 @@ class PufChip:
         Identifier used in server databases and reports.
     """
 
-    def __init__(self, xor_puf: XorArbiterPuf, chip_id: str = "chip-0") -> None:
+    def __init__(
+        self,
+        xor_puf: XorArbiterPuf,
+        chip_id: str = "chip-0",
+        fuses: Optional[FuseBank] = None,
+    ) -> None:
         self._xor_puf = xor_puf
-        self._fuses = FuseBank()
+        # A persisted bank may be passed back in after a tester crash,
+        # so a half-finished burn stays binding across restarts.
+        self._fuses = fuses if fuses is not None else FuseBank()
         self.chip_id = str(chip_id)
 
     # ------------------------------------------------------------------
@@ -135,6 +142,7 @@ class PufChip:
         method: str = "binomial",
         jobs: int = 1,
         chunk_size: Optional[int] = None,
+        checkpoint_dir=None,
         seed=None,
     ) -> List[List[SoftResponseDataset]]:
         """``[condition][puf]`` soft-response grid over every constituent.
@@ -143,7 +151,9 @@ class PufChip:
         one fuse-gated campaign measures all PUFs of the chip at all
         *conditions* on a shared challenge matrix, so the challenge
         features are computed once for the whole grid (see
-        :class:`~repro.engine.engine.EvaluationEngine`).
+        :class:`~repro.engine.engine.EvaluationEngine`).  Passing
+        *checkpoint_dir* journals per-chunk results so an interrupted
+        campaign resumes from the last good chunk.
 
         Raises :class:`~repro.silicon.fuses.FuseBlownError` after
         deployment.
@@ -166,6 +176,7 @@ class PufChip:
         engine = EvaluationEngine(
             jobs=jobs,
             chunk_size=DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size,
+            checkpoint_dir=checkpoint_dir,
         )
         return engine.measure_grid(
             self._xor_puf.pufs,
@@ -189,6 +200,17 @@ class PufChip:
     def blow_fuses(self) -> None:
         """End enrollment: permanently disable individual-PUF access."""
         self._fuses.blow()
+
+    def begin_fuse_burn(self) -> None:
+        """Commit to the burn (closes enrollment before the pulse).
+
+        Persist the fuse bank (``chip.fuses.save(...)``) right after
+        this call: should the tester crash before :meth:`blow_fuses`
+        completes, the restored state keeps the chip un-re-enrollable
+        and recovery finishes the burn with
+        :meth:`~repro.silicon.fuses.FuseBank.ensure_blown`.
+        """
+        self._fuses.begin_burn()
 
     def _constituent(self, puf_index: int):
         if not 0 <= puf_index < self.n_pufs:

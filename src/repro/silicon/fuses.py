@@ -9,11 +9,32 @@ physically unreachable and only the XOR output remains visible [11].
 :class:`FuseBank` models that lifecycle as a tiny state machine and is
 enforced by :class:`repro.silicon.chip.PufChip`: any enrollment-path
 access after :meth:`FuseBank.blow` raises :class:`FuseBlownError`.
+
+Crash safety
+------------
+A tester that crashes *between* soft-response readout and the
+programming pulse must not leave the chip re-enrollable -- the readout
+transcript already exists, so re-opening the enrollment path would let
+a second (possibly hostile) tester harvest a fresh transcript.  The
+bank therefore supports a persisted three-state protocol:
+
+1. :meth:`begin_burn` marks the bank ``BURN_PENDING`` (recorded via
+   :meth:`save` **before** the readout results leave the tester);
+   while pending, enrollment access is already denied.
+2. :meth:`blow` (or the idempotent :meth:`ensure_blown`) completes the
+   pulse.
+3. On recovery, :meth:`load` restores the persisted state; a pending
+   bank is finished with :meth:`ensure_blown` -- calling it on an
+   already-blown bank is a no-op, so recovery code needs no
+   state-sniffing.
 """
 
 from __future__ import annotations
 
 import enum
+import json
+from pathlib import Path
+from typing import Union
 
 __all__ = ["FuseState", "FuseBank", "FuseBlownError"]
 
@@ -26,6 +47,9 @@ class FuseState(enum.Enum):
     """Lifecycle state of the enrollment fuses."""
 
     INTACT = "intact"
+    #: A burn has been committed to but the pulse has not completed;
+    #: enrollment access is already denied.
+    BURN_PENDING = "burn-pending"
     BLOWN = "blown"
 
 
@@ -56,20 +80,82 @@ class FuseBank:
         """Number of enrollment-path accesses granted while intact."""
         return self._access_count
 
+    @property
+    def is_burn_pending(self) -> bool:
+        """Whether a burn has been committed but not yet completed."""
+        return self._state is FuseState.BURN_PENDING
+
     def check_access(self, operation: str = "enrollment access") -> None:
-        """Record one enrollment-path access; raise if the fuses are blown."""
+        """Record one enrollment-path access; raise if enrollment is closed.
+
+        Closed means blown *or* burn-pending: once a burn is committed,
+        re-opening the readout path would allow harvesting a second
+        enrollment transcript.
+        """
         if self.is_blown:
             raise FuseBlownError(
                 f"{operation} denied: enrollment fuses are blown; individual "
                 "PUF responses are permanently inaccessible"
             )
+        if self.is_burn_pending:
+            raise FuseBlownError(
+                f"{operation} denied: a fuse burn is pending; complete it "
+                "with ensure_blown() before any further use"
+            )
         self._access_count += 1
+
+    def begin_burn(self) -> None:
+        """Commit to burning: close the enrollment path ahead of the pulse.
+
+        Idempotent while pending (recovery code may call it again);
+        raises once the fuses are actually blown.
+        """
+        if self.is_blown:
+            raise FuseBlownError("fuses are already blown")
+        self._state = FuseState.BURN_PENDING
 
     def blow(self) -> None:
         """Apply the programming pulse, permanently disabling enrollment."""
         if self.is_blown:
             raise FuseBlownError("fuses are already blown")
         self._state = FuseState.BLOWN
+
+    def ensure_blown(self) -> None:
+        """Idempotent burn: blow if not already blown, else do nothing.
+
+        This is the recovery entry point -- safe to call regardless of
+        whether the crash happened before or after the pulse completed.
+        """
+        if not self.is_blown:
+            self._state = FuseState.BLOWN
+
+    # ------------------------------------------------------------------
+    # Crash-safe persistence
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-serialisable snapshot of the bank."""
+        return {"state": self._state.value, "access_count": self._access_count}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FuseBank":
+        """Rebuild a bank from a :meth:`to_state` snapshot."""
+        bank = cls()
+        bank._state = FuseState(state["state"])
+        bank._access_count = int(state.get("access_count", 0))
+        return bank
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist the bank state atomically (tmp + fsync + rename)."""
+        from repro.engine.runtime import atomic_write_bytes
+
+        atomic_write_bytes(
+            Path(path), json.dumps(self.to_state(), sort_keys=True).encode("utf-8")
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FuseBank":
+        """Restore a bank persisted with :meth:`save`."""
+        return cls.from_state(json.loads(Path(path).read_text(encoding="utf-8")))
 
     def __repr__(self) -> str:
         return f"FuseBank(state={self._state.value!r}, accesses={self._access_count})"

@@ -15,13 +15,17 @@ cannot do anything a real tester could not.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.crp.dataset import SoftResponseDataset
+from repro.engine.runtime import CampaignReport, DEFAULT_RETRY, RetryPolicy
+from repro.faults import FaultPlan, Site
 from repro.silicon.chip import PufChip
 from repro.silicon.environment import NOMINAL_CONDITION, OperatingCondition
+from repro.silicon.fuses import FuseBlownError
 from repro.utils.validation import as_challenge_array, check_positive_int
 
 __all__ = ["ChipTester", "SoftResponseCampaign"]
@@ -89,10 +93,74 @@ class SoftResponseCampaign:
 
 
 class ChipTester:
-    """Software PXI tester: drives measurement campaigns on chips."""
+    """Software PXI tester: drives measurement campaigns on chips.
 
-    def __init__(self, *, method: str = "binomial") -> None:
+    Parameters
+    ----------
+    method:
+        Counter simulation mode (see :mod:`repro.silicon.counters`).
+    retry:
+        Backoff policy for transient readout failures (USB DAQ
+        glitches, device read timeouts).  Each per-PUF readout gets
+        ``retry.max_attempts`` tries; fuse-gate violations are *never*
+        retried -- a blown fuse is policy, not noise.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` consulted at
+        :data:`~repro.faults.Site.TESTER_READOUT` before each per-PUF
+        readout (index = PUF index); ``None`` costs nothing.
+
+    After each campaign, :attr:`last_report` holds the retry trail.
+    """
+
+    def __init__(
+        self,
+        *,
+        method: str = "binomial",
+        retry: RetryPolicy = DEFAULT_RETRY,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
         self.method = method
+        self.retry = retry
+        self.faults = faults
+        self.last_report: Optional[CampaignReport] = None
+
+    def _read_with_retry(
+        self,
+        report: CampaignReport,
+        puf_index: int,
+        read,
+    ) -> SoftResponseDataset:
+        """One fuse-gated readout with bounded retries and backoff."""
+        # Imported lazily: repro.core.authentication itself imports from
+        # repro.silicon, so a module-level import here would be circular.
+        from repro.core.authentication import DeviceReadError
+
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.retry.max_attempts):
+            if self.faults is not None:
+                try:
+                    self.faults.check(
+                        Site.TESTER_READOUT, puf_index, attempt=attempt
+                    )
+                except (DeviceReadError, OSError) as exc:
+                    last_error = exc
+                    report.record("retry", (puf_index, puf_index), attempt, repr(exc))
+                    if attempt + 1 < self.retry.max_attempts:
+                        time.sleep(self.retry.delay(attempt + 1, key=puf_index))
+                    continue
+            try:
+                return read()
+            except FuseBlownError:
+                raise
+            except (DeviceReadError, OSError) as exc:
+                last_error = exc
+                report.record("retry", (puf_index, puf_index), attempt, repr(exc))
+                if attempt + 1 < self.retry.max_attempts:
+                    time.sleep(self.retry.delay(attempt + 1, key=puf_index))
+        raise DeviceReadError(
+            f"readout of PUF #{puf_index} failed after "
+            f"{self.retry.max_attempts} attempts"
+        ) from last_error
 
     def measure_soft_responses(
         self,
@@ -119,11 +187,20 @@ class ChipTester:
         conditions = list(conditions) if conditions is not None else [NOMINAL_CONDITION]
         if not conditions:
             raise ValueError("conditions must not be empty")
+        report = CampaignReport()
+        self.last_report = report
         per_condition: Dict[OperatingCondition, List[SoftResponseDataset]] = {}
         for condition in conditions:
             per_condition[condition] = [
-                chip.enrollment_soft_responses(
-                    index, challenges, n_trials, condition, method=self.method
+                self._read_with_retry(
+                    report,
+                    index,
+                    lambda index=index, condition=condition: (
+                        chip.enrollment_soft_responses(
+                            index, challenges, n_trials, condition,
+                            method=self.method,
+                        )
+                    ),
                 )
                 for index in range(chip.n_pufs)
             ]

@@ -8,6 +8,9 @@ fixture.
 
 from __future__ import annotations
 
+import os
+import signal
+
 import numpy as np
 import pytest
 
@@ -19,6 +22,48 @@ from repro.silicon.xorpuf import XorArbiterPuf
 
 #: Stage count used by most tests (paper chip width, still fast).
 N_STAGES = 32
+
+# ----------------------------------------------------------------------
+# Hang guard
+# ----------------------------------------------------------------------
+# The fault-tolerance suite deliberately exercises hangs and worker
+# crashes; a regression there must fail fast instead of wedging CI.
+# When the pytest-timeout plugin is installed it owns the job; this
+# SIGALRM fallback covers environments without it (same `timeout`
+# marker, default from REPRO_TEST_TIMEOUT, 0 disables).
+try:
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+#: Per-test wall-clock ceiling (seconds) for the fallback guard.
+DEFAULT_TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+if not _HAVE_PYTEST_TIMEOUT and hasattr(signal, "SIGALRM"):
+
+    @pytest.hookimpl(wrapper=True)
+    def pytest_runtest_call(item):
+        timeout = DEFAULT_TEST_TIMEOUT
+        marker = item.get_closest_marker("timeout")
+        if marker and marker.args:
+            timeout = float(marker.args[0])
+        if timeout <= 0:
+            return (yield)
+
+        def _on_alarm(signum, frame):  # pragma: no cover - only on hangs
+            raise TimeoutError(
+                f"{item.nodeid} exceeded the {timeout:.0f}s hang guard"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+        try:
+            return (yield)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
 
 #: Counter depth for fast tests; stability semantics are depth-dependent
 #: but every module accepts any depth.

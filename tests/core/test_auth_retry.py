@@ -1,0 +1,110 @@
+"""Server-side retry on transient device failure: fresh challenges, bounded.
+
+The security property under test: a retried session must never replay
+the previous attempt's challenge set.  Repeated or partial transcripts
+are what chosen-challenge attacks harvest, and the zero-HD protocol's
+one-shot sampling assumption forbids asking the same question twice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.authentication import DeviceReadError
+from repro.core.server import AuthenticationServer
+from repro.faults import FaultPlan, FaultSpec, FlakyResponder, Site
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture(scope="module")
+def server_and_chip(enrolled_chip_and_record):
+    chip, record = enrolled_chip_and_record
+    server = AuthenticationServer()
+    server.register(record)
+    return server, chip
+
+
+def flaky(chip, n_failures):
+    plan = FaultPlan(
+        [FaultSpec(Site.DEVICE_READ, kind="device", fail_attempts=n_failures)]
+    )
+    return FlakyResponder(chip, plan)
+
+
+class RecordingResponder:
+    """Delegates to the chip, recording every challenge set it is sent."""
+
+    def __init__(self, chip, n_failures=0):
+        self._chip = chip
+        self.chip_id = chip.chip_id
+        self.challenge_log = []
+        self._failures_left = n_failures
+
+    def xor_response(self, challenges, condition=None):
+        self.challenge_log.append(np.array(challenges, copy=True))
+        if self._failures_left > 0:
+            self._failures_left -= 1
+            raise DeviceReadError("injected transport dropout")
+        if condition is None:
+            return self._chip.xor_response(challenges)
+        return self._chip.xor_response(challenges, condition)
+
+
+class TestAuthRetry:
+    def test_default_single_attempt_is_unchanged(self, server_and_chip):
+        server, chip = server_and_chip
+        result = server.authenticate(chip, seed=71)
+        assert result.approved
+        assert result.attempts == 1
+
+    def test_first_attempt_bits_match_legacy_derivation(self, server_and_chip):
+        """max_attempts > 1 must not perturb an untroubled session."""
+        server, chip = server_and_chip
+        single = server.authenticate(chip, seed=71)
+        multi = server.authenticate(chip, seed=71, max_attempts=4)
+        assert multi.attempts == 1
+        assert (single.approved, single.n_mismatches) == (
+            multi.approved, multi.n_mismatches
+        )
+
+    def test_transient_failure_is_retried(self, server_and_chip):
+        server, chip = server_and_chip
+        result = server.authenticate(flaky(chip, 2), seed=71, max_attempts=3)
+        assert result.approved
+        assert result.attempts == 3
+
+    def test_exhausted_attempts_propagate_the_failure(self, server_and_chip):
+        server, chip = server_and_chip
+        with pytest.raises(DeviceReadError):
+            server.authenticate(flaky(chip, 99), seed=71, max_attempts=2)
+
+    def test_invalid_max_attempts_rejected(self, server_and_chip):
+        server, chip = server_and_chip
+        with pytest.raises(ValueError, match="max_attempts"):
+            server.authenticate(chip, seed=71, max_attempts=0)
+
+    def test_retry_never_replays_challenges(self, server_and_chip):
+        server, chip = server_and_chip
+        responder = RecordingResponder(chip, n_failures=2)
+        result = server.authenticate(responder, seed=71, max_attempts=3)
+        assert result.approved and result.attempts == 3
+        log = responder.challenge_log
+        assert len(log) == 3
+        # Every attempt drew an independent challenge set: no two
+        # transcripts share even a single challenge row.
+        for i in range(len(log)):
+            for j in range(i + 1, len(log)):
+                shared = (log[i][:, None, :] == log[j][None, :, :]).all(-1)
+                assert not shared.any(), f"attempts {i} and {j} replayed challenges"
+
+    def test_retry_attempts_are_deterministic(self, server_and_chip):
+        """Same seed, same failure pattern -> the same retry transcript."""
+        server, chip = server_and_chip
+        first = RecordingResponder(chip, n_failures=1)
+        second = RecordingResponder(chip, n_failures=1)
+        server.authenticate(first, seed=71, max_attempts=2)
+        server.authenticate(second, seed=71, max_attempts=2)
+        for a, b in zip(first.challenge_log, second.challenge_log):
+            np.testing.assert_array_equal(a, b)

@@ -1,0 +1,126 @@
+"""Crash-safe dataset round-trips: atomic writes, checksums, corruption."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crp.dataset import (
+    CorruptDatasetError,
+    CrpDataset,
+    SoftResponseDataset,
+)
+from repro.crp.io import load_crps_csv, save_crps_csv
+from repro.faults import FaultPlan, FaultSpec, InjectedIOError, Site
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture()
+def crps():
+    rng = np.random.default_rng(5)
+    challenges = rng.integers(0, 2, size=(40, 16), dtype=np.int8)
+    responses = rng.integers(0, 2, size=40, dtype=np.int8)
+    return CrpDataset(challenges, responses)
+
+
+@pytest.fixture()
+def soft():
+    rng = np.random.default_rng(6)
+    challenges = rng.integers(0, 2, size=(40, 16), dtype=np.int8)
+    return SoftResponseDataset(challenges, rng.random(40), 1001)
+
+
+class TestAtomicSave:
+    def test_round_trip(self, tmp_path, crps):
+        path = tmp_path / "crps.npz"
+        crps.save(path)
+        loaded = CrpDataset.load(path)
+        np.testing.assert_array_equal(loaded.challenges, crps.challenges)
+        np.testing.assert_array_equal(loaded.responses, crps.responses)
+
+    def test_no_tmp_file_left_behind(self, tmp_path, crps):
+        crps.save(tmp_path / "crps.npz")
+        assert [p.name for p in tmp_path.iterdir()] == ["crps.npz"]
+
+    def test_suffix_munging_matches_legacy_savez(self, tmp_path, crps):
+        """Paths without .npz gain the suffix, as np.savez always did."""
+        crps.save(tmp_path / "crps")
+        assert (tmp_path / "crps.npz").exists()
+        loaded = CrpDataset.load(tmp_path / "crps.npz")
+        assert len(loaded) == len(crps)
+
+    def test_soft_response_round_trip(self, tmp_path, soft):
+        path = tmp_path / "soft.npz"
+        soft.save(path)
+        loaded = SoftResponseDataset.load(path)
+        np.testing.assert_array_equal(loaded.soft_responses, soft.soft_responses)
+        assert loaded.n_trials == soft.n_trials
+
+
+class TestCorruptionDetection:
+    def test_truncated_file(self, tmp_path, crps):
+        path = tmp_path / "crps.npz"
+        crps.save(path)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(CorruptDatasetError, match="unreadable or truncated"):
+            CrpDataset.load(path)
+
+    def test_bit_flip_fails_checksum(self, tmp_path, soft):
+        path = tmp_path / "soft.npz"
+        soft.save(path)
+        raw = bytearray(path.read_bytes())
+        # Flip a byte inside the payload region, away from the zip
+        # directory so the archive still parses.
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CorruptDatasetError):
+            SoftResponseDataset.load(path)
+
+    def test_missing_array_is_reported(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, challenges=np.zeros((2, 4), dtype=np.int8))
+        with pytest.raises(CorruptDatasetError, match="missing required arrays"):
+            CrpDataset.load(path)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            CrpDataset.load(tmp_path / "absent.npz")
+
+    def test_legacy_checksum_free_file_loads(self, tmp_path, crps):
+        """Files written before checksums existed are still readable."""
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(
+            path, challenges=crps.challenges, responses=crps.responses
+        )
+        loaded = CrpDataset.load(path)
+        np.testing.assert_array_equal(loaded.responses, crps.responses)
+
+
+class TestInjectedIOFaults:
+    def test_save_io_fault_propagates_and_leaves_no_file(self, tmp_path, crps):
+        plan = FaultPlan([FaultSpec(Site.DATASET_SAVE, kind="io")])
+        path = tmp_path / "crps.npz"
+        with pytest.raises(InjectedIOError):
+            crps.save(path, faults=plan)
+        assert not path.exists()
+        # The transient fault heals: a retry succeeds with the same plan.
+        crps.save(path, faults=plan)
+        assert path.exists()
+
+    def test_load_io_fault_is_transient(self, tmp_path, crps):
+        path = tmp_path / "crps.npz"
+        crps.save(path)
+        plan = FaultPlan([FaultSpec(Site.DATASET_LOAD, kind="io")])
+        with pytest.raises(InjectedIOError):
+            CrpDataset.load(path, faults=plan)
+        assert len(CrpDataset.load(path, faults=plan)) == len(crps)
+
+    def test_csv_round_trip_with_transient_load_fault(self, tmp_path, crps):
+        path = tmp_path / "crps.csv"
+        save_crps_csv(crps, path)
+        plan = FaultPlan([FaultSpec(Site.DATASET_LOAD, kind="io")])
+        with pytest.raises(InjectedIOError):
+            load_crps_csv(path, faults=plan)
+        loaded = load_crps_csv(path, faults=plan)
+        np.testing.assert_array_equal(loaded.challenges, crps.challenges)

@@ -1,0 +1,208 @@
+"""Engine-level recovery scenarios, including the kill-and-resume test.
+
+The invariant under test everywhere: fault tolerance changes *whether a
+campaign survives*, never *what it computes*.  Every recovered run is
+compared bit-for-bit against an undisturbed ``jobs=1`` reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crp.challenges import random_challenges
+from repro.engine import EvaluationEngine, RetryPolicy
+from repro.faults import FaultPlan, FaultSpec, InjectedCampaignAbort, Site
+from repro.silicon.xorpuf import XorArbiterPuf
+
+pytestmark = pytest.mark.faults
+
+#: Challenge count giving three RNG-block-aligned chunks of 4096.
+N_CHALLENGES = 3 * 4096
+N_TRIALS = 63
+CHUNK = 4096
+
+#: Fast backoff for tests: retries must not dominate wall clock.
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.0, max_delay=0.0)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """The shared workload: a 2-XOR PUF and its challenge matrix."""
+    xor_puf = XorArbiterPuf.create(2, 32, seed=11)
+    challenges = random_challenges(N_CHALLENGES, 32, seed=12)
+    return xor_puf, challenges
+
+
+@pytest.fixture(scope="module")
+def reference(sweep):
+    """Counts from an undisturbed serial run -- the bit-exactness oracle."""
+    xor_puf, challenges = sweep
+    return measure(EvaluationEngine(jobs=1, chunk_size=CHUNK), sweep)
+
+
+def measure(engine, sweep):
+    xor_puf, challenges = sweep
+    datasets = engine.measure_xor_constituents(
+        xor_puf, challenges, N_TRIALS, seed=13
+    )
+    return np.stack([d.soft_responses for d in datasets])
+
+
+def assert_identical(engine, sweep, reference):
+    np.testing.assert_array_equal(measure(engine, sweep), reference)
+
+
+class TestTransientFaults:
+    def test_transient_worker_crash_is_retried(self, sweep, reference):
+        plan = FaultPlan([FaultSpec(Site.ENGINE_CHUNK, kind="crash", at=1)])
+        engine = EvaluationEngine(
+            jobs=2, chunk_size=CHUNK, faults=plan, retry=FAST_RETRY
+        )
+        assert_identical(engine, sweep, reference)
+        assert engine.last_report.retries >= 1
+        assert not engine.last_report.pool_abandoned
+
+    def test_corrupted_payload_is_detected_and_retried(self, sweep, reference):
+        plan = FaultPlan([FaultSpec(Site.ENGINE_RESULT, kind="corrupt", at=1)])
+        engine = EvaluationEngine(
+            jobs=1, chunk_size=CHUNK, faults=plan, retry=FAST_RETRY
+        )
+        assert_identical(engine, sweep, reference)
+        report = engine.last_report
+        assert report.retries >= 1
+        assert any(
+            "ChunkValidationError" in e.detail for e in report.events_of("retry")
+        )
+
+    def test_serial_transient_crash_is_retried(self, sweep, reference):
+        plan = FaultPlan([FaultSpec(Site.ENGINE_CHUNK, kind="crash", at=2)])
+        engine = EvaluationEngine(
+            jobs=1, chunk_size=CHUNK, faults=plan, retry=FAST_RETRY
+        )
+        assert_identical(engine, sweep, reference)
+        assert engine.last_report.retries == 1
+
+
+class TestPoolDegradation:
+    def test_poisoned_pool_degrades_to_serial(self, sweep, reference):
+        """Persistent pool-only crashes exhaust retries, then run serially."""
+        plan = FaultPlan(
+            [FaultSpec(Site.ENGINE_CHUNK, kind="crash", fail_attempts=99,
+                       pool_only=True)]
+        )
+        engine = EvaluationEngine(
+            jobs=2,
+            chunk_size=CHUNK,
+            faults=plan,
+            retry=RetryPolicy(
+                max_attempts=2, base_delay=0.0, max_delay=0.0,
+                pool_chunk_failures=2,
+            ),
+        )
+        assert_identical(engine, sweep, reference)
+        report = engine.last_report
+        assert report.serial_fallbacks >= 2
+        assert report.pool_abandoned
+        # The failure trail names each chunk that fell back.
+        fallback_chunks = {e.chunk for e in report.events_of("serial_fallback")}
+        assert fallback_chunks
+
+    def test_hung_worker_trips_timeout_then_recovers(self, sweep, reference):
+        plan = FaultPlan(
+            [FaultSpec(Site.ENGINE_CHUNK, kind="hang", at=1, seconds=30.0,
+                       pool_only=True)]
+        )
+        engine = EvaluationEngine(
+            jobs=2,
+            chunk_size=CHUNK,
+            faults=plan,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0, max_delay=0.0,
+                              timeout=1.0),
+        )
+        assert_identical(engine, sweep, reference)
+        report = engine.last_report
+        assert any("timeout" in e.detail for e in report.events_of("retry"))
+
+
+class TestKillAndResume:
+    """The acceptance scenario: kill a campaign, resume it, compare bits."""
+
+    def interrupted(self, tmp_path, abort_chunk=2):
+        return FaultPlan(
+            [FaultSpec(Site.ENGINE_CHUNK, kind="abort", at=abort_chunk,
+                       fail_attempts=99)]
+        )
+
+    @pytest.mark.parametrize(
+        "resume_jobs,resume_chunk",
+        [(1, CHUNK), (2, CHUNK), (1, 2 * CHUNK)],
+        ids=["same-geometry", "more-jobs", "bigger-chunks"],
+    )
+    def test_resume_is_bit_identical(
+        self, tmp_path, sweep, reference, resume_jobs, resume_chunk
+    ):
+        killed = EvaluationEngine(
+            jobs=1,
+            chunk_size=CHUNK,
+            checkpoint_dir=tmp_path,
+            faults=self.interrupted(tmp_path),
+            retry=FAST_RETRY,
+        )
+        with pytest.raises(InjectedCampaignAbort):
+            measure(killed, sweep)
+        # The kill left journalled work behind.
+        assert any(tmp_path.iterdir())
+
+        resumed = EvaluationEngine(
+            jobs=resume_jobs, chunk_size=resume_chunk, checkpoint_dir=tmp_path
+        )
+        assert_identical(resumed, sweep, reference)
+        report = resumed.last_report
+        assert report.chunks_resumed >= 1
+        assert report.chunks_resumed + report.chunks_computed == report.chunks_total
+
+    def test_completed_campaign_resumes_fully_from_disk(
+        self, tmp_path, sweep, reference
+    ):
+        first = EvaluationEngine(jobs=1, chunk_size=CHUNK, checkpoint_dir=tmp_path)
+        assert_identical(first, sweep, reference)
+        second = EvaluationEngine(jobs=1, chunk_size=CHUNK, checkpoint_dir=tmp_path)
+        assert_identical(second, sweep, reference)
+        assert second.last_report.chunks_computed == 0
+        assert second.last_report.chunks_resumed == second.last_report.chunks_total
+
+    def test_corrupted_checkpoint_chunk_is_recomputed_on_resume(
+        self, tmp_path, sweep, reference
+    ):
+        """Bytes damaged on their way to disk fail the journal checksum."""
+        writer = EvaluationEngine(
+            jobs=1,
+            chunk_size=CHUNK,
+            checkpoint_dir=tmp_path,
+            faults=FaultPlan([FaultSpec(Site.CHUNK_FILE, kind="corrupt", at=1,
+                                        fail_attempts=99)]),
+        )
+        assert_identical(writer, sweep, reference)  # corruption is write-side only
+
+        resumed = EvaluationEngine(jobs=1, chunk_size=CHUNK, checkpoint_dir=tmp_path)
+        assert_identical(resumed, sweep, reference)
+        report = resumed.last_report
+        assert report.events_of("chunk_corrupt")
+        assert report.chunks_computed == 1  # only the damaged chunk
+        assert report.chunks_resumed == 2
+
+    def test_unrelated_sweep_gets_its_own_campaign_directory(
+        self, tmp_path, sweep, reference
+    ):
+        first = EvaluationEngine(jobs=1, chunk_size=CHUNK, checkpoint_dir=tmp_path)
+        assert_identical(first, sweep, reference)
+        # A different PUF must not collide with (or resume from) the
+        # first campaign's chunks.
+        other_puf = XorArbiterPuf.create(2, 32, seed=99)
+        other = EvaluationEngine(jobs=1, chunk_size=CHUNK, checkpoint_dir=tmp_path)
+        datasets = other.measure_xor_constituents(
+            other_puf, sweep[1], N_TRIALS, seed=13
+        )
+        assert other.last_report.chunks_resumed == 0
+        assert len(list(tmp_path.iterdir())) == 2

@@ -1,0 +1,284 @@
+"""Unit tests of the fault-tolerant runtime plumbing.
+
+Engine-level recovery scenarios (kill-and-resume, pool degradation)
+live in ``test_fault_tolerance.py``; this file covers the building
+blocks: atomic writes, retry schedules, the checkpoint store and the
+``run_chunks`` dispatch loop driven by hand-made chunk functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.runtime import (
+    CampaignReport,
+    CheckpointMismatchError,
+    CheckpointStore,
+    ChunkValidationError,
+    CorruptChunkError,
+    RetryPolicy,
+    atomic_write_bytes,
+    campaign_fingerprint,
+    run_chunks,
+)
+
+pytestmark = pytest.mark.faults
+
+
+# ----------------------------------------------------------------------
+# Atomic writes
+# ----------------------------------------------------------------------
+class TestAtomicWrite:
+    def test_writes_content_and_leaves_no_tmp(self, tmp_path):
+        target = tmp_path / "payload.bin"
+        atomic_write_bytes(target, b"hello")
+        assert target.read_bytes() == b"hello"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "payload.bin"
+        target.write_bytes(b"old")
+        atomic_write_bytes(target, b"new")
+        assert target.read_bytes() == b"new"
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1.0},
+            {"backoff": 0.5},
+            {"jitter": 1.5},
+            {"timeout": 0.0},
+            {"pool_chunk_failures": 0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_delay_is_deterministic(self):
+        policy = RetryPolicy(base_delay=0.1, backoff=2.0, jitter=0.1)
+        assert policy.delay(2, key=5) == policy.delay(2, key=5)
+
+    def test_delay_grows_exponentially_until_capped(self):
+        policy = RetryPolicy(base_delay=0.1, backoff=2.0, max_delay=0.5, jitter=0.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+        assert policy.delay(10) == pytest.approx(0.5)  # capped
+
+    def test_jitter_bounded_by_fraction(self):
+        policy = RetryPolicy(base_delay=1.0, backoff=1.0, jitter=0.25, max_delay=10)
+        for attempt in range(1, 20):
+            delay = policy.delay(attempt, key=attempt * 3)
+            assert 1.0 <= delay <= 1.25
+
+    def test_zeroth_attempt_has_no_delay(self):
+        assert RetryPolicy().delay(0) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+class TestFingerprint:
+    def test_same_inputs_same_fingerprint(self):
+        arr = np.arange(12, dtype=np.int8)
+        assert campaign_fingerprint("counts", arr, 7) == campaign_fingerprint(
+            "counts", np.arange(12, dtype=np.int8), 7
+        )
+
+    def test_sensitive_to_content_and_kind(self):
+        arr = np.arange(12, dtype=np.int8)
+        base = campaign_fingerprint("counts", arr, 7)
+        assert campaign_fingerprint("noisefree", arr, 7) != base
+        assert campaign_fingerprint("counts", arr, 8) != base
+        other = arr.copy()
+        other[0] ^= 1
+        assert campaign_fingerprint("counts", other, 7) != base
+
+
+# ----------------------------------------------------------------------
+# Checkpoint store
+# ----------------------------------------------------------------------
+def make_store(tmp_path, fingerprint="f" * 64):
+    return CheckpointStore(tmp_path, "counts", fingerprint)
+
+
+class TestCheckpointStore:
+    def test_store_load_round_trip(self, tmp_path):
+        store = make_store(tmp_path)
+        payload = np.arange(24, dtype=np.int64).reshape(2, 3, 4)
+        store.store(0, 4, payload)
+        assert store.has(0, 4)
+        np.testing.assert_array_equal(store.load(0, 4), payload)
+
+    def test_survives_reopen(self, tmp_path):
+        store = make_store(tmp_path)
+        store.store(0, 4, np.ones(4))
+        reopened = make_store(tmp_path)
+        assert reopened.completed_chunks == 1
+        np.testing.assert_array_equal(reopened.load(0, 4), np.ones(4))
+
+    def test_fingerprint_mismatch_is_refused(self, tmp_path):
+        make_store(tmp_path, "a" * 64)
+        # Same kind prefix (directory name uses the first 16 chars).
+        with pytest.raises(CheckpointMismatchError):
+            CheckpointStore(tmp_path, "counts", "a" * 16 + "b" * 48)
+
+    def test_tampered_chunk_fails_checksum(self, tmp_path):
+        store = make_store(tmp_path)
+        store.store(0, 4, np.arange(4))
+        path = store.directory / "chunk-0-4.npy"
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CorruptChunkError, match="checksum"):
+            store.load(0, 4)
+        assert store.prune_corrupt(0, 4) == 1
+        assert not store.has(0, 4)
+
+    def test_missing_chunk_raises(self, tmp_path):
+        with pytest.raises(CorruptChunkError):
+            make_store(tmp_path).load(0, 4)
+
+    def test_covers_and_load_range_across_geometries(self, tmp_path):
+        """Chunks journalled at size 4 serve a size-8 (and partial) resume."""
+        store = make_store(tmp_path)
+        full = np.arange(2 * 12, dtype=np.int64).reshape(2, 12)
+        store.store(0, 4, full[:, 0:4])
+        store.store(4, 8, full[:, 4:8])
+        store.store(8, 12, full[:, 8:12])
+        assert store.covers(0, 8)
+        assert store.covers(2, 10)
+        assert not store.covers(0, 16)
+        np.testing.assert_array_equal(store.load_range(0, 8), full[:, 0:8])
+        np.testing.assert_array_equal(store.load_range(2, 10), full[:, 2:10])
+        np.testing.assert_array_equal(store.load_range(0, 12), full)
+
+    def test_load_range_rejects_uncovered_gap(self, tmp_path):
+        store = make_store(tmp_path)
+        store.store(0, 4, np.arange(4))
+        store.store(8, 12, np.arange(4))
+        assert not store.covers(0, 12)
+        with pytest.raises(CorruptChunkError, match="not journalled"):
+            store.load_range(0, 12)
+
+
+# ----------------------------------------------------------------------
+# Dispatch loop (hand-made chunk functions; the engine is not involved)
+# ----------------------------------------------------------------------
+def _chunk_value(start, stop):
+    return np.arange(start, stop, dtype=np.int64)
+
+
+def _no_validate(payload, n_rows):
+    if payload.shape[-1] != n_rows:
+        raise ChunkValidationError(f"expected {n_rows} rows")
+
+
+class TestRunChunks:
+    BOUNDS = [(0, 4), (4, 8), (8, 10)]
+
+    def run(self, make_call, **kwargs):
+        kwargs.setdefault("jobs", 1)
+        kwargs.setdefault("validate", _no_validate)
+        kwargs.setdefault("sleep", lambda _s: None)
+        report = kwargs.setdefault("report", CampaignReport())
+        out = list(run_chunks(self.BOUNDS, make_call=make_call, **kwargs))
+        return out, report
+
+    def test_serial_happy_path(self):
+        def make_call(start, stop, index, in_worker, attempt):
+            return _chunk_value, (start, stop)
+
+        out, report = self.run(make_call)
+        assert [bounds for bounds, _ in out] == self.BOUNDS
+        np.testing.assert_array_equal(out[2][1], np.arange(8, 10))
+        assert report.chunks_computed == 3
+        assert report.clean
+
+    def test_serial_retries_transient_failure(self):
+        failures = {"left": 2}
+
+        def flaky(start, stop):
+            if start == 4 and failures["left"] > 0:
+                failures["left"] -= 1
+                raise RuntimeError("transient")
+            return _chunk_value(start, stop)
+
+        def make_call(start, stop, index, in_worker, attempt):
+            return flaky, (start, stop)
+
+        out, report = self.run(make_call, retry=RetryPolicy(max_attempts=3, base_delay=0.0))
+        assert report.retries == 2
+        np.testing.assert_array_equal(out[1][1], np.arange(4, 8))
+
+    def test_serial_exhaustion_propagates(self):
+        def make_call(start, stop, index, in_worker, attempt):
+            def always_fails(start, stop):
+                raise RuntimeError("persistent")
+
+            return always_fails, (start, stop)
+
+        with pytest.raises(RuntimeError, match="failed after 2 serial attempts"):
+            self.run(make_call, retry=RetryPolicy(max_attempts=2, base_delay=0.0))
+
+    def test_validation_failure_is_retried(self):
+        calls = {"n": 0}
+
+        def wrong_then_right(start, stop):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return np.arange(stop - start + 5)  # wrong row count
+            return _chunk_value(start, stop)
+
+        def make_call(start, stop, index, in_worker, attempt):
+            return wrong_then_right, (start, stop)
+
+        out, report = self.run(
+            make_call, retry=RetryPolicy(max_attempts=2, base_delay=0.0)
+        )
+        assert report.retries == 1
+        assert len(out) == 3
+
+    def test_checkpointed_chunks_are_resumed_not_recomputed(self, tmp_path):
+        store = make_store(tmp_path)
+        store.store(0, 4, _chunk_value(0, 4))
+        computed = []
+
+        def make_call(start, stop, index, in_worker, attempt):
+            def compute(start, stop):
+                computed.append((start, stop))
+                return _chunk_value(start, stop)
+
+            return compute, (start, stop)
+
+        out, report = self.run(make_call, checkpoint=store)
+        assert computed == [(4, 8), (8, 10)]
+        assert report.chunks_resumed == 1
+        assert report.chunks_computed == 2
+        # Freshly computed chunks were journalled for the next resume.
+        assert store.completed_chunks == 3
+
+    def test_corrupt_checkpoint_is_pruned_and_recomputed(self, tmp_path):
+        store = make_store(tmp_path)
+        store.store(0, 4, _chunk_value(0, 4))
+        path = store.directory / "chunk-0-4.npy"
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+
+        def make_call(start, stop, index, in_worker, attempt):
+            return _chunk_value, (start, stop)
+
+        out, report = self.run(make_call, checkpoint=store)
+        assert report.chunks_resumed == 0
+        assert report.chunks_computed == 3
+        assert report.events_of("chunk_corrupt")
+        np.testing.assert_array_equal(out[0][1], _chunk_value(0, 4))

@@ -1,0 +1,178 @@
+"""The fault-injection harness itself: deterministic, picklable, no-op safe."""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    FlakyResponder,
+    InjectedCampaignAbort,
+    InjectedIOError,
+    InjectedWorkerCrash,
+    Site,
+)
+
+pytestmark = pytest.mark.faults
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(Site.ENGINE_CHUNK, kind="meltdown")
+
+    def test_rejects_non_positive_fail_attempts(self):
+        with pytest.raises(ValueError, match="fail_attempts"):
+            FaultSpec(Site.ENGINE_CHUNK, fail_attempts=0)
+
+    def test_all_kinds_constructible(self):
+        for kind in FAULT_KINDS:
+            FaultSpec(Site.ENGINE_CHUNK, kind=kind)
+
+    def test_fires_pins_site_and_index(self):
+        spec = FaultSpec(Site.ENGINE_CHUNK, at=2)
+        assert spec.fires(Site.ENGINE_CHUNK, 2, 0, False)
+        assert not spec.fires(Site.ENGINE_CHUNK, 1, 0, False)
+        assert not spec.fires(Site.ENGINE_RESULT, 2, 0, False)
+
+    def test_fires_every_index_when_unpinned(self):
+        spec = FaultSpec(Site.ENGINE_CHUNK)
+        assert spec.fires(Site.ENGINE_CHUNK, 0, 0, False)
+        assert spec.fires(Site.ENGINE_CHUNK, 99, 0, False)
+
+    def test_fail_attempts_window(self):
+        spec = FaultSpec(Site.ENGINE_CHUNK, fail_attempts=2)
+        assert spec.fires(Site.ENGINE_CHUNK, 0, 0, False)
+        assert spec.fires(Site.ENGINE_CHUNK, 0, 1, False)
+        assert not spec.fires(Site.ENGINE_CHUNK, 0, 2, False)
+
+    def test_pool_only_spares_in_process_execution(self):
+        spec = FaultSpec(Site.ENGINE_CHUNK, pool_only=True)
+        assert spec.fires(Site.ENGINE_CHUNK, 0, 0, in_worker=True)
+        assert not spec.fires(Site.ENGINE_CHUNK, 0, 0, in_worker=False)
+
+
+class TestFaultPlanCheck:
+    def test_empty_plan_is_a_no_op(self):
+        FaultPlan().check(Site.ENGINE_CHUNK, 0, attempt=0)
+
+    def test_crash_raises_injected_worker_crash(self):
+        plan = FaultPlan([FaultSpec(Site.ENGINE_CHUNK, kind="crash", at=1)])
+        plan.check(Site.ENGINE_CHUNK, 0, attempt=0)
+        with pytest.raises(InjectedWorkerCrash):
+            plan.check(Site.ENGINE_CHUNK, 1, attempt=0)
+
+    def test_abort_raises_campaign_abort(self):
+        plan = FaultPlan([FaultSpec(Site.ENGINE_CHUNK, kind="abort")])
+        with pytest.raises(InjectedCampaignAbort):
+            plan.check(Site.ENGINE_CHUNK, 0, attempt=0)
+
+    def test_io_raises_oserror_subclass(self):
+        plan = FaultPlan([FaultSpec(Site.DATASET_SAVE, kind="io")])
+        with pytest.raises(InjectedIOError):
+            plan.check(Site.DATASET_SAVE, 0, attempt=0)
+        assert issubclass(InjectedIOError, OSError)
+
+    def test_device_raises_device_read_error(self):
+        from repro.core.authentication import DeviceReadError
+
+        plan = FaultPlan([FaultSpec(Site.DEVICE_READ, kind="device")])
+        with pytest.raises(DeviceReadError):
+            plan.check(Site.DEVICE_READ, 0, attempt=0)
+
+    def test_hang_sleeps_for_requested_seconds(self):
+        plan = FaultPlan([FaultSpec(Site.ENGINE_CHUNK, kind="hang", seconds=0.05)])
+        before = time.monotonic()
+        plan.check(Site.ENGINE_CHUNK, 0, attempt=0)
+        assert time.monotonic() - before >= 0.04
+
+    def test_explicit_attempt_clears_after_fail_attempts(self):
+        plan = FaultPlan([FaultSpec(Site.ENGINE_CHUNK, fail_attempts=2)])
+        with pytest.raises(InjectedWorkerCrash):
+            plan.check(Site.ENGINE_CHUNK, 0, attempt=0)
+        with pytest.raises(InjectedWorkerCrash):
+            plan.check(Site.ENGINE_CHUNK, 0, attempt=1)
+        plan.check(Site.ENGINE_CHUNK, 0, attempt=2)
+
+    def test_internal_visit_counting_per_site_and_index(self):
+        plan = FaultPlan([FaultSpec(Site.DEVICE_READ, fail_attempts=2)])
+        with pytest.raises(InjectedWorkerCrash):
+            plan.check(Site.DEVICE_READ)
+        with pytest.raises(InjectedWorkerCrash):
+            plan.check(Site.DEVICE_READ)
+        plan.check(Site.DEVICE_READ)  # third visit succeeds
+        # A different index has its own visit counter.
+        with pytest.raises(InjectedWorkerCrash):
+            plan.check(Site.DEVICE_READ, 7)
+
+
+class TestCorruption:
+    def test_corrupt_spikes_integer_payload_out_of_range(self):
+        plan = FaultPlan([FaultSpec(Site.ENGINE_RESULT, kind="corrupt")])
+        payload = np.arange(6, dtype=np.int64).reshape(2, 3)
+        damaged = plan.corrupt(Site.ENGINE_RESULT, payload, 0, attempt=0)
+        assert damaged.reshape(-1)[0] == np.iinfo(np.int64).max
+        # The original is untouched (copy-on-corrupt).
+        assert payload[0, 0] == 0
+
+    def test_corrupt_spikes_float_payload(self):
+        plan = FaultPlan([FaultSpec(Site.ENGINE_RESULT, kind="corrupt")])
+        payload = np.zeros(4, dtype=np.float64)
+        damaged = plan.corrupt(Site.ENGINE_RESULT, payload, 0, attempt=0)
+        assert damaged[0] == np.finfo(np.float64).max
+
+    def test_corrupt_returns_payload_unchanged_when_not_firing(self):
+        plan = FaultPlan([FaultSpec(Site.ENGINE_RESULT, kind="corrupt", at=3)])
+        payload = np.ones(4, dtype=np.int64)
+        assert plan.corrupt(Site.ENGINE_RESULT, payload, 0, attempt=0) is payload
+
+    def test_corrupt_specs_never_fire_in_check(self):
+        plan = FaultPlan([FaultSpec(Site.ENGINE_RESULT, kind="corrupt")])
+        plan.check(Site.ENGINE_RESULT, 0, attempt=0)  # no raise
+
+    def test_corrupt_bytes_flips_one_byte(self):
+        plan = FaultPlan([FaultSpec(Site.CHUNK_FILE, kind="corrupt")])
+        data = bytes(range(32))
+        damaged = plan.corrupt_bytes(Site.CHUNK_FILE, data, 0, attempt=0)
+        assert damaged != data
+        assert len(damaged) == len(data)
+        assert sum(a != b for a, b in zip(damaged, data)) == 1
+
+
+class TestPickling:
+    def test_plan_round_trips_specs_and_resets_visits(self):
+        plan = FaultPlan([FaultSpec(Site.ENGINE_CHUNK, fail_attempts=1)])
+        with pytest.raises(InjectedWorkerCrash):
+            plan.check(Site.ENGINE_CHUNK)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.specs == plan.specs
+        # Visit counters are per-process state and start fresh.
+        with pytest.raises(InjectedWorkerCrash):
+            clone.check(Site.ENGINE_CHUNK)
+
+
+class TestFlakyResponder:
+    class _Echo:
+        chip_id = "chip-t"
+
+        def xor_response(self, challenges, condition=None):
+            return np.zeros(len(challenges), dtype=np.int8)
+
+    def test_first_n_reads_fail_then_recover(self):
+        from repro.core.authentication import DeviceReadError
+
+        plan = FaultPlan([FaultSpec(Site.DEVICE_READ, kind="device", fail_attempts=2)])
+        flaky = FlakyResponder(self._Echo(), plan)
+        challenges = np.zeros((4, 8), dtype=np.int8)
+        for _ in range(2):
+            with pytest.raises(DeviceReadError):
+                flaky.xor_response(challenges)
+        assert flaky.xor_response(challenges).shape == (4,)
+        assert flaky.reads == 3
+        assert flaky.chip_id == "chip-t"

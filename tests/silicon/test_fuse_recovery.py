@@ -1,0 +1,117 @@
+"""FuseBank lifecycle under tester crashes.
+
+The attack being prevented: a tester crashes *after* reading the
+enrollment transcript but *before* the programming pulse completes.  If
+the chip came back up re-enrollable, a second tester could harvest a
+fresh transcript.  The three-state protocol (INTACT -> BURN_PENDING ->
+BLOWN) with persisted state closes that window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.silicon.chip import PufChip
+from repro.silicon.fuses import FuseBank, FuseBlownError, FuseState
+
+pytestmark = pytest.mark.faults
+
+
+class TestStateMachine:
+    def test_initial_state(self):
+        bank = FuseBank()
+        assert bank.state is FuseState.INTACT
+        assert not bank.is_blown
+        assert not bank.is_burn_pending
+
+    def test_begin_burn_denies_access(self):
+        bank = FuseBank()
+        bank.begin_burn()
+        assert bank.is_burn_pending
+        with pytest.raises(FuseBlownError, match="burn is pending"):
+            bank.check_access("readout")
+
+    def test_begin_burn_is_idempotent_while_pending(self):
+        bank = FuseBank()
+        bank.begin_burn()
+        bank.begin_burn()  # recovery code may call it again
+        assert bank.is_burn_pending
+
+    def test_begin_burn_refused_once_blown(self):
+        bank = FuseBank()
+        bank.blow()
+        with pytest.raises(FuseBlownError):
+            bank.begin_burn()
+
+    def test_blow_completes_a_pending_burn(self):
+        bank = FuseBank()
+        bank.begin_burn()
+        bank.blow()
+        assert bank.is_blown
+
+    def test_ensure_blown_is_idempotent_from_every_state(self):
+        for prepare in (lambda b: None, FuseBank.begin_burn, FuseBank.blow):
+            bank = FuseBank()
+            prepare(bank)
+            bank.ensure_blown()
+            bank.ensure_blown()
+            assert bank.is_blown
+
+    def test_double_blow_still_raises(self):
+        bank = FuseBank()
+        bank.blow()
+        with pytest.raises(FuseBlownError):
+            bank.blow()
+
+
+class TestPersistence:
+    def test_round_trip_preserves_state_and_access_count(self, tmp_path):
+        bank = FuseBank()
+        bank.check_access()
+        bank.check_access()
+        bank.begin_burn()
+        path = tmp_path / "fuses.json"
+        bank.save(path)
+        restored = FuseBank.load(path)
+        assert restored.state is FuseState.BURN_PENDING
+        assert restored.access_count == 2
+
+    def test_to_state_is_json_plain(self):
+        state = FuseBank().to_state()
+        assert state == {"state": "intact", "access_count": 0}
+
+
+class TestCrashBetweenReadoutAndBurn:
+    def test_restored_pending_bank_keeps_chip_unenrollable(self, tmp_path):
+        """The acceptance scenario: crash after readout, before the pulse."""
+        chip = PufChip.create(2, 32, seed=31, chip_id="chip-c")
+        challenges = np.zeros((4, 32), dtype=np.int8)
+        # Enrollment readout happened; its transcript exists somewhere.
+        chip.enrollment_individual_responses(0, challenges)
+        # The tester commits to the burn and persists that fact ...
+        chip.begin_fuse_burn()
+        path = tmp_path / "fuses.json"
+        chip.fuses.save(path)
+        # ... then "crashes" before blow_fuses().  A new process restores
+        # the persisted bank into a fresh chip object:
+        revived = PufChip(chip.oracle(), chip.chip_id, fuses=FuseBank.load(path))
+        with pytest.raises(FuseBlownError):
+            revived.enrollment_individual_responses(0, challenges)
+        with pytest.raises(FuseBlownError):
+            revived.enrollment_soft_responses(0, challenges, 11)
+        # Recovery completes the burn idempotently; the XOR output --
+        # the deployed chip's only interface -- still works.
+        revived.fuses.ensure_blown()
+        assert revived.is_deployed
+        assert revived.xor_response(challenges).shape == (4,)
+
+    def test_crash_after_pulse_recovers_the_same_way(self, tmp_path):
+        chip = PufChip.create(2, 32, seed=32)
+        chip.begin_fuse_burn()
+        chip.blow_fuses()
+        path = tmp_path / "fuses.json"
+        chip.fuses.save(path)
+        restored = FuseBank.load(path)
+        restored.ensure_blown()  # no-op, not an error
+        assert restored.is_blown

@@ -1,0 +1,86 @@
+"""ChipTester readout retries: transient DAQ glitches heal, policy doesn't."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.authentication import DeviceReadError
+from repro.crp.challenges import random_challenges
+from repro.engine.runtime import RetryPolicy
+from repro.faults import FaultPlan, FaultSpec, Site
+from repro.silicon.chip import PufChip
+from repro.silicon.tester import ChipTester
+
+pytestmark = pytest.mark.faults
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.0, max_delay=0.0)
+
+
+@pytest.fixture()
+def chip():
+    return PufChip.create(3, 32, seed=41, chip_id="chip-r")
+
+
+@pytest.fixture()
+def challenges():
+    return random_challenges(64, 32, seed=42)
+
+
+class TestReadoutRetry:
+    def test_transient_glitch_is_retried(self, chip, challenges):
+        plan = FaultPlan(
+            [FaultSpec(Site.TESTER_READOUT, kind="device", at=1, fail_attempts=1)]
+        )
+        tester = ChipTester(retry=FAST_RETRY, faults=plan)
+        campaign = tester.measure_soft_responses(chip, challenges, 11)
+        assert len(campaign.datasets()) == chip.n_pufs
+        report = tester.last_report
+        assert report.retries == 1
+        assert report.events_of("retry")[0].chunk == (1, 1)  # PUF #1
+
+    def test_persistent_failure_exhausts_attempts(self, chip, challenges):
+        plan = FaultPlan(
+            [FaultSpec(Site.TESTER_READOUT, kind="device", at=0, fail_attempts=99)]
+        )
+        tester = ChipTester(retry=FAST_RETRY, faults=plan)
+        with pytest.raises(DeviceReadError, match="failed after 3 attempts"):
+            tester.measure_soft_responses(chip, challenges, 11)
+        assert tester.last_report.retries == FAST_RETRY.max_attempts
+
+    def test_transient_io_error_is_also_retried(self, chip, challenges):
+        plan = FaultPlan(
+            [FaultSpec(Site.TESTER_READOUT, kind="io", at=2, fail_attempts=1)]
+        )
+        tester = ChipTester(retry=FAST_RETRY, faults=plan)
+        tester.measure_soft_responses(chip, challenges, 11)
+        assert tester.last_report.retries == 1
+
+    def test_clean_campaign_reports_clean(self, chip, challenges):
+        tester = ChipTester(retry=FAST_RETRY)
+        tester.measure_soft_responses(chip, challenges, 11)
+        assert tester.last_report.clean
+
+    def test_fuse_violation_is_never_retried(self, chip, challenges):
+        from repro.silicon.fuses import FuseBlownError
+
+        chip.blow_fuses()
+        tester = ChipTester(retry=FAST_RETRY)
+        with pytest.raises(FuseBlownError):
+            tester.measure_soft_responses(chip, challenges, 11)
+        # Policy errors leave no retry trail: they are not noise.
+        assert tester.last_report.retries == 0
+
+    def test_retries_do_not_change_measurements(self, chip, challenges):
+        """A campaign that retried is bit-identical to one that didn't."""
+        clean = ChipTester(retry=FAST_RETRY).measure_soft_responses(
+            PufChip.create(3, 32, seed=41), challenges, 11
+        )
+        plan = FaultPlan(
+            [FaultSpec(Site.TESTER_READOUT, kind="device", at=0, fail_attempts=1)]
+        )
+        retried = ChipTester(retry=FAST_RETRY, faults=plan).measure_soft_responses(
+            PufChip.create(3, 32, seed=41), challenges, 11
+        )
+        for a, b in zip(clean.datasets(), retried.datasets()):
+            np.testing.assert_array_equal(a.soft_responses, b.soft_responses)

@@ -1,0 +1,120 @@
+"""Serving-path resilience ablation: degradation ladder on vs frozen.
+
+The question an operator asks before enabling the drift-aware ladder:
+what does it buy at a V/T corner, and what does it cost at nominal?
+Two identical drifting-fleet traffic replays answer it:
+
+* **frozen** -- the service pinned to rung 0 (the paper's plain zero-HD
+  protocol, Fig. 7): every corner drift flip is a false reject.
+* **ladder** -- the full monitor (zero-HD -> k-shot majority vote ->
+  threshold re-tightening), which should hold corner availability near
+  nominal at the price of extra device reads and selection work.
+
+Sec. 5.2 of the paper motivates the rung-2 fix: thresholds validated
+only at nominal mispredict stability at the corners, and the margin has
+to come from (re-)selection.  Results land in
+``benchmarks/results/service_resilience.json``.
+"""
+
+from repro.service import DriftPolicy, ServiceConfig, run_serve_sim
+
+from _common import emit, save_results, scaled
+
+#: Drift policy that never moves: the monitor needs more samples than
+#: the trace can ever provide, freezing the service at rung 0.
+FROZEN_DRIFT = DriftPolicy(
+    window=10_000, min_samples=10_000, escalate_frr=1.0, recover_clean=10_000
+)
+
+
+def _run(n_chips, steps, config=None):
+    nominal, ramp, corner, back = steps
+    return run_serve_sim(
+        n_chips=n_chips,
+        nominal_steps=nominal,
+        ramp_steps=ramp,
+        corner_steps=corner,
+        return_steps=back,
+        fault_chip=None,  # ablate drift handling, not device faults
+        config=config,
+    )
+
+
+def test_ladder_vs_frozen_zero_hd(capsys):
+    n_chips = scaled(2, 5)
+    steps = (
+        (scaled(24, 80), scaled(8, 150), scaled(40, 80), scaled(8, 80))
+    )
+    n_requests = sum(steps)
+    frozen_config = ServiceConfig(
+        breaker_failure_threshold=3,
+        max_requests_per_window=0,
+        lockout_threshold=0,
+        drift=FROZEN_DRIFT,
+        pool_capacity=(n_requests // n_chips + 1) * 64 * 2,
+    )
+
+    ladder = _run(n_chips, steps)
+    frozen = _run(n_chips, steps, config=frozen_config)
+    assert ladder.no_replay and frozen.no_replay
+    assert frozen.rung_moves == {} or all(
+        not moves for moves in frozen.rung_moves.values()
+    )
+
+    def phase(report, name, key):
+        return report.phases[name][key]
+
+    lines = [
+        f"  fleet: {n_chips} chips, {n_requests} requests per replay",
+        "",
+        f"  {'':<26} {'frozen zero-HD':>16} {'ladder':>16}",
+    ]
+    for name in ("nominal", "corner"):
+        lines.append(
+            f"  {name + ' availability':<26}"
+            f" {phase(frozen, name, 'availability'):>15.1%}"
+            f" {phase(ladder, name, 'availability'):>15.1%}"
+        )
+        lines.append(
+            f"  {name + ' FRR':<26}"
+            f" {phase(frozen, name, 'frr'):>15.1%}"
+            f" {phase(ladder, name, 'frr'):>15.1%}"
+        )
+    lines += [
+        f"  {'latency mean':<26} {frozen.latency_mean:>14.3f}s"
+        f" {ladder.latency_mean:>14.3f}s",
+        f"  {'latency p95':<26} {frozen.latency_p95:>14.3f}s"
+        f" {ladder.latency_p95:>14.3f}s",
+        "",
+        f"  ladder rung moves: { {c: m for c, m in ladder.rung_moves.items()} }",
+        f"  flagged for re-tightening: {ladder.flagged_chips}",
+    ]
+    emit(capsys, "Serving-path resilience: degradation ladder ablation", lines)
+
+    save_results(
+        "service_resilience",
+        {
+            "n_chips": n_chips,
+            "n_requests": n_requests,
+            "frozen": {
+                "phases": frozen.phases,
+                "latency_mean": frozen.latency_mean,
+                "latency_p95": frozen.latency_p95,
+            },
+            "ladder": {
+                "phases": ladder.phases,
+                "latency_mean": ladder.latency_mean,
+                "latency_p95": ladder.latency_p95,
+                "rung_moves": ladder.rung_moves,
+                "flagged_chips": ladder.flagged_chips,
+            },
+        },
+    )
+
+    # The ablation's headline: the ladder must not hurt nominal and
+    # must materially help the corner.
+    assert phase(ladder, "nominal", "availability") >= 0.95
+    assert (
+        phase(ladder, "corner", "availability")
+        >= phase(frozen, "corner", "availability")
+    )

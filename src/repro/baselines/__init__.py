@@ -19,6 +19,7 @@ from repro.baselines.majority_vote import (
     MajorityVoteRecord,
     authenticate_majority_vote,
     enroll_majority_vote,
+    majority_vote_responses,
 )
 from repro.baselines.measurement_selection import (
     MeasuredCrpTable,
@@ -38,6 +39,7 @@ __all__ = [
     "MajorityVoteRecord",
     "authenticate_majority_vote",
     "enroll_majority_vote",
+    "majority_vote_responses",
     "MeasuredCrpTable",
     "authenticate_from_table",
     "enroll_measured_table",

@@ -15,6 +15,7 @@ is only possible *with* challenge selection.
 from __future__ import annotations
 
 import dataclasses
+from typing import Callable
 
 import numpy as np
 
@@ -27,7 +28,32 @@ from repro.silicon.xorpuf import XorArbiterPuf
 from repro.utils.rng import SeedLike, derive_generator
 from repro.utils.validation import check_positive_int, check_probability
 
-__all__ = ["MajorityVoteRecord", "enroll_majority_vote", "authenticate_majority_vote"]
+__all__ = [
+    "MajorityVoteRecord",
+    "enroll_majority_vote",
+    "authenticate_majority_vote",
+    "majority_vote_responses",
+]
+
+
+def majority_vote_responses(
+    read: Callable[[np.ndarray], np.ndarray],
+    challenges: np.ndarray,
+    n_votes: int,
+) -> np.ndarray:
+    """Majority bit over *n_votes* one-shot reads per challenge (ties -> 1).
+
+    *read* is any ``challenges -> bits`` callable: an XOR PUF's ``eval``,
+    a deployed responder's ``xor_response``, or an attacker model.  The
+    k-shot rung of the serving path's degradation ladder
+    (:mod:`repro.service`) reuses this exact vote so the baseline and
+    the resilient service debounce noise identically.
+    """
+    check_positive_int(n_votes, "n_votes")
+    votes = np.zeros(len(challenges), dtype=np.int64)
+    for _ in range(n_votes):
+        votes += np.asarray(read(challenges), dtype=np.int64)
+    return (2 * votes >= n_votes).astype(np.int8)
 
 
 def _majority_xor_response(
@@ -38,10 +64,9 @@ def _majority_xor_response(
     rng,
 ) -> np.ndarray:
     """Majority over *n_votes* one-shot XOR evaluations (ties -> 1)."""
-    votes = np.zeros(len(challenges), dtype=np.int64)
-    for _ in range(n_votes):
-        votes += xor_puf.eval(challenges, condition, rng)
-    return (2 * votes >= n_votes).astype(np.int8)
+    return majority_vote_responses(
+        lambda batch: xor_puf.eval(batch, condition, rng), challenges, n_votes
+    )
 
 
 @dataclasses.dataclass(frozen=True)

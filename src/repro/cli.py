@@ -7,6 +7,7 @@ Lets a user exercise the library without writing Python::
     repro-puf attack     --n-pufs 4 --train 20000
     repro-puf auth       --n-pufs 4 --sessions 20 --corners
     repro-puf aging      --n-pufs 4 --amplitude 0.3
+    repro-puf serve-sim  --report report.json --audit audit.jsonl
 
 (Installed as ``repro-puf``; also runnable as ``python -m repro.cli``.)
 Each subcommand prints a compact report and exits non-zero on failure,
@@ -123,8 +124,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n-stages", type=int, default=32)
     p.add_argument("--sessions", type=int, default=10)
     p.add_argument("--challenges", type=int, default=64)
+    p.add_argument("--max-attempts", type=int, default=1,
+                   help="device-read attempts per session (fresh "
+                        "challenges on every retry)")
     p.add_argument("--corners", action="store_true",
                    help="rotate sessions through the 9 V/T corners")
+
+    p = sub.add_parser(
+        "serve-sim",
+        help="replay drifting, faulted traffic through the resilient "
+             "service and write a reliability report",
+    )
+    p.add_argument("--chips", type=int, default=5, help="fleet size")
+    p.add_argument("--n-pufs", type=int, default=4)
+    p.add_argument("--n-stages", type=int, default=32)
+    p.add_argument("--nominal-steps", type=int, default=80)
+    p.add_argument("--ramp-steps", type=int, default=150)
+    p.add_argument("--corner-steps", type=int, default=80)
+    p.add_argument("--return-steps", type=int, default=80)
+    p.add_argument("--fault-chip", type=int, default=0,
+                   help="index of the chip with a flaky radio "
+                        "(-1 disables fault injection)")
+    p.add_argument("--fault-reads", type=int, default=12,
+                   help="how many of that chip's first device reads fail")
+    p.add_argument("--report", metavar="PATH", default=None,
+                   help="write the reliability report JSON here")
+    p.add_argument("--audit", metavar="PATH", default=None,
+                   help="write the structured audit log (JSONL) here")
+    p.add_argument("--max-nominal-frr", type=float, default=0.01,
+                   help="fail (exit 1) if the nominal-phase FRR exceeds this")
+    p.add_argument("--min-corner-availability", type=float, default=0.95,
+                   help="fail (exit 1) if healthy-chip corner availability "
+                        "falls below this")
 
     p = sub.add_parser("aging", help="selected-CRP flips over an aging life")
     p.add_argument("--n-pufs", type=int, default=4)
@@ -228,10 +259,63 @@ def _cmd_auth(args: argparse.Namespace) -> int:
         result = server.authenticate(
             chip, n_challenges=args.challenges,
             condition=condition, seed=args.seed + 10 + session,
+            max_attempts=args.max_attempts,
         )
-        print(f"session {session}: {result}")
+        print(f"session {session}: {result} "
+              f"[{result.attempts}/{args.max_attempts} attempts]")
         failures += not result.approved
     print(f"{args.sessions - failures}/{args.sessions} sessions approved")
+    return 1 if failures else 0
+
+
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    from repro.service import run_serve_sim
+
+    report = run_serve_sim(
+        n_chips=args.chips,
+        n_xors=args.n_pufs,
+        n_stages=args.n_stages,
+        # Offset so the default CLI seed (0) lands on run_serve_sim's
+        # validated default fleet (5).
+        seed=args.seed + 5,
+        nominal_steps=args.nominal_steps,
+        ramp_steps=args.ramp_steps,
+        corner_steps=args.corner_steps,
+        return_steps=args.return_steps,
+        fault_chip=None if args.fault_chip < 0 else args.fault_chip,
+        fault_failed_reads=args.fault_reads,
+        report_path=args.report,
+        audit_path=args.audit,
+        progress=print,
+    )
+    print()
+    print(f"{'phase':>8} {'requests':>9} {'availability':>13} {'FRR':>8}")
+    for phase in ("nominal", "ramp", "corner", "return"):
+        if phase not in report.phases:
+            continue
+        m = report.phases[phase]
+        print(f"{phase:>8} {m['requests']:>9.0f} {m['availability']:>12.1%} "
+              f"{m['frr']:>8.1%}")
+    print(f"ladder: {sum(len(m) for m in report.rung_moves.values())} moves, "
+          f"flagged for re-tightening: {', '.join(report.flagged_chips) or 'none'}")
+    print(f"breaker: opened={report.breaker_opened} "
+          f"recovered={report.breaker_recovered}")
+    print(f"no challenge replayed: {report.no_replay}")
+    failures = []
+    if not report.no_replay:
+        failures.append("challenge replay detected")
+    if report.nominal_frr > args.max_nominal_frr:
+        failures.append(
+            f"nominal FRR {report.nominal_frr:.1%} > "
+            f"{args.max_nominal_frr:.1%}"
+        )
+    if report.corner_availability < args.min_corner_availability:
+        failures.append(
+            f"corner availability {report.corner_availability:.1%} < "
+            f"{args.min_corner_availability:.1%}"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0
 
 
@@ -299,6 +383,7 @@ _COMMANDS = {
     "enroll": _cmd_enroll,
     "attack": _cmd_attack,
     "auth": _cmd_auth,
+    "serve-sim": _cmd_serve_sim,
     "aging": _cmd_aging,
     "figure": _cmd_figure,
 }

@@ -211,7 +211,9 @@ class AuthenticationServer:
 
         Returns an :class:`IdentificationResult`; ``chip_id`` is
         ``None`` when no identity clears *min_match_fraction* (an
-        unenrolled or heavily degraded device).
+        unenrolled or heavily degraded device).  Ties are deterministic:
+        when two identities score identically, the lexicographically
+        lowest chip id wins.
         """
         if not self._records:
             raise UnknownChipError("no identities enrolled")
@@ -235,7 +237,9 @@ class AuthenticationServer:
         scores: Dict[str, float] = {
             chip_id: float(value) for chip_id, value in zip(ids, match)
         }
-        best_id = max(scores, key=scores.get)
+        # Explicit deterministic tie-break: highest score, then lowest
+        # chip id (not whatever order the score dict happens to hold).
+        best_id = min(ids, key=lambda chip_id: (-scores[chip_id], chip_id))
         best_score = scores[best_id]
         return IdentificationResult(
             chip_id=best_id if best_score >= min_match_fraction else None,

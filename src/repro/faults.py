@@ -20,7 +20,8 @@ Design constraints:
 
 Injection sites are string constants (:class:`Site`); the call sites
 are the evaluation worker, the checkpoint store, the dataset
-serialisers, the chip tester and the authentication server.
+serialisers, the chip tester, the authentication server and the
+resilient serving front end (:mod:`repro.service`).
 
 Example -- crash the pool worker handling chunk 2, once::
 
@@ -90,6 +91,12 @@ class Site:
     TESTER_READOUT = "tester.readout"
     #: Device response read during an authentication session.
     DEVICE_READ = "device.read"
+    #: Admission of one request into the resilient authentication
+    #: service (index = request sequence number).
+    SERVICE_REQUEST = "service.request"
+    #: One device-read attempt inside a supervised service session
+    #: (index = the service's global read counter).
+    SERVICE_READ = "service.read"
 
 
 #: Recognised values of :attr:`FaultSpec.kind`.

@@ -1,0 +1,55 @@
+"""repro.service -- the resilient authentication serving layer.
+
+The online counterpart of the fault-tolerant *offline* campaign runtime
+(:mod:`repro.engine.runtime`): where the runtime keeps a
+trillion-measurement enrollment campaign alive across worker crashes,
+this package keeps the *authentication path* alive across device
+flakiness, environmental drift and adversarial probing, without ever
+compromising the zero-HD protocol's no-replay invariant.
+
+* :mod:`repro.service.service` -- :class:`AuthenticationService`, the
+  supervised front end (deadlines, bounded retries, per-chip circuit
+  breaker, rate limiting, budget accounting);
+* :mod:`repro.service.drift` -- rolling-FRR drift monitor and the
+  graceful-degradation ladder;
+* :mod:`repro.service.resilience` -- circuit breaker and rate limiter
+  state machines;
+* :mod:`repro.service.budget` -- never-used challenge-pool accounting;
+* :mod:`repro.service.events` -- structured audit events;
+* :mod:`repro.service.simulation` -- the ``serve-sim`` traffic replay
+  (drifting V/T schedule, injected faults, reliability report).
+"""
+
+from repro.service.budget import ChallengeBudget, PoolExhaustedError
+from repro.service.drift import DriftMonitor, DriftPolicy, MAX_RUNG
+from repro.service.events import AuditLog, AuthEvent, AuthOutcome, challenge_digests
+from repro.service.resilience import BreakerState, CircuitBreaker, RateLimiter
+from repro.service.service import AuthenticationService, ServiceConfig, ServiceResult
+from repro.service.simulation import (
+    SimReport,
+    VirtualClock,
+    drift_schedule,
+    run_serve_sim,
+)
+
+__all__ = [
+    "AuditLog",
+    "AuthEvent",
+    "AuthOutcome",
+    "AuthenticationService",
+    "BreakerState",
+    "ChallengeBudget",
+    "CircuitBreaker",
+    "DriftMonitor",
+    "DriftPolicy",
+    "MAX_RUNG",
+    "PoolExhaustedError",
+    "RateLimiter",
+    "ServiceConfig",
+    "ServiceResult",
+    "SimReport",
+    "VirtualClock",
+    "challenge_digests",
+    "drift_schedule",
+    "run_serve_sim",
+]

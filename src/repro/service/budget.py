@@ -1,0 +1,106 @@
+"""Per-chip challenge-budget accounting for the serving path.
+
+The zero-HD protocol's security rests on never asking the same question
+twice: every authentication session, *including sessions burnt by device
+read failures*, consumes selected challenges that can never be reused.
+The pool of provisioned never-used challenges is therefore an
+irreplaceable resource, and the service treats it like one: every issued
+challenge is charged against a per-chip budget, a low-water mark warns
+the operator before the pool runs dry, and once it is spent the service
+**refuses** with a typed :class:`PoolExhaustedError` rather than ever
+replaying a transcript.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.utils.validation import check_positive_int, check_probability
+
+__all__ = ["ChallengeBudget", "PoolExhaustedError"]
+
+
+class PoolExhaustedError(RuntimeError):
+    """The chip's never-used challenge pool cannot cover another session.
+
+    Raised by the service *instead of replaying challenges*; recovery
+    requires provisioning (re-enrollment or a larger configured pool),
+    never a transcript repeat.
+    """
+
+    def __init__(self, chip_id: str, requested: int, remaining: int) -> None:
+        super().__init__(
+            f"challenge pool of chip {chip_id!r} exhausted: "
+            f"{requested} challenges requested, {remaining} remaining; "
+            "refusing to replay used challenges"
+        )
+        self.chip_id = chip_id
+        self.requested = requested
+        self.remaining = remaining
+
+
+@dataclasses.dataclass
+class ChallengeBudget:
+    """Accounting for one chip's provisioned never-used challenge pool.
+
+    Attributes
+    ----------
+    chip_id:
+        Identity the pool belongs to.
+    capacity:
+        Provisioned pool size (challenges the operator is willing to
+        spend over the deployment's lifetime).
+    low_water_fraction:
+        Remaining fraction below which :attr:`low_water` turns on.
+    spent:
+        Challenges issued so far (monotone).
+    """
+
+    chip_id: str
+    capacity: int
+    low_water_fraction: float = 0.10
+    spent: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.capacity, "capacity")
+        check_probability(self.low_water_fraction, "low_water_fraction")
+        if self.spent < 0:
+            raise ValueError(f"spent must be >= 0, got {self.spent}")
+
+    @property
+    def remaining(self) -> int:
+        """Challenges still available."""
+        return self.capacity - self.spent
+
+    @property
+    def fraction_remaining(self) -> float:
+        """Remaining pool as a fraction of capacity."""
+        return self.remaining / self.capacity
+
+    @property
+    def low_water(self) -> bool:
+        """Whether the pool has crossed its low-water mark."""
+        return self.fraction_remaining <= self.low_water_fraction
+
+    def can_reserve(self, n_challenges: int) -> bool:
+        """Whether *n_challenges* fit in the remaining pool."""
+        return n_challenges <= self.remaining
+
+    def reserve(self, n_challenges: int) -> bool:
+        """Charge *n_challenges* to the pool.
+
+        Returns ``True`` when the charge newly crossed the low-water
+        mark (the caller emits exactly one warning per crossing).
+
+        Raises
+        ------
+        PoolExhaustedError
+            When the pool cannot cover the charge; the pool is left
+            unchanged, so a refused request costs nothing.
+        """
+        check_positive_int(n_challenges, "n_challenges")
+        if not self.can_reserve(n_challenges):
+            raise PoolExhaustedError(self.chip_id, n_challenges, self.remaining)
+        was_low = self.low_water
+        self.spent += n_challenges
+        return self.low_water and not was_low

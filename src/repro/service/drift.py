@@ -1,0 +1,161 @@
+"""Drift-aware graceful degradation: rolling FRR tracking and the ladder.
+
+Sec. 5.2 of the paper shows what environmental drift does to a
+nominal-enrolled chip: marginal challenges start flipping at the V/T
+corners, and the zero-HD policy turns every flip into a false reject.
+The serving path cannot see the operating condition (the device's
+environment is unknown to the server), but it *can* see the symptom: a
+rising per-chip false-reject rate.  :class:`DriftMonitor` tracks that
+rate over a rolling window of scored sessions and walks a
+graceful-degradation ladder:
+
+* **Rung 0 -- zero-HD one-shot** (the paper's protocol, Fig. 7): one
+  read per challenge, perfect match required.
+* **Rung 1 -- k-shot majority vote**: the device answers each challenge
+  with the majority over *k* reads
+  (:func:`repro.baselines.majority_vote.majority_vote_responses`),
+  debouncing noise-induced flips while keeping the zero-HD criterion.
+  Costs device reads, not pool budget (the *same* issued set is
+  re-read, which is the reliability/cost trade-off CDC-XPUF-style
+  designs formalise -- Li & Zhuang, arXiv:2409.17902).
+* **Rung 2 -- threshold re-tightening**: the chip is flagged for
+  beta re-tightening and served from a selector whose
+  (beta0/beta1-scaled) thresholds keep a wider stability margin
+  (:meth:`repro.core.thresholds.ThresholdPair.scale`), recovering the
+  paper's Sec.-5.2 fix of validating the betas across corners.
+
+The monitor de-escalates on a sustained recovery, so a chip that was
+only transiently cold/brown-out walks back down to the cheap rung.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Deque, List, Tuple
+
+from repro.utils.validation import check_positive_int, check_probability
+
+__all__ = ["DriftMonitor", "DriftPolicy", "MAX_RUNG"]
+
+#: Highest degradation rung (threshold re-tightening + majority vote).
+MAX_RUNG = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class DriftPolicy:
+    """Knobs of the rolling-FRR escalation logic.
+
+    Attributes
+    ----------
+    window:
+        Scored sessions in the rolling window.
+    min_samples:
+        Scored sessions required before any ladder move.
+    escalate_frr:
+        Rolling false-reject rate at or above which the monitor climbs
+        one rung (checked as soon as ``min_samples`` sessions are in).
+    recover_clean:
+        Consecutive approved sessions after which the monitor steps
+        back down one rung.  Recovery is deliberately much slower than
+        escalation -- a chip sitting at a V/T corner on the
+        re-tightened rung shows a near-zero FRR precisely *because* of
+        the rung, and de-escalating on a few clean sessions would
+        re-expose the drift and oscillate.  A single reject resets the
+        streak.
+    """
+
+    window: int = 20
+    min_samples: int = 8
+    escalate_frr: float = 0.15
+    recover_clean: int = 40
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.window, "window")
+        check_positive_int(self.min_samples, "min_samples")
+        check_probability(self.escalate_frr, "escalate_frr")
+        check_positive_int(self.recover_clean, "recover_clean")
+        if self.min_samples > self.window:
+            raise ValueError(
+                f"min_samples ({self.min_samples}) cannot exceed the "
+                f"window ({self.window})"
+            )
+
+
+class DriftMonitor:
+    """Rolling false-reject tracking and ladder position for one chip.
+
+    The monitor only sees *scored* sessions (approved or rejected);
+    fast-fails and device errors say nothing about response drift.
+    Every ladder move empties the window, so each rung is judged on
+    evidence gathered *at that rung* rather than on rejects the
+    previous rung accumulated.
+    """
+
+    def __init__(self, policy: DriftPolicy = DriftPolicy()) -> None:
+        self.policy = policy
+        self._outcomes: Deque[bool] = deque(maxlen=policy.window)
+        self._rung = 0
+        self._moves: List[Tuple[int, int]] = []
+        self._flagged = False
+        self._clean_streak = 0
+
+    @property
+    def rung(self) -> int:
+        """Current degradation-ladder rung (0..:data:`MAX_RUNG`)."""
+        return self._rung
+
+    @property
+    def flagged_for_retightening(self) -> bool:
+        """Whether the chip ever reached rung 2 (sticky operator flag)."""
+        return self._flagged
+
+    @property
+    def moves(self) -> List[Tuple[int, int]]:
+        """``(from_rung, to_rung)`` ladder moves, oldest first."""
+        return list(self._moves)
+
+    @property
+    def clean_streak(self) -> int:
+        """Consecutive approved sessions since the last reject or move."""
+        return self._clean_streak
+
+    @property
+    def rolling_frr(self) -> float:
+        """False-reject rate over the current window (NaN when empty)."""
+        if not self._outcomes:
+            return float("nan")
+        rejects = sum(1 for approved in self._outcomes if not approved)
+        return rejects / len(self._outcomes)
+
+    def observe(self, approved: bool) -> int:
+        """Feed one scored session; returns the (possibly new) rung.
+
+        The caller compares the return value against the previous
+        :attr:`rung` to emit escalation/recovery audit events.
+        """
+        approved = bool(approved)
+        self._outcomes.append(approved)
+        self._clean_streak = self._clean_streak + 1 if approved else 0
+        if (
+            self._rung > 0
+            and self._clean_streak >= self.policy.recover_clean
+        ):
+            # Hysteresis: escalation below fires on min_samples of
+            # window statistics, recovery only on a long unbroken run
+            # of approvals (see DriftPolicy.recover_clean).
+            self._move(self._rung - 1)
+            return self._rung
+        if len(self._outcomes) < self.policy.min_samples:
+            return self._rung
+        if self.rolling_frr >= self.policy.escalate_frr and self._rung < MAX_RUNG:
+            self._move(self._rung + 1)
+        return self._rung
+
+    def _move(self, rung: int) -> None:
+        self._moves.append((self._rung, rung))
+        self._rung = rung
+        if rung == MAX_RUNG:
+            self._flagged = True
+        self._outcomes.clear()
+        self._clean_streak = 0

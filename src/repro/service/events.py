@@ -1,0 +1,243 @@
+"""Structured audit events of the resilient authentication service.
+
+Every decision the service takes -- approvals, rejections, fast-fails,
+degradation-ladder moves, budget warnings -- is recorded as one
+:class:`AuthEvent` in an append-only :class:`AuditLog`.  The events are
+the service's source of truth for reliability reporting *and* for the
+protocol's security invariants: each event carries a digest of every
+challenge row it issued, so "no challenge was ever replayed" is a
+property a test (or an auditor) can check from the log alone, without
+trusting the serving code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = ["AuthOutcome", "AuthEvent", "AuditLog", "challenge_digests"]
+
+
+class AuthOutcome(str, enum.Enum):
+    """Outcome taxonomy of the service's audit events.
+
+    Decision outcomes (one per authentication request):
+
+    * ``APPROVED`` / ``REJECTED`` -- a session completed and was scored.
+    * ``DEVICE_ERROR`` -- every bounded read attempt failed.
+    * ``BREAKER_OPEN`` -- fast-fail: the chip's circuit breaker is open.
+    * ``RATE_LIMITED`` -- fast-fail: throttle window or reject lockout.
+    * ``POOL_EXHAUSTED`` -- refused: the never-used challenge pool is
+      spent (the service never replays instead).
+    * ``DEADLINE_EXCEEDED`` -- the request's time budget ran out.
+    * ``UNKNOWN_CHIP`` -- the claimed identity is not enrolled.
+
+    Informational outcomes (zero or more per request):
+
+    * ``READ_FAILED`` -- one issued challenge set was burnt by a failed
+      device read (the request may still be retried).
+    * ``RUNG_ESCALATED`` / ``RUNG_RECOVERED`` -- the drift monitor moved
+      the chip along the degradation ladder.
+    * ``RETIGHTEN_FLAGGED`` -- the chip was flagged for threshold
+      re-tightening (ladder rung 2).
+    * ``BUDGET_LOW`` -- the challenge pool crossed its low-water mark.
+    """
+
+    APPROVED = "approved"
+    REJECTED = "rejected"
+    DEVICE_ERROR = "device-error"
+    BREAKER_OPEN = "breaker-open"
+    RATE_LIMITED = "rate-limited"
+    POOL_EXHAUSTED = "pool-exhausted"
+    DEADLINE_EXCEEDED = "deadline-exceeded"
+    UNKNOWN_CHIP = "unknown-chip"
+    READ_FAILED = "read-failed"
+    RUNG_ESCALATED = "rung-escalated"
+    RUNG_RECOVERED = "rung-recovered"
+    RETIGHTEN_FLAGGED = "retighten-flagged"
+    BUDGET_LOW = "budget-low"
+
+
+#: Decision outcomes: exactly one of these ends every request.
+DECISION_OUTCOMES = frozenset(
+    {
+        AuthOutcome.APPROVED,
+        AuthOutcome.REJECTED,
+        AuthOutcome.DEVICE_ERROR,
+        AuthOutcome.BREAKER_OPEN,
+        AuthOutcome.RATE_LIMITED,
+        AuthOutcome.POOL_EXHAUSTED,
+        AuthOutcome.DEADLINE_EXCEEDED,
+        AuthOutcome.UNKNOWN_CHIP,
+    }
+)
+
+
+def challenge_digests(challenges: np.ndarray) -> Tuple[str, ...]:
+    """Per-row BLAKE2b digests of a challenge matrix.
+
+    The digest of a challenge is a stable function of its bit pattern
+    (dtype- and layout-independent), so equal challenges issued by
+    different sessions produce equal digests -- which is exactly what
+    lets the audit log prove the no-replay invariant.
+    """
+    rows = np.ascontiguousarray(np.asarray(challenges, dtype=np.int8))
+    if rows.ndim != 2:
+        raise ValueError(f"expected a 2-D challenge matrix, got shape {rows.shape}")
+    return tuple(
+        hashlib.blake2b(row.tobytes(), digest_size=8).hexdigest() for row in rows
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class AuthEvent:
+    """One structured audit record.
+
+    Attributes
+    ----------
+    seq:
+        Monotone event sequence number (log order).
+    request:
+        Request sequence number the event belongs to (several events can
+        share a request: burnt read attempts, rung moves, the decision).
+    chip_id:
+        Claimed identity, or ``None`` when no identity could be resolved.
+    outcome:
+        The :class:`AuthOutcome` taxonomy entry.
+    rung:
+        Degradation-ladder rung in force (0 = zero-HD one-shot).
+    attempt:
+        Device-read attempt index within the request (decision events
+        carry the total attempts consumed).
+    n_challenges / n_mismatches:
+        Session geometry and score, where a session was scored.
+    challenges_spent:
+        Never-used challenges charged to the pool by this event.
+    budget_remaining:
+        Pool balance after the charge.
+    condition:
+        ``str(OperatingCondition)`` the device responded under.
+    breaker_state:
+        Circuit-breaker state observed when the event fired.
+    latency:
+        Seconds from request admission to this event (service clock).
+    detail:
+        Free-form human-readable context.
+    digests:
+        Per-row digests of every challenge issued by this event.
+    """
+
+    seq: int
+    request: int
+    chip_id: Optional[str]
+    outcome: AuthOutcome
+    rung: int = 0
+    attempt: int = 0
+    n_challenges: int = 0
+    n_mismatches: Optional[int] = None
+    challenges_spent: int = 0
+    budget_remaining: Optional[int] = None
+    condition: str = ""
+    breaker_state: str = ""
+    latency: float = 0.0
+    detail: str = ""
+    digests: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dictionary (enum flattened to its string value)."""
+        payload = dataclasses.asdict(self)
+        payload["outcome"] = self.outcome.value
+        payload["digests"] = list(self.digests)
+        return payload
+
+
+class AuditLog:
+    """Append-only event log with query helpers for tests and reports."""
+
+    def __init__(self) -> None:
+        self._events: List[AuthEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[AuthEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> Tuple[AuthEvent, ...]:
+        """All events in log order."""
+        return tuple(self._events)
+
+    def append(self, event: AuthEvent) -> AuthEvent:
+        """Record *event* (returned unchanged, for call-site chaining)."""
+        if not isinstance(event, AuthEvent):
+            raise TypeError(f"expected AuthEvent, got {type(event).__name__}")
+        self._events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def for_chip(self, chip_id: str) -> List[AuthEvent]:
+        """Events belonging to one claimed identity."""
+        return [e for e in self._events if e.chip_id == chip_id]
+
+    def with_outcome(self, outcome: AuthOutcome) -> List[AuthEvent]:
+        """Events carrying one outcome."""
+        return [e for e in self._events if e.outcome is outcome]
+
+    def decisions(self) -> List[AuthEvent]:
+        """The per-request decision events, in request order."""
+        return [e for e in self._events if e.outcome in DECISION_OUTCOMES]
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """``outcome value -> count`` over the whole log."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.outcome.value] = counts.get(event.outcome.value, 0) + 1
+        return counts
+
+    def issued_digests(self, chip_id: Optional[str] = None) -> List[str]:
+        """Every issued challenge digest, in issue order.
+
+        The no-replay invariant of the serving path is precisely
+        ``len(digests) == len(set(digests))`` per chip.
+        """
+        return [
+            digest
+            for event in self._events
+            if chip_id is None or event.chip_id == chip_id
+            for digest in event.digests
+        ]
+
+    def replayed_digests(self) -> Dict[str, List[str]]:
+        """``chip_id -> digests issued more than once`` (empty = healthy)."""
+        replayed: Dict[str, List[str]] = {}
+        chip_ids = {e.chip_id for e in self._events if e.chip_id is not None}
+        for chip_id in sorted(chip_ids):
+            seen: set = set()
+            duplicates: List[str] = []
+            for digest in self.issued_digests(chip_id):
+                if digest in seen:
+                    duplicates.append(digest)
+                seen.add(digest)
+            if duplicates:
+                replayed[chip_id] = duplicates
+        return replayed
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the log as JSON lines (one event per line)."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            for event in self._events:
+                handle.write(json.dumps(event.to_dict(), default=float) + "\n")
+        return path

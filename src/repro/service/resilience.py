@@ -1,0 +1,208 @@
+"""Per-chip resilience primitives: circuit breaker and rate limiter.
+
+Both are plain state machines over an injectable monotonic clock, so
+the serving tests and the traffic simulator drive them with a virtual
+clock and stay fully deterministic; production code leaves the default
+(:func:`time.monotonic`).
+
+The breaker shields the *service* from flaky devices (fail fast instead
+of burning challenge budget and latency on a chip whose radio is down);
+the limiter shields the *protocol* from adversaries (a brute-force or
+chosen-challenge prober is throttled, and a streak of rejections locks
+the identity out entirely -- see Sayadi et al., arXiv:2312.01256, on why
+unthrottled authentication attempts leak).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from collections import deque
+from typing import Callable, Deque, List, Tuple
+
+__all__ = ["BreakerState", "CircuitBreaker", "RateLimiter"]
+
+Clock = Callable[[], float]
+
+
+class BreakerState(str, enum.Enum):
+    """Classic three-state circuit-breaker taxonomy."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Closed -> open after consecutive failures -> half-open probe.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failed requests that trip the breaker open.
+    cooldown:
+        Seconds the breaker stays open before admitting a probe.
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+
+    While **closed**, every request is admitted; a success clears the
+    failure streak.  After *failure_threshold* consecutive failures the
+    breaker **opens** and requests fast-fail without touching the device
+    (or the challenge pool).  Once *cooldown* has elapsed, the next
+    request is admitted as a **half-open** probe: success closes the
+    breaker, failure re-opens it for another cooldown.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._transitions: List[Tuple[float, str, str]] = []
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state (open flips to half-open lazily, in :meth:`allow`)."""
+        return self._state
+
+    @property
+    def transitions(self) -> List[Tuple[float, str, str]]:
+        """``(time, from, to)`` state changes, for reliability reports."""
+        return list(self._transitions)
+
+    def _move(self, state: BreakerState) -> None:
+        if state is self._state:
+            return
+        self._transitions.append((self._clock(), self._state.value, state.value))
+        self._state = state
+
+    def allow(self) -> bool:
+        """Whether the next request may proceed to the device."""
+        if self._state is BreakerState.OPEN:
+            if self._clock() - self._opened_at >= self.cooldown:
+                self._move(BreakerState.HALF_OPEN)
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        """A request completed a session (approved or cleanly rejected)."""
+        self._consecutive_failures = 0
+        if self._state is not BreakerState.CLOSED:
+            self._move(BreakerState.CLOSED)
+
+    def record_failure(self) -> None:
+        """A request exhausted its device-read attempts."""
+        self._consecutive_failures += 1
+        if self._state is BreakerState.HALF_OPEN:
+            self._opened_at = self._clock()
+            self._move(BreakerState.OPEN)
+        elif (
+            self._state is BreakerState.CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._opened_at = self._clock()
+            self._move(BreakerState.OPEN)
+
+
+class RateLimiter:
+    """Sliding-window throttle plus a consecutive-reject lockout.
+
+    Parameters
+    ----------
+    max_requests:
+        Admitted requests per *window* seconds (0 disables throttling).
+    window:
+        Throttle window length in seconds.
+    lockout_threshold:
+        Consecutive rejections that trigger a lockout (0 disables).
+    lockout_seconds:
+        Lockout duration.
+    clock:
+        Monotonic time source.
+
+    The throttle bounds how fast *anyone* -- genuine device or
+    chosen-challenge prober -- can pull transcripts for one identity;
+    the lockout reacts to the signature of a brute-force attempt (a
+    streak of zero-HD failures) by refusing the identity outright for a
+    cooling period.
+    """
+
+    def __init__(
+        self,
+        max_requests: int = 30,
+        window: float = 60.0,
+        lockout_threshold: int = 5,
+        lockout_seconds: float = 120.0,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        if max_requests < 0:
+            raise ValueError(f"max_requests must be >= 0, got {max_requests}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if lockout_threshold < 0:
+            raise ValueError(
+                f"lockout_threshold must be >= 0, got {lockout_threshold}"
+            )
+        if lockout_seconds < 0:
+            raise ValueError(
+                f"lockout_seconds must be >= 0, got {lockout_seconds}"
+            )
+        self.max_requests = max_requests
+        self.window = window
+        self.lockout_threshold = lockout_threshold
+        self.lockout_seconds = lockout_seconds
+        self._clock = clock
+        self._admitted: Deque[float] = deque()
+        self._consecutive_rejects = 0
+        self._locked_until = 0.0
+
+    @property
+    def locked_out(self) -> bool:
+        """Whether the identity is currently inside a reject lockout."""
+        return self._clock() < self._locked_until
+
+    def _prune(self, now: float) -> None:
+        while self._admitted and now - self._admitted[0] >= self.window:
+            self._admitted.popleft()
+
+    def allow(self) -> bool:
+        """Whether the next request may be admitted (does not consume)."""
+        now = self._clock()
+        if now < self._locked_until:
+            return False
+        if self.max_requests == 0:
+            return True
+        self._prune(now)
+        return len(self._admitted) < self.max_requests
+
+    def record_admitted(self) -> None:
+        """Consume one throttle slot for an admitted request."""
+        self._admitted.append(self._clock())
+
+    def record_rejected(self) -> None:
+        """A scored session was rejected; may arm the lockout."""
+        self._consecutive_rejects += 1
+        if (
+            self.lockout_threshold
+            and self._consecutive_rejects >= self.lockout_threshold
+        ):
+            self._locked_until = self._clock() + self.lockout_seconds
+            self._consecutive_rejects = 0
+
+    def record_approved(self) -> None:
+        """A scored session was approved; clears the reject streak."""
+        self._consecutive_rejects = 0

@@ -177,6 +177,28 @@ class TestIdentify:
                 PufChip.create(1, N_STAGES, seed=1)
             )
 
+    def test_tie_breaks_to_lowest_chip_id(self, enrolled_chip_and_record):
+        """A perfect tie resolves to the lexicographically lowest id.
+
+        Registering the same record under several ids makes the genuine
+        chip score identically against all of them (each alias predicts
+        the chip's own responses perfectly), so the winner is decided
+        purely by the tie-break -- which must be deterministic, not
+        dict-order.
+        """
+        import dataclasses
+
+        chip, record = enrolled_chip_and_record
+        server = AuthenticationServer()
+        # Aliases sorting both after and before the genuine id.
+        for alias in ("z-twin", record.chip_id, "a-twin"):
+            server.register(dataclasses.replace(record, chip_id=alias))
+        result = server.identify(chip, seed=75)
+        tied = [k for k, v in result.scores.items() if v == result.match_fraction]
+        assert set(tied) == {"a-twin", record.chip_id, "z-twin"}
+        assert result.chip_id == "a-twin"
+        assert result.match_fraction == pytest.approx(1.0)
+
 
 class TestModelResponder:
     def test_requires_predict(self):

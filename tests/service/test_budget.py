@@ -1,0 +1,60 @@
+"""Unit tests for the per-chip challenge-budget accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ChallengeBudget, PoolExhaustedError
+
+pytestmark = pytest.mark.service
+
+
+class TestChallengeBudget:
+    def test_reserve_charges_the_pool(self):
+        budget = ChallengeBudget(chip_id="chip-0", capacity=100)
+        budget.reserve(64)
+        assert budget.spent == 64
+        assert budget.remaining == 36
+        assert budget.fraction_remaining == pytest.approx(0.36)
+
+    def test_low_water_crossing_reported_exactly_once(self):
+        budget = ChallengeBudget(
+            chip_id="chip-0", capacity=100, low_water_fraction=0.5
+        )
+        assert budget.reserve(40) is False   # 60 % remaining
+        assert budget.reserve(20) is True    # crossed to 40 %
+        assert budget.reserve(20) is False   # still low, no second warning
+        assert budget.low_water
+
+    def test_exhaustion_raises_and_leaves_the_pool_unchanged(self):
+        budget = ChallengeBudget(chip_id="chip-0", capacity=100)
+        budget.reserve(64)
+        with pytest.raises(PoolExhaustedError) as excinfo:
+            budget.reserve(64)
+        # The refused charge cost nothing -- the pool is never
+        # overdrawn, because overdrawing would mean replaying.
+        assert budget.spent == 64
+        assert budget.remaining == 36
+        error = excinfo.value
+        assert error.chip_id == "chip-0"
+        assert error.requested == 64
+        assert error.remaining == 36
+        assert "refusing to replay" in str(error)
+
+    def test_exact_fit_is_allowed(self):
+        budget = ChallengeBudget(chip_id="chip-0", capacity=64)
+        assert budget.can_reserve(64)
+        budget.reserve(64)
+        assert budget.remaining == 0
+        assert not budget.can_reserve(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChallengeBudget(chip_id="chip-0", capacity=0)
+        with pytest.raises(ValueError):
+            ChallengeBudget(chip_id="chip-0", capacity=10, low_water_fraction=1.5)
+        with pytest.raises(ValueError):
+            ChallengeBudget(chip_id="chip-0", capacity=10, spent=-1)
+        budget = ChallengeBudget(chip_id="chip-0", capacity=10)
+        with pytest.raises(ValueError):
+            budget.reserve(0)

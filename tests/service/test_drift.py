@@ -1,0 +1,128 @@
+"""Unit tests for the drift monitor and its degradation ladder."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.service import MAX_RUNG, DriftMonitor, DriftPolicy
+
+pytestmark = pytest.mark.service
+
+#: A small, fast policy for exercising the state machine.
+POLICY = DriftPolicy(window=10, min_samples=4, escalate_frr=0.25, recover_clean=6)
+
+
+def feed(monitor, outcomes):
+    for approved in outcomes:
+        monitor.observe(approved)
+
+
+class TestDriftPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftPolicy(window=0)
+        with pytest.raises(ValueError):
+            DriftPolicy(min_samples=0)
+        with pytest.raises(ValueError):
+            DriftPolicy(escalate_frr=1.5)
+        with pytest.raises(ValueError):
+            DriftPolicy(recover_clean=0)
+        with pytest.raises(ValueError, match="min_samples"):
+            DriftPolicy(window=5, min_samples=6)
+
+
+class TestEscalation:
+    def test_no_move_before_min_samples(self):
+        monitor = DriftMonitor(POLICY)
+        feed(monitor, [False] * (POLICY.min_samples - 1))
+        assert monitor.rung == 0
+
+    def test_escalates_when_rolling_frr_crosses_threshold(self):
+        monitor = DriftMonitor(POLICY)
+        feed(monitor, [True, True, True])
+        assert monitor.rung == 0
+        monitor.observe(False)  # 1/4 = 0.25 >= escalate_frr
+        assert monitor.rung == 1
+        assert monitor.moves == [(0, 1)]
+
+    def test_window_cleared_on_every_move(self):
+        monitor = DriftMonitor(POLICY)
+        feed(monitor, [False] * POLICY.min_samples)
+        assert monitor.rung == 1
+        # Each rung is judged on evidence gathered at that rung.
+        assert math.isnan(monitor.rolling_frr)
+
+    def test_climbs_to_max_rung_and_stops(self):
+        monitor = DriftMonitor(POLICY)
+        feed(monitor, [False] * (3 * POLICY.min_samples))
+        assert monitor.rung == MAX_RUNG
+        assert monitor.moves == [(0, 1), (1, 2)]
+
+    def test_flag_set_at_max_rung(self):
+        monitor = DriftMonitor(POLICY)
+        assert not monitor.flagged_for_retightening
+        feed(monitor, [False] * (2 * POLICY.min_samples))
+        assert monitor.flagged_for_retightening
+
+    def test_old_rejects_age_out_of_the_window(self):
+        monitor = DriftMonitor(POLICY)
+        monitor.observe(False)
+        feed(monitor, [True] * POLICY.window)  # pushes the reject out
+        assert monitor.rung == 0
+        assert monitor.rolling_frr == 0.0
+
+
+class TestRecovery:
+    def escalated(self):
+        monitor = DriftMonitor(POLICY)
+        feed(monitor, [False] * POLICY.min_samples)
+        assert monitor.rung == 1
+        return monitor
+
+    def test_recovers_after_consecutive_clean_sessions(self):
+        monitor = self.escalated()
+        feed(monitor, [True] * (POLICY.recover_clean - 1))
+        assert monitor.rung == 1
+        monitor.observe(True)
+        assert monitor.rung == 0
+        assert monitor.moves[-1] == (1, 0)
+
+    def test_single_reject_resets_the_clean_streak(self):
+        monitor = self.escalated()
+        feed(monitor, [True] * (POLICY.recover_clean - 1))
+        monitor.observe(False)  # breaks the streak
+        assert monitor.clean_streak == 0
+        feed(monitor, [True] * (POLICY.recover_clean - 1))
+        assert monitor.rung == 1  # streak restarted, not resumed
+
+    def test_flag_is_sticky_across_recovery(self):
+        monitor = DriftMonitor(POLICY)
+        feed(monitor, [False] * (2 * POLICY.min_samples))
+        assert monitor.rung == MAX_RUNG
+        feed(monitor, [True] * (2 * POLICY.recover_clean))
+        assert monitor.rung == 0
+        # The operator flag records history, not current state.
+        assert monitor.flagged_for_retightening
+
+    def test_never_recovers_below_rung_zero(self):
+        monitor = DriftMonitor(POLICY)
+        feed(monitor, [True] * (5 * POLICY.recover_clean))
+        assert monitor.rung == 0
+        assert monitor.moves == []
+
+
+class TestObserveReturn:
+    def test_returns_the_current_rung(self):
+        monitor = DriftMonitor(POLICY)
+        assert monitor.observe(True) == 0
+        feed(monitor, [False] * (POLICY.min_samples - 1))
+        assert monitor.observe(False) in (0, 1)
+        assert monitor.observe(False) == monitor.rung
+
+    def test_truthy_inputs_are_coerced(self):
+        monitor = DriftMonitor(POLICY)
+        monitor.observe(1)
+        monitor.observe(0)
+        assert monitor.rolling_frr == pytest.approx(0.5)

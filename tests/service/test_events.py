@@ -1,0 +1,80 @@
+"""Unit tests for audit events, challenge digests and the replay check."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.service import AuditLog, AuthEvent, AuthOutcome, challenge_digests
+
+pytestmark = pytest.mark.service
+
+
+def event(seq, chip_id="chip-0", outcome=AuthOutcome.APPROVED, digests=()):
+    return AuthEvent(
+        seq=seq, request=seq, chip_id=chip_id, outcome=outcome, digests=digests
+    )
+
+
+class TestChallengeDigests:
+    def test_digest_is_a_function_of_the_bit_pattern(self):
+        rows = np.array([[0, 1, 1, 0], [1, 1, 0, 0]])
+        as_int8 = challenge_digests(rows.astype(np.int8))
+        as_int64 = challenge_digests(rows.astype(np.int64))
+        as_fortran = challenge_digests(np.asfortranarray(rows))
+        assert as_int8 == as_int64 == as_fortran
+
+    def test_equal_rows_collide_distinct_rows_do_not(self):
+        rows = np.array([[0, 1, 0, 1], [0, 1, 0, 1], [1, 1, 0, 1]])
+        digests = challenge_digests(rows)
+        assert digests[0] == digests[1]
+        assert digests[0] != digests[2]
+
+    def test_rejects_non_matrix_input(self):
+        with pytest.raises(ValueError, match="2-D"):
+            challenge_digests(np.array([0, 1, 0, 1]))
+
+
+class TestAuditLog:
+    def test_append_returns_the_event_and_type_checks(self):
+        log = AuditLog()
+        first = event(0)
+        assert log.append(first) is first
+        assert len(log) == 1
+        with pytest.raises(TypeError, match="AuthEvent"):
+            log.append({"outcome": "approved"})
+
+    def test_queries(self):
+        log = AuditLog()
+        log.append(event(0, "chip-0", AuthOutcome.APPROVED))
+        log.append(event(1, "chip-1", AuthOutcome.REJECTED))
+        log.append(event(2, "chip-0", AuthOutcome.BUDGET_LOW))
+        assert [e.seq for e in log.for_chip("chip-0")] == [0, 2]
+        assert [e.seq for e in log.with_outcome(AuthOutcome.REJECTED)] == [1]
+        # BUDGET_LOW is informational, not a decision.
+        assert [e.seq for e in log.decisions()] == [0, 1]
+        assert log.outcome_counts() == {
+            "approved": 1, "rejected": 1, "budget-low": 1,
+        }
+
+    def test_replay_detection_per_chip(self):
+        log = AuditLog()
+        log.append(event(0, "chip-0", digests=("aa", "bb")))
+        log.append(event(1, "chip-1", digests=("aa",)))  # other chip: fine
+        assert log.replayed_digests() == {}
+        log.append(event(2, "chip-0", digests=("bb", "cc")))
+        assert log.replayed_digests() == {"chip-0": ["bb"]}
+        assert log.issued_digests("chip-0") == ["aa", "bb", "bb", "cc"]
+
+    def test_save_round_trips_through_json_lines(self, tmp_path):
+        log = AuditLog()
+        log.append(event(0, digests=("aa", "bb")))
+        log.append(event(1, outcome=AuthOutcome.DEVICE_ERROR))
+        path = log.save(tmp_path / "audit.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        rows = [json.loads(line) for line in lines]
+        assert rows[0]["digests"] == ["aa", "bb"]
+        assert rows[1]["outcome"] == "device-error"

@@ -1,0 +1,148 @@
+"""Unit tests for the circuit breaker and rate limiter state machines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import BreakerState, CircuitBreaker, RateLimiter, VirtualClock
+
+pytestmark = pytest.mark.service
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_admits(self):
+        breaker = CircuitBreaker(clock=VirtualClock())
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=VirtualClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_success_clears_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=VirtualClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_cooldown_admits_a_half_open_probe(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=10.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(9.999)
+        assert not breaker.allow()
+        clock.advance(0.001)
+        assert breaker.allow()
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_probe_success_closes(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_for_another_cooldown(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()  # half-open probe admitted
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.allow()
+
+    def test_transitions_record_the_full_arc(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure()       # closed -> open at t=0
+        clock.advance(5.0)
+        breaker.allow()                # open -> half-open at t=5
+        breaker.record_success()       # half-open -> closed at t=5
+        arcs = [(src, dst) for _, src, dst in breaker.transitions]
+        assert arcs == [
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "closed"),
+        ]
+        times = [t for t, _, _ in breaker.transitions]
+        assert times == [0.0, 5.0, 5.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            CircuitBreaker(cooldown=-1.0)
+
+
+class TestRateLimiter:
+    def test_throttle_window_fills_and_slides(self):
+        clock = VirtualClock()
+        limiter = RateLimiter(
+            max_requests=2, window=10.0, lockout_threshold=0, clock=clock
+        )
+        for _ in range(2):
+            assert limiter.allow()
+            limiter.record_admitted()
+        assert not limiter.allow()
+        clock.advance(10.0)  # the first admissions fall out of the window
+        assert limiter.allow()
+
+    def test_zero_max_requests_disables_throttling(self):
+        limiter = RateLimiter(max_requests=0, lockout_threshold=0, clock=VirtualClock())
+        for _ in range(1000):
+            assert limiter.allow()
+            limiter.record_admitted()
+
+    def test_consecutive_rejects_trigger_lockout(self):
+        clock = VirtualClock()
+        limiter = RateLimiter(
+            max_requests=0, lockout_threshold=3, lockout_seconds=60.0, clock=clock
+        )
+        for _ in range(3):
+            limiter.record_rejected()
+        assert limiter.locked_out
+        assert not limiter.allow()
+        clock.advance(60.0)
+        assert not limiter.locked_out
+        assert limiter.allow()
+
+    def test_approval_clears_the_reject_streak(self):
+        limiter = RateLimiter(
+            max_requests=0, lockout_threshold=3, clock=VirtualClock()
+        )
+        limiter.record_rejected()
+        limiter.record_rejected()
+        limiter.record_approved()
+        limiter.record_rejected()
+        assert not limiter.locked_out
+
+    def test_zero_lockout_threshold_disables_lockout(self):
+        limiter = RateLimiter(
+            max_requests=0, lockout_threshold=0, clock=VirtualClock()
+        )
+        for _ in range(100):
+            limiter.record_rejected()
+        assert not limiter.locked_out
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_requests"):
+            RateLimiter(max_requests=-1)
+        with pytest.raises(ValueError, match="window"):
+            RateLimiter(window=0.0)
+        with pytest.raises(ValueError, match="lockout_threshold"):
+            RateLimiter(lockout_threshold=-1)
+        with pytest.raises(ValueError, match="lockout_seconds"):
+            RateLimiter(lockout_seconds=-1.0)

@@ -1,0 +1,332 @@
+"""Integration tests for the resilient authentication front end.
+
+Everything runs on a virtual clock and a deterministic fault plan, so
+breaker cooldowns, rate-limit windows and device failures are exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.server import AuthenticationServer
+from repro.faults import FaultPlan, FaultSpec, FlakyResponder, Site
+from repro.service import (
+    AuthOutcome,
+    AuthenticationService,
+    BreakerState,
+    DriftPolicy,
+    MAX_RUNG,
+    PoolExhaustedError,
+    ServiceConfig,
+    VirtualClock,
+)
+
+pytestmark = [pytest.mark.service, pytest.mark.faults]
+
+
+class InvertingResponder:
+    """An impostor: answers every challenge with the flipped bit."""
+
+    def __init__(self, chip):
+        self._chip = chip
+        self.chip_id = chip.chip_id
+
+    def xor_response(self, challenges, condition=None):
+        if condition is None:
+            responses = self._chip.xor_response(challenges)
+        else:
+            responses = self._chip.xor_response(challenges, condition)
+        return 1 - np.asarray(responses)
+
+
+def flaky(chip, n_failed_reads):
+    plan = FaultPlan(
+        [FaultSpec(Site.DEVICE_READ, kind="device", fail_attempts=n_failed_reads)]
+    )
+    return FlakyResponder(chip, plan)
+
+
+class CountingResponder:
+    """Healthy passthrough that counts device reads."""
+
+    def __init__(self, chip):
+        self._chip = chip
+        self.chip_id = chip.chip_id
+        self.reads = 0
+
+    def xor_response(self, challenges, condition=None):
+        self.reads += 1
+        if condition is None:
+            return self._chip.xor_response(challenges)
+        return self._chip.xor_response(challenges, condition)
+
+
+@pytest.fixture(scope="module")
+def server(enrolled_chip_and_record):
+    _, record = enrolled_chip_and_record
+    server = AuthenticationServer()
+    server.register(record)
+    return server
+
+
+@pytest.fixture()
+def make_service(server):
+    """Factory: a fresh service on a fresh virtual clock, quiet limiter."""
+
+    def build(**overrides):
+        overrides.setdefault("max_requests_per_window", 0)
+        overrides.setdefault("lockout_threshold", 0)
+        clock = VirtualClock()
+        service = AuthenticationService(
+            server, ServiceConfig(**overrides), seed=907, clock=clock
+        )
+        return service, clock
+
+    return build
+
+
+class TestHappyPath:
+    def test_genuine_chip_is_approved(self, make_service, enrolled_chip_and_record):
+        chip, _ = enrolled_chip_and_record
+        service, _ = make_service()
+        result = service.authenticate(chip)
+        assert result.approved
+        assert result.outcome is AuthOutcome.APPROVED
+        assert result.rung == 0
+        assert result.attempts == 1
+        assert result.challenges_spent == service.config.n_challenges
+        assert result.auth is not None and result.auth.n_mismatches == 0
+        decision = service.audit.decisions()[-1]
+        assert decision.outcome is AuthOutcome.APPROVED
+        assert len(decision.digests) == service.config.n_challenges
+
+    def test_impostor_is_rejected(self, make_service, enrolled_chip_and_record):
+        chip, _ = enrolled_chip_and_record
+        service, _ = make_service()
+        result = service.authenticate(InvertingResponder(chip))
+        assert not result.approved
+        assert result.outcome is AuthOutcome.REJECTED
+
+    def test_sessions_never_share_challenges(
+        self, make_service, enrolled_chip_and_record
+    ):
+        chip, _ = enrolled_chip_and_record
+        service, _ = make_service()
+        for _ in range(5):
+            service.authenticate(chip)
+        digests = service.audit.issued_digests(chip.chip_id)
+        assert len(digests) == 5 * service.config.n_challenges
+        assert len(set(digests)) == len(digests)
+        assert service.audit.replayed_digests() == {}
+
+
+class TestAdmission:
+    def test_unknown_chip_is_a_decision_not_an_exception(self, make_service):
+        service, _ = make_service()
+
+        class Ghost:
+            chip_id = "chip-ghost"
+
+        result = service.authenticate(Ghost())
+        assert result.outcome is AuthOutcome.UNKNOWN_CHIP
+        assert "not enrolled" in result.detail
+        assert service.audit.decisions()[-1].outcome is AuthOutcome.UNKNOWN_CHIP
+
+    def test_anonymous_responder_requires_claimed_id(self, make_service):
+        service, _ = make_service()
+        with pytest.raises(ValueError, match="claimed_id"):
+            service.authenticate(object())
+
+    def test_throttle_window(self, make_service, enrolled_chip_and_record):
+        chip, _ = enrolled_chip_and_record
+        service, clock = make_service(
+            max_requests_per_window=1, window_seconds=60.0
+        )
+        assert service.authenticate(chip).approved
+        throttled = service.authenticate(chip)
+        assert throttled.outcome is AuthOutcome.RATE_LIMITED
+        assert "throttle" in throttled.detail
+        assert throttled.challenges_spent == 0  # fast-fail costs no pool
+        clock.advance(60.0)
+        assert service.authenticate(chip).approved
+
+    def test_reject_streak_locks_the_identity_out(
+        self, make_service, enrolled_chip_and_record
+    ):
+        chip, _ = enrolled_chip_and_record
+        impostor = InvertingResponder(chip)
+        service, clock = make_service(
+            lockout_threshold=2, lockout_seconds=120.0
+        )
+        for _ in range(2):
+            assert service.authenticate(impostor).outcome is AuthOutcome.REJECTED
+        locked = service.authenticate(impostor)
+        assert locked.outcome is AuthOutcome.RATE_LIMITED
+        assert "lockout" in locked.detail
+        assert service.chip_status(chip.chip_id)["locked_out"]
+        clock.advance(120.0)
+        assert service.authenticate(chip).approved
+
+
+class TestDeviceFailureHandling:
+    def test_transient_read_failure_is_retried_with_fresh_challenges(
+        self, make_service, enrolled_chip_and_record
+    ):
+        chip, _ = enrolled_chip_and_record
+        service, _ = make_service()
+        result = service.authenticate(flaky(chip, 1))
+        assert result.approved
+        assert result.attempts == 2
+        # The burnt attempt's challenges are charged and never reissued.
+        assert result.challenges_spent == 2 * service.config.n_challenges
+        assert len(service.audit.with_outcome(AuthOutcome.READ_FAILED)) == 1
+        digests = service.audit.issued_digests(chip.chip_id)
+        assert len(digests) == 2 * service.config.n_challenges
+        assert len(set(digests)) == len(digests)
+
+    def test_breaker_opens_fast_fails_and_recovers(
+        self, make_service, enrolled_chip_and_record
+    ):
+        chip, _ = enrolled_chip_and_record
+        service, clock = make_service(
+            breaker_failure_threshold=1, breaker_cooldown=30.0,
+            max_read_attempts=3,
+        )
+        responder = flaky(chip, 3)  # all 3 reads of request 0 fail
+
+        failed = service.authenticate(responder)
+        assert failed.outcome is AuthOutcome.DEVICE_ERROR
+        assert failed.attempts == 3
+        state = service.chip_status(chip.chip_id)
+        assert state["breaker_state"] == BreakerState.OPEN.value
+
+        fast_failed = service.authenticate(responder)
+        assert fast_failed.outcome is AuthOutcome.BREAKER_OPEN
+        assert fast_failed.challenges_spent == 0
+
+        clock.advance(30.0)  # cooldown elapses; the probe succeeds
+        probe = service.authenticate(responder)
+        assert probe.approved
+        breaker = service._chips[chip.chip_id].breaker
+        arcs = [(src, dst) for _, src, dst in breaker.transitions]
+        assert arcs == [
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "closed"),
+        ]
+
+    def test_service_level_fault_plan_fires_at_request_admission(
+        self, server, enrolled_chip_and_record
+    ):
+        chip, _ = enrolled_chip_and_record
+        plan = FaultPlan(
+            [FaultSpec(Site.SERVICE_REQUEST, kind="device", at=0)]
+        )
+        service = AuthenticationService(
+            server,
+            ServiceConfig(max_requests_per_window=0, lockout_threshold=0),
+            seed=907, clock=VirtualClock(), faults=plan,
+        )
+        first = service.authenticate(chip)
+        assert first.outcome is AuthOutcome.DEVICE_ERROR
+        assert first.challenges_spent == 0  # admission fault burns no pool
+        assert service.authenticate(chip).approved
+
+    def test_deadline_fast_fails_before_touching_the_device(
+        self, make_service, enrolled_chip_and_record
+    ):
+        chip, _ = enrolled_chip_and_record
+        service, _ = make_service()
+        result = service.authenticate(chip, deadline=0.0)
+        assert result.outcome is AuthOutcome.DEADLINE_EXCEEDED
+        assert result.challenges_spent == 0
+
+
+class TestBudget:
+    def test_low_water_warning_fires_once(
+        self, make_service, enrolled_chip_and_record
+    ):
+        chip, _ = enrolled_chip_and_record
+        service, _ = make_service(pool_capacity=70)  # low water at <= 7
+        assert service.authenticate(chip).approved
+        assert len(service.warnings) == 1
+        assert "low-water" in service.warnings[0]
+        assert len(service.audit.with_outcome(AuthOutcome.BUDGET_LOW)) == 1
+
+    def test_exhausted_pool_raises_instead_of_replaying(
+        self, make_service, enrolled_chip_and_record
+    ):
+        chip, _ = enrolled_chip_and_record
+        service, _ = make_service(pool_capacity=100)
+        assert service.authenticate(chip).approved
+        with pytest.raises(PoolExhaustedError, match="refusing to replay"):
+            service.authenticate(chip)
+        assert service.audit.decisions()[-1].outcome is AuthOutcome.POOL_EXHAUSTED
+        # The refused request charged nothing.
+        assert service.chip_status(chip.chip_id)["budget_remaining"] == 36
+        assert service.audit.replayed_digests() == {}
+
+
+class TestDegradationLadder:
+    def test_sustained_rejects_walk_the_ladder_to_retightening(
+        self, make_service, enrolled_chip_and_record
+    ):
+        chip, _ = enrolled_chip_and_record
+        impostor = InvertingResponder(chip)
+        service, _ = make_service(
+            drift=DriftPolicy(
+                window=4, min_samples=2, escalate_frr=0.5, recover_clean=50
+            ),
+        )
+        for _ in range(6):
+            service.authenticate(impostor)
+        status = service.chip_status(chip.chip_id)
+        assert status["rung"] == MAX_RUNG
+        assert status["flagged_for_retightening"]
+        assert service.flagged_chips == [chip.chip_id]
+        assert len(service.audit.with_outcome(AuthOutcome.RUNG_ESCALATED)) == 2
+        assert len(service.audit.with_outcome(AuthOutcome.RETIGHTEN_FLAGGED)) == 1
+        # Rung 2 serves from the cached re-tightened selector, and even
+        # across rung changes no challenge is ever reissued.
+        assert service._chips[chip.chip_id].tightened_selector is not None
+        assert service.audit.replayed_digests() == {}
+
+    def test_recovery_emits_rung_recovered(
+        self, make_service, enrolled_chip_and_record
+    ):
+        chip, _ = enrolled_chip_and_record
+        impostor = InvertingResponder(chip)
+        service, _ = make_service(
+            drift=DriftPolicy(
+                window=4, min_samples=2, escalate_frr=0.5, recover_clean=3
+            ),
+        )
+        for _ in range(2):
+            service.authenticate(impostor)  # escalate to rung 1
+        assert service.chip_status(chip.chip_id)["rung"] == 1
+        for _ in range(3):
+            service.authenticate(chip)  # a clean streak recovers
+        assert service.chip_status(chip.chip_id)["rung"] == 0
+        assert len(service.audit.with_outcome(AuthOutcome.RUNG_RECOVERED)) == 1
+
+    def test_majority_vote_costs_device_reads_not_pool(
+        self, make_service, enrolled_chip_and_record
+    ):
+        chip, _ = enrolled_chip_and_record
+        impostor = InvertingResponder(chip)
+        service, _ = make_service(
+            drift=DriftPolicy(
+                window=4, min_samples=1, escalate_frr=0.5, recover_clean=50
+            ),
+            majority_votes=5,
+        )
+        service.authenticate(impostor)  # reject -> rung 1
+        assert service.chip_status(chip.chip_id)["rung"] == 1
+        responder = CountingResponder(chip)
+        result = service.authenticate(responder)
+        assert result.rung == 1
+        # k-shot majority re-reads the same issued set: one pool charge,
+        # many device reads.
+        assert result.challenges_spent == service.config.n_challenges
+        assert responder.reads == 5

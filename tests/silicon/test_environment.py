@@ -2,8 +2,12 @@
 
 from __future__ import annotations
 
+import dataclasses
+
+import numpy as np
 import pytest
 
+from repro.silicon.arbiter import ArbiterPuf
 from repro.silicon.environment import (
     NOMINAL_CONDITION,
     PAPER_TEMPERATURES,
@@ -90,3 +94,93 @@ class TestEnvironmentModel:
         env = EnvironmentModel(gain_temperature_coefficient=1.0)
         with pytest.raises(ValueError, match="non-positive"):
             env.delay_gain(OperatingCondition(0.9, -30.0))
+
+
+class TestCornerGridRoundTrip:
+    """The paper grid survives field-level serialisation round trips."""
+
+    def test_conditions_round_trip_through_their_fields(self):
+        for condition in paper_corner_grid():
+            payload = dataclasses.asdict(condition)
+            assert OperatingCondition(**payload) == condition
+
+    def test_conditions_round_trip_as_dict_keys(self):
+        # Per-condition caches key on the frozen dataclass; an equal
+        # reconstruction must hit the same entry.
+        cache = {condition: str(condition) for condition in paper_corner_grid()}
+        assert cache[OperatingCondition(0.8, 60.0)] == "0.80V/60C"
+        assert cache[OperatingCondition(*dataclasses.astuple(NOMINAL_CONDITION))] == (
+            "0.90V/25C"
+        )
+
+    def test_grid_order_is_deterministic(self):
+        assert paper_corner_grid() == paper_corner_grid()
+
+
+class TestInstanceSensitivityRepeatability:
+    """A given instance drifts the *same way* every time at a corner."""
+
+    CORNER = OperatingCondition(0.8, 60.0)
+
+    def test_same_seed_same_sensitivity_vectors(self):
+        first = ArbiterPuf.create(32, seed=11)
+        second = ArbiterPuf.create(32, seed=11)
+        np.testing.assert_array_equal(
+            first.voltage_sensitivity_vector, second.voltage_sensitivity_vector
+        )
+        np.testing.assert_array_equal(
+            first.temperature_sensitivity_vector,
+            second.temperature_sensitivity_vector,
+        )
+
+    def test_different_seeds_different_sensitivity_vectors(self):
+        first = ArbiterPuf.create(32, seed=11)
+        second = ArbiterPuf.create(32, seed=12)
+        assert not np.array_equal(
+            first.voltage_sensitivity_vector, second.voltage_sensitivity_vector
+        )
+
+    def test_effective_weights_are_repeatable_per_corner(self):
+        puf = ArbiterPuf.create(32, seed=11)
+        once = puf.effective_weights(self.CORNER)
+        again = puf.effective_weights(self.CORNER)
+        np.testing.assert_array_equal(once, again)
+        twin = ArbiterPuf.create(32, seed=11)
+        np.testing.assert_array_equal(once, twin.effective_weights(self.CORNER))
+
+    def test_drift_is_condition_dependent_not_random(self):
+        puf = ArbiterPuf.create(32, seed=11)
+        nominal = puf.effective_weights(NOMINAL_CONDITION)
+        corner = puf.effective_weights(self.CORNER)
+        assert not np.array_equal(nominal, corner)
+        np.testing.assert_array_equal(nominal, puf.weights)
+
+
+class TestNoiseScalingMonotone:
+    """Noise grows monotonically toward the low-V / hot corner."""
+
+    def test_monotone_in_voltage_at_fixed_temperature(self):
+        env = EnvironmentModel()
+        for temperature in PAPER_TEMPERATURES:
+            multipliers = [
+                env.noise_multiplier(OperatingCondition(v, temperature))
+                for v in sorted(PAPER_VOLTAGES)
+            ]
+            assert multipliers == sorted(multipliers, reverse=True)
+
+    def test_monotone_in_temperature_at_fixed_voltage(self):
+        env = EnvironmentModel()
+        for voltage in PAPER_VOLTAGES:
+            multipliers = [
+                env.noise_multiplier(OperatingCondition(voltage, t))
+                for t in sorted(PAPER_TEMPERATURES)
+            ]
+            assert multipliers == sorted(multipliers)
+
+    def test_worst_corner_of_the_grid_is_low_voltage_hot(self):
+        env = EnvironmentModel()
+        grid = paper_corner_grid()
+        worst = max(grid, key=env.noise_multiplier)
+        assert worst == OperatingCondition(0.8, 60.0)
+        best = min(grid, key=env.noise_multiplier)
+        assert best == OperatingCondition(1.0, 0.0)

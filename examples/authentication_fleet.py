@@ -90,7 +90,7 @@ def main() -> None:
 
     print("\n1:N identification (device presents no identity claim):")
     probe = lot[3]
-    result = server.identify(probe, n_challenges=64, seed=85)
+    result = server.identify(probe, n_challenges=64, seed=85, return_scores=True)
     print(f"  device identified as {result.chip_id} "
           f"(match {result.match_fraction:.1%}); runner-up score "
           f"{sorted(result.scores.values())[-2]:.1%}")

@@ -6,6 +6,7 @@ Lets a user exercise the library without writing Python::
     repro-puf enroll     --n-pufs 4 --corners
     repro-puf attack     --n-pufs 4 --train 20000
     repro-puf auth       --n-pufs 4 --sessions 20 --corners
+    repro-puf identify   --chips 10 --probes 50
     repro-puf aging      --n-pufs 4 --amplitude 0.3
     repro-puf serve-sim  --report report.json --audit audit.jsonl
 
@@ -129,6 +130,23 @@ def build_parser() -> argparse.ArgumentParser:
                         "challenges on every retry)")
     p.add_argument("--corners", action="store_true",
                    help="rotate sessions through the 9 V/T corners")
+
+    p = sub.add_parser(
+        "identify",
+        help="1:N identification sweep over the bit-packed codebook plane",
+    )
+    p.add_argument("--chips", type=int, default=5, help="enrolled fleet size")
+    p.add_argument("--n-pufs", type=int, default=4)
+    p.add_argument("--n-stages", type=int, default=32)
+    p.add_argument("--challenges", type=int, default=64,
+                   help="identification block length per identity")
+    p.add_argument("--train", type=int, default=2000)
+    p.add_argument("--validation", type=int, default=8000)
+    p.add_argument("--probes", type=int, default=20,
+                   help="devices presented for identification "
+                        "(fleet chips round-robin, plus one stranger)")
+    p.add_argument("--save-db", metavar="DIR", default=None,
+                   help="persist the database + codebook to this directory")
 
     p = sub.add_parser(
         "serve-sim",
@@ -268,6 +286,50 @@ def _cmd_auth(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_identify(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.silicon.chip import fabricate_lot
+
+    lot = fabricate_lot(args.chips, args.n_pufs, args.n_stages, seed=args.seed)
+    server = AuthenticationServer()
+    for index, chip in enumerate(lot):
+        server.enroll(
+            chip,
+            seed=args.seed + 1 + index,
+            n_enroll_challenges=args.train,
+            n_validation_challenges=args.validation,
+            jobs=args.jobs,
+            chunk_size=args.chunk_size,
+        )
+    built = time.perf_counter()
+    server.codebook(args.challenges, seed=args.seed)
+    print(f"codebook: {args.chips} identities x {args.challenges} challenges "
+          f"materialized in {time.perf_counter() - built:.2f}s")
+
+    probes = [lot[i % len(lot)] for i in range(args.probes)]
+    probes.append(PufChip.create(
+        args.n_pufs, args.n_stages, seed=args.seed + 4242, chip_id="stranger",
+    ))
+    start = time.perf_counter()
+    results = server.identify_many(probes, n_challenges=args.challenges)
+    elapsed = time.perf_counter() - start
+    correct = sum(
+        result.chip_id == probe.chip_id
+        for probe, result in zip(probes[:-1], results[:-1])
+    )
+    print(f"{correct}/{len(probes) - 1} fleet devices identified "
+          f"({len(probes) / elapsed:,.0f} identifications/sec)")
+    stranger = results[-1]
+    print(f"stranger: identified as {stranger.chip_id} "
+          f"(best match {stranger.match_fraction:.1%})")
+    if args.save_db:
+        server.save_database(args.save_db)
+        print(f"database + codebook written to {args.save_db}")
+    failures = correct < len(probes) - 1 or stranger.chip_id is not None
+    return 1 if failures else 0
+
+
 def _cmd_serve_sim(args: argparse.Namespace) -> int:
     from repro.service import run_serve_sim
 
@@ -383,6 +445,7 @@ _COMMANDS = {
     "enroll": _cmd_enroll,
     "attack": _cmd_attack,
     "auth": _cmd_auth,
+    "identify": _cmd_identify,
     "serve-sim": _cmd_serve_sim,
     "aging": _cmd_aging,
     "figure": _cmd_figure,

@@ -18,6 +18,13 @@ from repro.core.authentication import (
     Responder,
     authenticate,
 )
+from repro.core.codebook import (
+    CodebookRow,
+    IdentificationCodebook,
+    pack_responses,
+    packed_match_fractions,
+    popcount,
+)
 from repro.core.enrollment import (
     PAPER_ENROLL_CHALLENGES,
     EnrollmentRecord,
@@ -51,6 +58,11 @@ __all__ = [
     "AuthResult",
     "Responder",
     "authenticate",
+    "CodebookRow",
+    "IdentificationCodebook",
+    "pack_responses",
+    "packed_match_fractions",
+    "popcount",
     "PAPER_ENROLL_CHALLENGES",
     "EnrollmentRecord",
     "enroll_chip",

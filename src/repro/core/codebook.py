@@ -1,0 +1,372 @@
+"""The bit-packed identification codebook and its popcount matcher.
+
+1:N identification asks "which enrolled chip is this device?".  The
+naive data plane answers it by running every identity's model-assisted
+challenge selection (:class:`~repro.core.selection.ChallengeSelector`)
+on every call -- a linear-regression sweep over tens of thousands of
+candidate challenges *per identity per request*.  That is what capped
+the server at ~10^2 identifications/sec.
+
+This module turns identification into a table lookup:
+
+* at enrollment (and whenever a record changes -- re-registration,
+  threshold re-tightening) each identity's selected challenge block and
+  predicted XOR responses are materialized **once**;
+* predicted responses are bit-packed with :func:`numpy.packbits` into a
+  contiguous ``(n_identities, n_bytes)`` codebook;
+* ``identify`` becomes one stacked responder query followed by
+  XOR + popcount Hamming scoring against **all** rows at once
+  (:func:`numpy.bitwise_count` where available, a 256-entry lookup
+  table otherwise).
+
+Scores are bit-identical to the dense ``(responses == predicted).mean``
+path: both reduce to ``n_equal / n_challenges`` with the same two
+integers (pad bits cancel in the XOR), divided in the same float64 op.
+
+Staleness is epoch-based: the server bumps its epoch on any database
+mutation; a codebook synced at an older epoch re-validates its rows
+against the records' content fingerprints and rebuilds only the rows
+that actually changed (see :meth:`IdentificationCodebook.sync`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.enrollment import EnrollmentRecord
+from repro.core.selection import ChallengeSelector
+from repro.utils.rng import derive_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "IdentificationCodebook",
+    "CodebookRow",
+    "pack_responses",
+    "popcount",
+    "packed_match_fractions",
+]
+
+#: Per-byte popcount lookup table (fallback when numpy lacks
+#: ``bitwise_count``; also handy for tests of the fast path).
+_POPCOUNT_LUT = np.array(
+    [bin(value).count("1") for value in range(256)], dtype=np.uint8
+)
+
+_HAVE_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def popcount(packed: np.ndarray, *, use_lut: bool = False) -> np.ndarray:
+    """Per-byte set-bit counts of a uint8 array.
+
+    Uses :func:`numpy.bitwise_count` when the installed numpy provides
+    it (>= 1.26); *use_lut* forces the table fallback so both kernels
+    stay testable on any environment.
+    """
+    packed = np.asarray(packed, dtype=np.uint8)
+    if _HAVE_BITWISE_COUNT and not use_lut:
+        return np.bitwise_count(packed)
+    return _POPCOUNT_LUT[packed]
+
+
+def pack_responses(bits: np.ndarray) -> np.ndarray:
+    """Bit-pack 0/1 response bits along the last axis (big-endian).
+
+    ``n_challenges`` that is not a multiple of 8 is padded with zero
+    bits; because both sides of every comparison are packed the same
+    way, the pad bits XOR to zero and never contribute to a Hamming
+    distance.
+    """
+    bits = np.asarray(bits)
+    if bits.size and not np.isin(bits, (0, 1)).all():
+        raise ValueError("response bits must be 0/1")
+    return np.packbits(bits.astype(np.uint8, copy=False), axis=-1)
+
+
+def packed_match_fractions(
+    packed_responses: np.ndarray,
+    packed_predicted: np.ndarray,
+    n_challenges: int,
+    *,
+    use_lut: bool = False,
+) -> np.ndarray:
+    """Match fractions from two bit-packed response arrays.
+
+    Parameters
+    ----------
+    packed_responses / packed_predicted:
+        Broadcast-compatible uint8 arrays whose last axis holds
+        ``ceil(n_challenges / 8)`` packed bytes.
+    n_challenges:
+        True (unpadded) number of response bits per row.
+
+    Returns
+    -------
+    numpy.ndarray
+        Float64 agreement fractions with the last (byte) axis reduced:
+        exactly ``(n_challenges - hamming_distance) / n_challenges``.
+    """
+    check_positive_int(n_challenges, "n_challenges")
+    xored = np.bitwise_xor(packed_responses, packed_predicted)
+    distances = popcount(xored, use_lut=use_lut).sum(axis=-1, dtype=np.int64)
+    return (n_challenges - distances) / float(n_challenges)
+
+
+@dataclasses.dataclass(frozen=True)
+class CodebookRow:
+    """One identity's materialized identification block.
+
+    Attributes
+    ----------
+    chip_id:
+        Identity the row belongs to.
+    fingerprint:
+        :meth:`EnrollmentRecord.fingerprint` of the record the row was
+        built from (staleness detection).
+    challenges:
+        ``(n_challenges, k)`` selected challenge block.
+    predicted:
+        ``(n_challenges,)`` predicted XOR bits (int8).
+    packed:
+        ``(ceil(n_challenges / 8),)`` bit-packed *predicted* (uint8).
+    """
+
+    chip_id: str
+    fingerprint: str
+    challenges: np.ndarray
+    predicted: np.ndarray
+    packed: np.ndarray
+
+
+class IdentificationCodebook:
+    """Contiguous, lazily synced codebook over one enrollment database.
+
+    Parameters
+    ----------
+    n_challenges:
+        Identification block length per identity.
+    seed:
+        Root seed of the per-identity selection streams.  Row ``c`` is
+        selected with ``derive_generator(seed, "identify", c)`` -- the
+        *same* derivation as the dense per-call path, so a codebook
+        built with seed ``s`` reproduces exactly the blocks
+        ``identify(..., seed=s)`` would have drawn.  Must be an int or
+        ``None`` (persisted alongside the rows).
+    """
+
+    def __init__(self, n_challenges: int = 64, seed: Optional[int] = None) -> None:
+        self.n_challenges = check_positive_int(n_challenges, "n_challenges")
+        if seed is not None and not isinstance(seed, (int, np.integer)):
+            raise TypeError(
+                "codebook seed must be an int or None (it is persisted), "
+                f"got {type(seed).__name__}"
+            )
+        self.seed = None if seed is None else int(seed)
+        self._rows: Dict[str, CodebookRow] = {}
+        self.synced_epoch: Optional[int] = None
+        self.rebuilds = 0
+        # Contiguous stacked form, rebuilt whenever the row set changes.
+        self._ids: List[str] = []
+        self._stacked_challenges: Optional[np.ndarray] = None
+        self._packed_matrix: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def ids(self) -> List[str]:
+        """Row identities in matching (sorted) order."""
+        return list(self._ids)
+
+    @property
+    def n_bytes(self) -> int:
+        """Packed bytes per row."""
+        return (self.n_challenges + 7) // 8
+
+    def row(self, chip_id: str) -> CodebookRow:
+        """The stored row for *chip_id* (KeyError if absent)."""
+        return self._rows[chip_id]
+
+    @property
+    def stacked_challenges(self) -> np.ndarray:
+        """``(n_identities * n_challenges, k)`` challenge matrix.
+
+        Exactly the single stacked query ``identify`` sends to the
+        device; row blocks follow :attr:`ids` order.
+        """
+        if self._stacked_challenges is None:
+            raise RuntimeError("codebook is empty; sync it against a database")
+        return self._stacked_challenges
+
+    @property
+    def packed_matrix(self) -> np.ndarray:
+        """``(n_identities, n_bytes)`` contiguous packed predictions."""
+        if self._packed_matrix is None:
+            raise RuntimeError("codebook is empty; sync it against a database")
+        return self._packed_matrix
+
+    # ------------------------------------------------------------------
+    # Building / invalidation
+    # ------------------------------------------------------------------
+    def sync(
+        self,
+        records: Mapping[str, EnrollmentRecord],
+        selector_for: Callable[[str], ChallengeSelector],
+        epoch: Optional[int] = None,
+    ) -> int:
+        """Bring the codebook up to date with *records*; return rebuild count.
+
+        Rows are rebuilt only where missing or where the record's
+        content fingerprint changed (re-registration, re-tightened
+        betas); rows of unenrolled identities are dropped.  When
+        nothing changed the call is a cheap fingerprint sweep -- and
+        callers that track the server epoch can skip even that by
+        comparing :attr:`synced_epoch` first.
+        """
+        rebuilt = 0
+        wanted = sorted(records)
+        for chip_id in list(self._rows):
+            if chip_id not in records:
+                del self._rows[chip_id]
+                rebuilt += 1
+        for chip_id in wanted:
+            fingerprint = records[chip_id].fingerprint()
+            row = self._rows.get(chip_id)
+            if row is not None and row.fingerprint == fingerprint:
+                continue
+            self._rows[chip_id] = self._build_row(
+                chip_id, fingerprint, selector_for(chip_id)
+            )
+            rebuilt += 1
+        if rebuilt or self._stacked_challenges is None:
+            self._restack(wanted)
+            self.rebuilds += rebuilt
+        self.synced_epoch = epoch
+        return rebuilt
+
+    def _build_row(
+        self,
+        chip_id: str,
+        fingerprint: str,
+        selector: ChallengeSelector,
+    ) -> CodebookRow:
+        challenges, predicted = selector.select(
+            self.n_challenges, derive_generator(self.seed, "identify", chip_id)
+        )
+        return CodebookRow(
+            chip_id=chip_id,
+            fingerprint=fingerprint,
+            challenges=np.ascontiguousarray(challenges),
+            predicted=np.ascontiguousarray(predicted, dtype=np.int8),
+            packed=pack_responses(predicted),
+        )
+
+    def _restack(self, ids: Sequence[str]) -> None:
+        self._ids = list(ids)
+        if not self._ids:
+            self._stacked_challenges = None
+            self._packed_matrix = None
+            return
+        self._stacked_challenges = np.ascontiguousarray(
+            np.concatenate([self._rows[c].challenges for c in self._ids])
+        )
+        self._packed_matrix = np.ascontiguousarray(
+            np.stack([self._rows[c].packed for c in self._ids])
+        )
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def match(self, responses: np.ndarray, *, use_lut: bool = False) -> np.ndarray:
+        """Scores of one device's stacked responses against every row.
+
+        *responses* holds the device's answers to
+        :attr:`stacked_challenges`, flat or shaped
+        ``(n_identities, n_challenges)``.  Returns ``(n_identities,)``
+        float64 match fractions in :attr:`ids` order.
+        """
+        return self.match_many(responses, use_lut=use_lut)[0]
+
+    def match_many(
+        self, responses: np.ndarray, *, use_lut: bool = False
+    ) -> np.ndarray:
+        """Batched scoring: ``(n_requests, n_identities)`` match fractions.
+
+        *responses* is ``(n_requests, n_identities, n_challenges)`` (a
+        single request may drop the leading axis).  All requests share
+        one packbits + XOR + popcount pass -- this is the "one matching
+        pass per epoch" of the batched serving APIs.
+        """
+        n = len(self._ids)
+        if n == 0:
+            raise RuntimeError("codebook is empty; sync it against a database")
+        responses = np.asarray(responses)
+        responses = responses.reshape(-1, n, self.n_challenges)
+        packed = pack_responses(responses)
+        return packed_match_fractions(
+            packed, self.packed_matrix[None, :, :], self.n_challenges,
+            use_lut=use_lut,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Serialise rows + metadata to one ``.npz`` file."""
+        if not self._ids:
+            raise RuntimeError("refusing to save an empty codebook")
+        meta = {
+            "version": 1,
+            "n_challenges": self.n_challenges,
+            "seed": self.seed,
+            "ids": self._ids,
+            "fingerprints": [self._rows[c].fingerprint for c in self._ids],
+        }
+        challenges = np.stack([self._rows[c].challenges for c in self._ids])
+        np.savez_compressed(
+            Path(path),
+            challenges=np.packbits(challenges.astype(np.uint8), axis=-1),
+            predicted=np.stack([self._rows[c].packed for c in self._ids]),
+            n_stages=np.int64(challenges.shape[-1]),
+            n_challenges=np.int64(self.n_challenges),
+            meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "IdentificationCodebook":
+        """Rebuild a codebook from :meth:`save` output.
+
+        Loaded rows carry their stored fingerprints; the next
+        :meth:`sync` against a database validates them and rebuilds
+        only rows whose records changed since the save.
+        """
+        with np.load(Path(path)) as data:
+            meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+            packed_challenges = data["challenges"]
+            packed_predicted = data["predicted"]
+            n_stages = int(data["n_stages"])
+        book = cls(n_challenges=int(meta["n_challenges"]), seed=meta["seed"])
+        n = book.n_challenges
+        for index, (chip_id, fingerprint) in enumerate(
+            zip(meta["ids"], meta["fingerprints"])
+        ):
+            challenges = np.unpackbits(
+                packed_challenges[index], axis=-1, count=n_stages
+            ).astype(np.int8)
+            predicted = np.unpackbits(packed_predicted[index], count=n)
+            book._rows[chip_id] = CodebookRow(
+                chip_id=chip_id,
+                fingerprint=fingerprint,
+                challenges=np.ascontiguousarray(challenges),
+                predicted=predicted.astype(np.int8),
+                packed=np.ascontiguousarray(packed_predicted[index]),
+            )
+        book._restack(meta["ids"])
+        return book

@@ -23,6 +23,7 @@ which is the storage advantage the paper inherits from refs [4-7]).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
@@ -88,9 +89,36 @@ class EnrollmentRecord:
         """Beta-adjusted thresholds actually used for selection."""
         return [self.betas.apply(pair) for pair in self.base_pairs]
 
-    def selector(self) -> ChallengeSelector:
-        """Challenge selector over the adjusted thresholds."""
-        return ChallengeSelector(self.xor_model, self.adjusted_pairs)
+    def selector(self, feature_cache=None) -> ChallengeSelector:
+        """Challenge selector over the adjusted thresholds.
+
+        *feature_cache* optionally shares one
+        :class:`~repro.crp.transform.ParityFeatureCache` across the
+        selectors of a whole database (the server passes its own).
+        """
+        return ChallengeSelector(
+            self.xor_model, self.adjusted_pairs, feature_cache=feature_cache
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content hash of everything that shapes selection.
+
+        Covers the model weights, method, base thresholds and betas --
+        exactly the inputs of :meth:`selector`.  The identification
+        codebook stores this per row, so a persisted codebook can tell
+        whether a row still matches the record it was built from.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(self.chip_id.encode("utf-8"))
+        digest.update(self.xor_model.method.encode("ascii"))
+        digest.update(np.float64(self.betas.beta0).tobytes())
+        digest.update(np.float64(self.betas.beta1).tobytes())
+        for pair in self.base_pairs:
+            digest.update(np.float64(pair.thr0).tobytes())
+            digest.update(np.float64(pair.thr1).tobytes())
+        for model in self.xor_model.models:
+            digest.update(np.ascontiguousarray(model.weights))
+        return digest.hexdigest()
 
     def with_betas(self, betas: BetaFactors) -> "EnrollmentRecord":
         """Copy of this record under different (e.g. fleet-wide) betas."""

@@ -85,6 +85,29 @@ class LinearPufModel:
         challenges = as_challenge_array(challenges, self.n_stages)
         return parity_features(challenges) @ self.weights
 
+    def predict_score_from_features(self, features: np.ndarray) -> np.ndarray:
+        """:meth:`predict_score` on a precomputed parity feature matrix.
+
+        Callers that evaluate several models over one challenge batch
+        (an XOR chip's constituents, the selection hot loop) compute
+        ``phi`` once and reuse it here; the float operations are the
+        same, so results are bit-identical to :meth:`predict_score`.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != len(self.weights):
+            raise ValueError(
+                f"features must have shape (n, {len(self.weights)}), "
+                f"got {features.shape}"
+            )
+        return features @ self.weights
+
+    def _link(self, score: np.ndarray) -> np.ndarray:
+        if self.method == "probit":
+            return stats.norm.cdf(score)
+        if self.method == "mle":
+            return special.expit(score)
+        return score
+
     def predict_soft(self, challenges: np.ndarray) -> np.ndarray:
         """Model-predicted soft response.
 
@@ -92,12 +115,11 @@ class LinearPufModel:
         [0, 1]); for ``probit`` the score is mapped through the normal
         CDF; for ``mle`` through the logistic function.
         """
-        score = self.predict_score(challenges)
-        if self.method == "probit":
-            return stats.norm.cdf(score)
-        if self.method == "mle":
-            return special.expit(score)
-        return score
+        return self._link(self.predict_score(challenges))
+
+    def predict_soft_from_features(self, features: np.ndarray) -> np.ndarray:
+        """:meth:`predict_soft` on a precomputed parity feature matrix."""
+        return self._link(self.predict_score_from_features(features))
 
     def predict_response(self, challenges: np.ndarray) -> np.ndarray:
         """Predicted hard response (traditional 0.5 threshold).
@@ -146,7 +168,27 @@ class XorPufModel:
 
     def predict_individual_soft(self, challenges: np.ndarray) -> np.ndarray:
         """``(n_pufs, n_challenges)`` predicted soft responses."""
-        return np.stack([m.predict_soft(challenges) for m in self.models])
+        challenges = as_challenge_array(challenges, self.n_stages)
+        return self.predict_individual_soft_from_features(
+            parity_features(challenges)
+        )
+
+    def predict_individual_soft_from_features(
+        self, features: np.ndarray
+    ) -> np.ndarray:
+        """``(n_pufs, n)`` soft predictions from one shared ``phi`` matrix.
+
+        The parity transform is by far the most expensive part of a
+        prediction sweep; computing it once for all constituents (and,
+        via :class:`~repro.crp.transform.ParityFeatureCache`, across
+        repeated sweeps over the same batch) is what makes the selection
+        hot loop cheap.  Each model still consumes ``phi`` through the
+        same per-model matrix-vector product, so values are
+        bit-identical to the per-model path.
+        """
+        return np.stack(
+            [m.predict_soft_from_features(features) for m in self.models]
+        )
 
     def predict_individual_responses(self, challenges: np.ndarray) -> np.ndarray:
         """``(n_pufs, n_challenges)`` predicted hard responses."""

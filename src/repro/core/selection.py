@@ -27,6 +27,7 @@ from repro.core.thresholds import (
     classify_predictions,
 )
 from repro.crp.challenges import ChallengeStream
+from repro.crp.transform import ParityFeatureCache, parity_features
 from repro.utils.rng import SeedLike
 from repro.utils.validation import as_challenge_array, check_positive_int
 
@@ -48,10 +49,18 @@ class ChallengeSelector:
     threshold_pairs:
         One (already beta-adjusted) :class:`ThresholdPair` per
         constituent PUF, aligned with ``xor_model.models``.
+    feature_cache:
+        Optional shared :class:`~repro.crp.transform.ParityFeatureCache`;
+        when set, parity feature matrices are reused across
+        classification calls that see the same challenge batch (e.g.
+        repeated deterministic identification streams).
     """
 
     xor_model: XorPufModel
     threshold_pairs: Sequence[ThresholdPair]
+    feature_cache: Optional[ParityFeatureCache] = dataclasses.field(
+        default=None, compare=False
+    )
 
     def __post_init__(self) -> None:
         pairs = list(self.threshold_pairs)
@@ -74,10 +83,18 @@ class ChallengeSelector:
     # ------------------------------------------------------------------
     # Classification
     # ------------------------------------------------------------------
+    def _features(self, challenges: np.ndarray) -> np.ndarray:
+        """Parity features for *challenges*, via the shared cache if set."""
+        if self.feature_cache is not None:
+            return self.feature_cache.features(challenges)
+        return parity_features(challenges)
+
     def categories(self, challenges: np.ndarray) -> np.ndarray:
         """``(n_pufs, n_challenges)`` per-PUF ResponseCategory codes."""
         challenges = as_challenge_array(challenges, self.n_stages)
-        predicted = self.xor_model.predict_individual_soft(challenges)
+        predicted = self.xor_model.predict_individual_soft_from_features(
+            self._features(challenges)
+        )
         return np.stack(
             [
                 classify_predictions(predicted[i], self.threshold_pairs[i])
@@ -150,12 +167,17 @@ class ChallengeSelector:
                     f"challenges after {stream.drawn} draws"
                 )
             batch = stream.take(batch_size)
-            mask = self.stable_mask(batch)
+            # One classification pass per batch: the stability mask and
+            # the predicted bits are both read off the same category
+            # array (the bits are valid exactly where the mask holds).
+            categories = self.categories(batch)
+            mask = (categories != ResponseCategory.UNSTABLE).all(axis=0)
             if not mask.any():
                 continue
             kept = batch[mask]
+            bits = category_to_bit(categories[:, mask])
             selected.append(kept)
-            responses.append(self.predicted_xor_response(kept))
+            responses.append(np.bitwise_xor.reduce(bits, axis=0))
             collected += len(kept)
         challenges = np.concatenate(selected)[:n_challenges]
         predicted = np.concatenate(responses)[:n_challenges]

@@ -12,10 +12,11 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.adjustment import BetaFactors
 from repro.core.authentication import (
     AuthResult,
     DeviceReadError,
@@ -23,9 +24,10 @@ from repro.core.authentication import (
     ZERO_HAMMING_DISTANCE,
     authenticate,
 )
+from repro.core.codebook import IdentificationCodebook, pack_responses, popcount
 from repro.core.enrollment import EnrollmentRecord, enroll_chip
 from repro.core.selection import ChallengeSelector
-from repro.crp.transform import parity_features
+from repro.crp.transform import ParityFeatureCache, parity_features
 from repro.silicon.chip import PufChip
 from repro.silicon.environment import NOMINAL_CONDITION, OperatingCondition
 from repro.utils.rng import SeedLike, derive_generator
@@ -36,6 +38,11 @@ __all__ = [
     "ModelResponder",
     "UnknownChipError",
 ]
+
+#: File-name prefix of non-record artefacts inside a database directory
+#: (codebooks); :meth:`AuthenticationServer.load_database` skips these
+#: when collecting enrollment records.
+_CODEBOOK_PREFIX = "_codebook_"
 
 
 class UnknownChipError(KeyError):
@@ -54,14 +61,30 @@ class AuthenticationServer:
     def __init__(self, records: Optional[Mapping[str, EnrollmentRecord]] = None) -> None:
         self._records: Dict[str, EnrollmentRecord] = dict(records or {})
         self._selectors: Dict[str, ChallengeSelector] = {}
+        self._feature_cache = ParityFeatureCache()
+        self._codebooks: Dict[int, IdentificationCodebook] = {}
+        self._sorted_ids: Optional[List[str]] = None
+        self._epoch = 0
 
     # ------------------------------------------------------------------
     # Database management
     # ------------------------------------------------------------------
     @property
+    def epoch(self) -> int:
+        """Monotone database version; bumped on every mutation.
+
+        Codebooks and batched callers compare this against the epoch
+        they last synced at: equal means every cached artefact is
+        current, no fingerprint sweep needed.
+        """
+        return self._epoch
+
+    @property
     def enrolled_ids(self) -> list[str]:
-        """Identifiers of all enrolled chips."""
-        return sorted(self._records)
+        """Identifiers of all enrolled chips (cached between mutations)."""
+        if self._sorted_ids is None:
+            self._sorted_ids = sorted(self._records)
+        return list(self._sorted_ids)
 
     def record(self, chip_id: str) -> EnrollmentRecord:
         """The stored record for *chip_id*."""
@@ -73,9 +96,37 @@ class AuthenticationServer:
             ) from None
 
     def register(self, record: EnrollmentRecord) -> None:
-        """Store (or replace) an enrollment record."""
+        """Store (or replace) an enrollment record.
+
+        Bumps the database epoch: cached sorted ids and the chip's
+        selector are dropped eagerly, codebook rows are revalidated
+        lazily (at the next identification against them).
+        """
         self._records[record.chip_id] = record
         self._selectors.pop(record.chip_id, None)
+        self._sorted_ids = None
+        self._epoch += 1
+
+    def retighten(
+        self, chip_id: str, beta0: float = 0.25, beta1: float = 2.2
+    ) -> EnrollmentRecord:
+        """Tighten *chip_id*'s selection thresholds by scaling its betas.
+
+        The paper's threshold adjustment is multiplicative
+        (:meth:`~repro.core.thresholds.ThresholdPair.scale`), so
+        re-tightening composes into the stored
+        :class:`~repro.core.adjustment.BetaFactors` -- the updated
+        record persists, round-trips through ``save_database``, and its
+        changed fingerprint invalidates exactly this chip's codebook
+        rows.  The defaults match the serving layer's rung-2 ladder
+        step (see :class:`repro.service.ServiceConfig`).
+        """
+        record = self.record(chip_id)
+        updated = record.with_betas(
+            BetaFactors(record.betas.beta0 * beta0, record.betas.beta1 * beta1)
+        )
+        self.register(updated)
+        return updated
 
     def enroll(self, chip: PufChip, seed: SeedLike = None, **kwargs) -> EnrollmentRecord:
         """Enroll *chip* (see :func:`repro.core.enrollment.enroll_chip`)
@@ -85,10 +136,37 @@ class AuthenticationServer:
         return record
 
     def selector(self, chip_id: str) -> ChallengeSelector:
-        """Cached challenge selector for one identity."""
+        """Cached challenge selector for one identity.
+
+        All of a server's selectors share one parity-feature cache, so
+        re-derived deterministic challenge batches (identification
+        streams, repeated sessions) skip the transform entirely.
+        """
         if chip_id not in self._selectors:
-            self._selectors[chip_id] = self.record(chip_id).selector()
+            self._selectors[chip_id] = self.record(chip_id).selector(
+                feature_cache=self._feature_cache
+            )
         return self._selectors[chip_id]
+
+    def codebook(
+        self, n_challenges: int = 64, *, seed: Optional[int] = None
+    ) -> IdentificationCodebook:
+        """The synced identification codebook for *n_challenges*.
+
+        Created on first use (with *seed* fixing the per-identity
+        selection streams) and cached per block length; stale rows --
+        anything registered or re-tightened since the last sync -- are
+        rebuilt here, lazily, before the codebook is returned.
+        """
+        if not self._records:
+            raise UnknownChipError("no identities enrolled")
+        book = self._codebooks.get(n_challenges)
+        if book is None:
+            book = IdentificationCodebook(n_challenges, seed=seed)
+            self._codebooks[n_challenges] = book
+        if book.synced_epoch != self._epoch:
+            book.sync(self._records, self.selector, epoch=self._epoch)
+        return book
 
     # ------------------------------------------------------------------
     # Persistence
@@ -98,6 +176,9 @@ class AuthenticationServer:
 
         File names are derived from chip ids; ids must therefore be
         filesystem-safe (the library's ``chip-N`` convention is).
+        Built identification codebooks are persisted alongside the
+        records (one ``_codebook_<n>.npz`` per block length), so a
+        reloaded server identifies without re-running any selection.
         """
         from pathlib import Path
 
@@ -105,20 +186,41 @@ class AuthenticationServer:
         directory.mkdir(parents=True, exist_ok=True)
         for chip_id, record in self._records.items():
             record.save(directory / f"{chip_id}.npz")
+        for n_challenges, book in self._codebooks.items():
+            if len(book) == 0:
+                continue
+            # Persist current rows only; a stale codebook is synced
+            # first so the saved artefact matches the saved records.
+            if book.synced_epoch != self._epoch:
+                book.sync(self._records, self.selector, epoch=self._epoch)
+            book.save(directory / f"{_CODEBOOK_PREFIX}{n_challenges}.npz")
 
     @classmethod
     def load_database(cls, directory) -> "AuthenticationServer":
-        """Rebuild a server from a :meth:`save_database` directory."""
+        """Rebuild a server from a :meth:`save_database` directory.
+
+        Persisted codebooks are loaded as-is and validated lazily: each
+        row carries the fingerprint of the record it was built from, so
+        rows whose records changed (or vanished) since the save are
+        rebuilt on the next identification instead of being trusted.
+        """
         from pathlib import Path
 
         directory = Path(directory)
         if not directory.is_dir():
             raise FileNotFoundError(f"no database directory at {directory}")
         records = {}
+        codebooks: Dict[int, IdentificationCodebook] = {}
         for path in sorted(directory.glob("*.npz")):
+            if path.name.startswith(_CODEBOOK_PREFIX):
+                book = IdentificationCodebook.load(path)
+                codebooks[book.n_challenges] = book
+                continue
             record = EnrollmentRecord.load(path)
             records[record.chip_id] = record
-        return cls(records)
+        server = cls(records)
+        server._codebooks.update(codebooks)
+        return server
 
     # ------------------------------------------------------------------
     # Protocol
@@ -199,24 +301,59 @@ class AuthenticationServer:
         min_match_fraction: float = 0.95,
         condition: OperatingCondition = NOMINAL_CONDITION,
         seed: SeedLike = None,
+        use_codebook: Optional[bool] = None,
+        return_scores: bool = False,
     ) -> IdentificationResult:
         """1:N identification: which enrolled chip is this device?
 
-        Runs one selected-challenge block per enrolled identity (each
-        identity's own models pick its challenges) and scores the
-        device's answers against each prediction.  The genuine chip
-        matches its own record perfectly; every other record sees a
-        ~50 % coin-flip agreement, so the gap is unambiguous whenever
-        ``n_challenges`` is more than a few dozen.
+        Sends one selected-challenge block per enrolled identity (each
+        identity's own models pick its challenges) in a single stacked
+        device query and scores the answers against each prediction.
+        The genuine chip matches its own record perfectly; every other
+        record sees a ~50 % coin-flip agreement, so the gap is
+        unambiguous whenever ``n_challenges`` is more than a few dozen.
+
+        Two data planes serve the request:
+
+        * the **codebook plane** (*use_codebook=True*, or the default
+          once a codebook is built and no per-call *seed* is given):
+          every identity's block was materialized once at sync time, so
+          the call is one device read plus one XOR + popcount pass over
+          the bit-packed codebook -- no selector runs at all;
+        * the **dense plane** (*use_codebook=False*, or automatically
+          when a per-call *seed* requests fresh blocks): each
+          identity's selector re-derives its block from
+          ``(seed, "identify", chip_id)``, exactly the historical
+          behaviour.
+
+        Both planes produce bit-identical scores for the same blocks,
+        and a codebook built with seed ``s`` uses exactly the blocks
+        the dense plane derives from ``s``.
 
         Returns an :class:`IdentificationResult`; ``chip_id`` is
         ``None`` when no identity clears *min_match_fraction* (an
         unenrolled or heavily degraded device).  Ties are deterministic:
         when two identities score identically, the lexicographically
-        lowest chip id wins.
+        lowest chip id wins.  Per-identity ``scores`` are built only on
+        *return_scores=True* -- at large enrolled populations the dict
+        itself is O(N) per request.
         """
         if not self._records:
             raise UnknownChipError("no identities enrolled")
+        if use_codebook is None:
+            use_codebook = seed is None and n_challenges in self._codebooks
+        if use_codebook:
+            book = self.codebook(
+                n_challenges,
+                seed=seed if isinstance(seed, (int, np.integer)) else None,
+            )
+            responses = np.asarray(
+                responder.xor_response(book.stacked_challenges, condition)
+            )
+            return self._best_match(
+                book.ids, book.match(responses),
+                min_match_fraction, return_scores,
+            )
         ids = self.enrolled_ids
         blocks = [
             self.selector(chip_id).select(
@@ -234,18 +371,128 @@ class AuthenticationServer:
         responses = np.asarray(responder.xor_response(stacked, condition))
         responses = responses.reshape(len(ids), n_challenges)
         match = (responses == predicted).mean(axis=1)
-        scores: Dict[str, float] = {
-            chip_id: float(value) for chip_id, value in zip(ids, match)
-        }
-        # Explicit deterministic tie-break: highest score, then lowest
-        # chip id (not whatever order the score dict happens to hold).
-        best_id = min(ids, key=lambda chip_id: (-scores[chip_id], chip_id))
-        best_score = scores[best_id]
+        return self._best_match(ids, match, min_match_fraction, return_scores)
+
+    @staticmethod
+    def _best_match(
+        ids: Sequence[str],
+        match: np.ndarray,
+        min_match_fraction: float,
+        return_scores: bool,
+    ) -> IdentificationResult:
+        """Winner + optional score dict from a sorted-id score vector.
+
+        *ids* is ascending, so ``argmax`` (first occurrence wins) is
+        exactly the deterministic tie-break: highest score, then
+        lexicographically lowest chip id.
+        """
+        best = int(np.argmax(match))
+        best_score = float(match[best])
         return IdentificationResult(
-            chip_id=best_id if best_score >= min_match_fraction else None,
+            chip_id=ids[best] if best_score >= min_match_fraction else None,
             match_fraction=best_score,
-            scores=scores,
+            scores=(
+                {chip_id: float(value) for chip_id, value in zip(ids, match)}
+                if return_scores else None
+            ),
         )
+
+    def identify_many(
+        self,
+        responders: Sequence[Responder],
+        *,
+        n_challenges: int = 64,
+        min_match_fraction: float = 0.95,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+        seed: Optional[int] = None,
+        return_scores: bool = False,
+    ) -> List[IdentificationResult]:
+        """Batched 1:N identification over the codebook plane.
+
+        Every responder answers the same stacked codebook query (one
+        device read each); all answers are then scored in **one**
+        packed XOR + popcount pass against the codebook, so the
+        per-request matching cost is amortized across the batch.
+        Results are identical to calling :meth:`identify` with
+        *use_codebook=True* once per responder.
+        """
+        book = self.codebook(n_challenges, seed=seed)
+        if not responders:
+            return []
+        responses = np.stack(
+            [
+                np.asarray(r.xor_response(book.stacked_challenges, condition))
+                for r in responders
+            ]
+        )
+        scores = book.match_many(responses)
+        return [
+            self._best_match(book.ids, row, min_match_fraction, return_scores)
+            for row in scores
+        ]
+
+    def authenticate_many(
+        self,
+        responders: Sequence[Responder],
+        claimed_ids: Optional[Sequence[str]] = None,
+        *,
+        n_challenges: int = 64,
+        tolerance: int = ZERO_HAMMING_DISTANCE,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+        seed: Optional[int] = None,
+    ) -> List[AuthResult]:
+        """Batched 1:1 verification over the codebook plane.
+
+        Each responder is read with its claimed identity's materialized
+        codebook block; all transcripts are then scored together with
+        one packed XOR + popcount pass.  This is the high-throughput
+        data plane for fleet-scale re-verification sweeps: codebook
+        blocks are **reused across sessions** (they are identification
+        blocks, not one-shot session challenges), so for the paper's
+        strict one-time-transcript protocol use
+        :meth:`authenticate` / the service layer instead.
+        """
+        if claimed_ids is None:
+            claimed_ids = [
+                getattr(responder, "chip_id", None) for responder in responders
+            ]
+            if any(chip_id is None for chip_id in claimed_ids):
+                raise ValueError(
+                    "a responder has no chip_id attribute; "
+                    "pass claimed_ids explicitly"
+                )
+        if len(claimed_ids) != len(responders):
+            raise ValueError(
+                f"{len(responders)} responders but {len(claimed_ids)} claimed ids"
+            )
+        if not responders:
+            return []
+        book = self.codebook(n_challenges, seed=seed)
+        rows = []
+        for chip_id in claimed_ids:
+            self.record(chip_id)  # raises UnknownChipError for strangers
+            rows.append(book.row(chip_id))
+        responses = np.stack(
+            [
+                np.asarray(r.xor_response(row.challenges, condition))
+                for r, row in zip(responders, rows)
+            ]
+        )
+        packed = pack_responses(responses)
+        predicted = np.stack([row.packed for row in rows])
+        mismatches = popcount(np.bitwise_xor(packed, predicted)).sum(
+            axis=-1, dtype=np.int64
+        )
+        return [
+            AuthResult(
+                approved=bool(count <= tolerance),
+                n_challenges=n_challenges,
+                n_mismatches=int(count),
+                tolerance=tolerance,
+                condition=condition,
+            )
+            for count in mismatches
+        ]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -260,12 +507,14 @@ class IdentificationResult:
     match_fraction:
         Per-challenge agreement of the best candidate.
     scores:
-        ``chip_id -> match fraction`` for every enrolled identity.
+        ``chip_id -> match fraction`` for every enrolled identity, or
+        ``None`` unless the caller opted in with ``return_scores=True``
+        (building the dict is O(N) per request at scale).
     """
 
     chip_id: Optional[str]
     match_fraction: float
-    scores: Dict[str, float]
+    scores: Optional[Dict[str, float]] = None
 
 
 class ModelResponder:

@@ -46,7 +46,18 @@ class AuthOutcome(str, enum.Enum):
       the chip along the degradation ladder.
     * ``RETIGHTEN_FLAGGED`` -- the chip was flagged for threshold
       re-tightening (ladder rung 2).
+    * ``RETIGHTEN_APPLIED`` -- an operator committed the flagged
+      re-tightening into the enrollment database
+      (:meth:`AuthenticationService.apply_retightening`).
     * ``BUDGET_LOW`` -- the challenge pool crossed its low-water mark.
+
+    Identification outcomes (one per :meth:`identify_many` item):
+
+    * ``IDENTIFIED`` / ``UNIDENTIFIED`` -- a 1:N codebook sweep did /
+      did not resolve the device to an enrolled identity.  These events
+      carry **no** challenge digests: codebook blocks are persistent
+      identification material, not one-shot session challenges, so they
+      live outside the no-replay accounting.
     """
 
     APPROVED = "approved"
@@ -61,7 +72,10 @@ class AuthOutcome(str, enum.Enum):
     RUNG_ESCALATED = "rung-escalated"
     RUNG_RECOVERED = "rung-recovered"
     RETIGHTEN_FLAGGED = "retighten-flagged"
+    RETIGHTEN_APPLIED = "retighten-applied"
     BUDGET_LOW = "budget-low"
+    IDENTIFIED = "identified"
+    UNIDENTIFIED = "unidentified"
 
 
 #: Decision outcomes: exactly one of these ends every request.

@@ -34,14 +34,20 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.baselines.majority_vote import majority_vote_responses
 from repro.core.authentication import AuthResult, DeviceReadError, Responder
+from repro.core.codebook import pack_responses, popcount
+from repro.core.enrollment import EnrollmentRecord
 from repro.core.selection import ChallengeSelector
-from repro.core.server import AuthenticationServer, UnknownChipError
+from repro.core.server import (
+    AuthenticationServer,
+    IdentificationResult,
+    UnknownChipError,
+)
 from repro.faults import FaultPlan, Site
 from repro.service.budget import ChallengeBudget, PoolExhaustedError
 from repro.service.drift import MAX_RUNG, DriftMonitor, DriftPolicy
@@ -199,7 +205,26 @@ class _ChipState:
         self.nonce = 0
         self.issued: Set[str] = set()
         self.retighten_announced = False
+        self.retighten_committed = False
         self.tightened_selector: Optional[ChallengeSelector] = None
+
+
+@dataclasses.dataclass
+class _Session:
+    """A completed device read, admitted but not yet scored."""
+
+    request: int
+    chip_id: str
+    state: _ChipState
+    rung: int
+    attempts: int
+    spent: int
+    challenges: np.ndarray
+    predicted: np.ndarray
+    digests: Tuple[str, ...]
+    responses: np.ndarray
+    condition: OperatingCondition
+    start: float
 
 
 class AuthenticationService:
@@ -299,6 +324,26 @@ class AuthenticationService:
         exception is pool exhaustion, which raises the typed
         :class:`PoolExhaustedError` after logging: an operator must
         intervene, the service will never replay a challenge.
+        """
+        outcome = self._run_session(responder, claimed_id, condition, deadline)
+        if isinstance(outcome, ServiceResult):
+            return outcome
+        return self._score(outcome)
+
+    def _run_session(
+        self,
+        responder: Responder,
+        claimed_id: Optional[str],
+        condition: OperatingCondition,
+        deadline: Optional[float],
+    ) -> "ServiceResult | _Session":
+        """Admission + challenge issue + device read for one request.
+
+        Returns the completed (unscored) :class:`_Session`, or the
+        request's final :class:`ServiceResult` when it never reached
+        scoring (admission fast-fail, read exhaustion, deadline).
+        Shared by :meth:`authenticate` and :meth:`authenticate_many`;
+        the latter scores many sessions in one packed pass.
         """
         request = self._requests
         self._requests += 1
@@ -416,11 +461,139 @@ class AuthenticationService:
                     f"deadline of {deadline}s exceeded during the device read",
                     rung=rung, attempts=attempt + 1, spent=spent,
                 )
-            return self._score(
-                request, claimed_id, state, rung, attempt + 1, spent,
-                challenges, predicted, digests, responses, condition, start,
+            responses = np.asarray(responses)
+            if responses.shape != predicted.shape:
+                raise ValueError(
+                    f"responder returned shape {responses.shape}, "
+                    f"expected {predicted.shape}"
+                )
+            return _Session(
+                request=request, chip_id=claimed_id, state=state, rung=rung,
+                attempts=attempt + 1, spent=spent, challenges=challenges,
+                predicted=predicted, digests=digests, responses=responses,
+                condition=condition, start=start,
             )
         raise AssertionError("unreachable")  # pragma: no cover
+
+    def authenticate_many(
+        self,
+        responders: Sequence[Responder],
+        claimed_ids: Optional[Sequence[Optional[str]]] = None,
+        *,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+        deadline: Optional[float] = None,
+    ) -> List[ServiceResult]:
+        """Batched supervised authentication sharing one scoring pass.
+
+        Every request keeps its own admission decision (breaker,
+        limiter, budget, deadline) and its own **fresh, never-replayed**
+        challenge set -- batching changes nothing about the protocol's
+        security posture.  What the batch shares is the scoring: all
+        sessions that completed a device read are bit-packed and
+        XOR + popcount scored in a single pass, then finalized in
+        request order.  Results are identical to calling
+        :meth:`authenticate` per request.
+        """
+        if claimed_ids is None:
+            claimed_ids = [None] * len(responders)
+        if len(claimed_ids) != len(responders):
+            raise ValueError(
+                f"{len(responders)} responders but {len(claimed_ids)} claimed ids"
+            )
+        results: List[Optional[ServiceResult]] = [None] * len(responders)
+        pending: List[Tuple[int, _Session]] = []
+        for index, (responder, claimed_id) in enumerate(
+            zip(responders, claimed_ids)
+        ):
+            outcome = self._run_session(responder, claimed_id, condition, deadline)
+            if isinstance(outcome, ServiceResult):
+                results[index] = outcome
+            else:
+                pending.append((index, outcome))
+        if pending:
+            packed_predicted = pack_responses(
+                np.stack([session.predicted for _, session in pending])
+            )
+            packed_responses = pack_responses(
+                np.stack([session.responses for _, session in pending])
+            )
+            mismatches = popcount(
+                np.bitwise_xor(packed_responses, packed_predicted)
+            ).sum(axis=-1, dtype=np.int64)
+            for (index, session), count in zip(pending, mismatches):
+                results[index] = self._score(session, n_mismatches=int(count))
+        return [result for result in results if result is not None]
+
+    def identify_many(
+        self,
+        responders: Sequence[Responder],
+        *,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+        min_match_fraction: float = 0.95,
+        return_scores: bool = False,
+    ) -> List[IdentificationResult]:
+        """Batched 1:N identification over the server's codebook plane.
+
+        All requests of the batch share one codebook sync (one epoch
+        check) and one packed matching pass; each device answers the
+        stacked codebook query once.  Every item is audited as an
+        :attr:`AuthOutcome.IDENTIFIED` / ``UNIDENTIFIED`` event --
+        without challenge digests, since codebook blocks are persistent
+        identification material outside the no-replay pool accounting.
+        """
+        start = self._clock()
+        seed = self._seed if isinstance(self._seed, int) else None
+        results = self._server.identify_many(
+            responders,
+            n_challenges=self.config.n_challenges,
+            min_match_fraction=min_match_fraction,
+            condition=condition,
+            seed=seed,
+            return_scores=return_scores,
+        )
+        for result in results:
+            request = self._requests
+            self._requests += 1
+            matched = result.chip_id is not None
+            self._emit(
+                request, result.chip_id,
+                AuthOutcome.IDENTIFIED if matched else AuthOutcome.UNIDENTIFIED,
+                start=start,
+                n_challenges=self.config.n_challenges,
+                detail=f"best match {result.match_fraction:.4f} across "
+                       f"{len(self._server.enrolled_ids)} identities",
+                condition=str(condition),
+            )
+        return results
+
+    def apply_retightening(self, chip_id: str) -> EnrollmentRecord:
+        """Commit a drift-flagged chip's re-tightening into the database.
+
+        The ladder's rung-2 selector tightens thresholds *transiently*
+        (per serving session, see :meth:`_selector_for`); this operator
+        action makes it durable: the scaled betas are folded into the
+        stored :class:`EnrollmentRecord` via
+        :meth:`AuthenticationServer.retighten`, which bumps the server
+        epoch so identification codebook rows for the chip rebuild
+        lazily.  The chip's transient rung-2 selector is dropped --
+        after the commit the enrolled thresholds *are* the tightened
+        ones (re-applying them on the ladder would tighten twice).
+        """
+        state = self._state(chip_id)
+        record = self._server.retighten(
+            chip_id, self.config.retighten_beta0, self.config.retighten_beta1
+        )
+        state.tightened_selector = None
+        state.retighten_committed = True
+        self._emit(
+            self._requests, chip_id,
+            AuthOutcome.RETIGHTEN_APPLIED, start=self._clock(),
+            detail=(
+                f"re-tightening committed: betas now {record.betas} "
+                f"(epoch {self._server.epoch})"
+            ),
+        )
+        return record
 
     # ------------------------------------------------------------------
     # Internals
@@ -433,8 +606,14 @@ class AuthenticationService:
     def _selector_for(
         self, chip_id: str, state: _ChipState, rung: int
     ) -> ChallengeSelector:
-        """The rung's selector: enrolled thresholds, or re-tightened ones."""
-        if rung < MAX_RUNG:
+        """The rung's selector: enrolled thresholds, or re-tightened ones.
+
+        Once :meth:`apply_retightening` has committed the tightening
+        into the enrollment database, the enrolled thresholds already
+        *are* the tightened ones, so even rung 2 serves from the
+        server's selector (a transient overlay would tighten twice).
+        """
+        if rung < MAX_RUNG or state.retighten_committed:
             return self._server.selector(chip_id)
         if state.tightened_selector is None:
             record = self._server.record(chip_id)
@@ -508,27 +687,28 @@ class AuthenticationService:
         return np.asarray(responder.xor_response(challenges, condition))
 
     def _score(
-        self,
-        request: int,
-        chip_id: str,
-        state: _ChipState,
-        rung: int,
-        attempts: int,
-        spent: int,
-        challenges: np.ndarray,
-        predicted: np.ndarray,
-        digests: Tuple[str, ...],
-        responses: np.ndarray,
-        condition: OperatingCondition,
-        start: float,
+        self, session: _Session, n_mismatches: Optional[int] = None
     ) -> ServiceResult:
-        responses = np.asarray(responses)
-        if responses.shape != predicted.shape:
-            raise ValueError(
-                f"responder returned shape {responses.shape}, "
-                f"expected {predicted.shape}"
-            )
-        n_mismatches = int((responses != predicted).sum())
+        """Score one completed session and apply its state transitions.
+
+        *n_mismatches* is passed by the batched path, which counts
+        mismatches for the whole batch in one packed popcount pass; the
+        count is identical to the dense comparison here.
+        """
+        request = session.request
+        chip_id = session.chip_id
+        state = session.state
+        rung = session.rung
+        attempts = session.attempts
+        spent = session.spent
+        challenges = session.challenges
+        predicted = session.predicted
+        digests = session.digests
+        responses = session.responses
+        condition = session.condition
+        start = session.start
+        if n_mismatches is None:
+            n_mismatches = int((responses != predicted).sum())
         approved = n_mismatches <= self.config.tolerance
         state.breaker.record_success()
         if approved:

@@ -129,12 +129,14 @@ class TestIdentify:
 
     def test_scores_cover_all_identities(self, multi_server):
         lot, server = multi_server
-        result = server.identify(lot[0], seed=71)
+        result = server.identify(lot[0], seed=71, return_scores=True)
         assert set(result.scores) == {c.chip_id for c in lot}
 
     def test_non_matching_identities_near_coinflip(self, multi_server):
         lot, server = multi_server
-        result = server.identify(lot[0], n_challenges=128, seed=72)
+        result = server.identify(
+            lot[0], n_challenges=128, seed=72, return_scores=True
+        )
         others = [v for k, v in result.scores.items() if k != lot[0].chip_id]
         assert all(abs(v - 0.5) < 0.2 for v in others)
 
@@ -167,7 +169,9 @@ class TestIdentify:
             responses = np.asarray(device_loop.xor_response(challenges))
             expected[chip_id] = float((responses == predicted).mean())
 
-        result = server.identify(device_vec, n_challenges=n_challenges, seed=seed)
+        result = server.identify(
+            device_vec, n_challenges=n_challenges, seed=seed, return_scores=True
+        )
         assert result.scores == expected
         assert result.match_fraction == max(expected.values())
 
@@ -193,7 +197,7 @@ class TestIdentify:
         # Aliases sorting both after and before the genuine id.
         for alias in ("z-twin", record.chip_id, "a-twin"):
             server.register(dataclasses.replace(record, chip_id=alias))
-        result = server.identify(chip, seed=75)
+        result = server.identify(chip, seed=75, return_scores=True)
         tied = [k for k, v in result.scores.items() if v == result.match_fraction]
         assert set(tied) == {"a-twin", record.chip_id, "z-twin"}
         assert result.chip_id == "a-twin"

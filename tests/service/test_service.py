@@ -330,3 +330,116 @@ class TestDegradationLadder:
         # many device reads.
         assert result.challenges_spent == service.config.n_challenges
         assert responder.reads == 5
+
+
+class TestBatchedServing:
+    def test_authenticate_many_equals_per_request(
+        self, make_service, enrolled_chip_and_record
+    ):
+        """One packed scoring pass, identical verdicts and scores."""
+        chip, _ = enrolled_chip_and_record
+        batch = [chip, InvertingResponder(chip), chip]
+        service, _ = make_service()
+        batched = service.authenticate_many(batch)
+        service_ref, _ = make_service()
+        singles = [service_ref.authenticate(r) for r in batch]
+        assert [r.outcome for r in batched] == [r.outcome for r in singles]
+        assert [r.auth.n_mismatches for r in batched] == [
+            r.auth.n_mismatches for r in singles
+        ]
+        assert [r.approved for r in batched] == [True, False, True]
+
+    def test_batch_keeps_no_replay_invariant(
+        self, make_service, enrolled_chip_and_record
+    ):
+        """Every batched session still gets a fresh challenge set."""
+        chip, _ = enrolled_chip_and_record
+        service, _ = make_service()
+        service.authenticate_many([chip] * 4)
+        digests = service.audit.issued_digests(chip.chip_id)
+        assert len(digests) == 4 * service.config.n_challenges
+        assert len(set(digests)) == len(digests)
+        assert service.audit.replayed_digests() == {}
+
+    def test_batch_admission_failures_keep_request_order(
+        self, make_service, enrolled_chip_and_record
+    ):
+        chip, _ = enrolled_chip_and_record
+
+        class Anonymous:
+            chip_id = "ghost"
+
+            def xor_response(self, challenges, condition=None):
+                return np.zeros(len(challenges), dtype=np.int8)
+
+        service, _ = make_service()
+        results = service.authenticate_many([chip, Anonymous(), chip])
+        assert [r.outcome for r in results] == [
+            AuthOutcome.APPROVED,
+            AuthOutcome.UNKNOWN_CHIP,
+            AuthOutcome.APPROVED,
+        ]
+        assert [r.request for r in results] == [0, 1, 2]
+
+    def test_identify_many_audits_without_digests(
+        self, make_service, enrolled_chip_and_record
+    ):
+        chip, _ = enrolled_chip_and_record
+        service, _ = make_service()
+        results = service.identify_many([chip, chip])
+        assert [r.chip_id for r in results] == [chip.chip_id] * 2
+        assert all(r.scores is None for r in results)
+        events = service.audit.with_outcome(AuthOutcome.IDENTIFIED)
+        assert len(events) == 2
+        assert all(event.digests == () for event in events)
+        # Identification issues no session challenges: no-replay holds.
+        assert service.audit.replayed_digests() == {}
+
+
+class TestRetighteningCommit:
+    def test_apply_retightening_commits_and_serves(
+        self, enrolled_chip_and_record
+    ):
+        """The operator action folds betas into the database durably."""
+        chip, record = enrolled_chip_and_record
+        server = AuthenticationServer({record.chip_id: record})
+        clock = VirtualClock()
+        service = AuthenticationService(
+            server,
+            ServiceConfig(max_requests_per_window=0, lockout_threshold=0),
+            seed=911,
+            clock=clock,
+        )
+        old = server.record(chip.chip_id).betas
+        epoch = server.epoch
+        updated = service.apply_retightening(chip.chip_id)
+        assert server.epoch == epoch + 1
+        assert updated.betas.beta0 == pytest.approx(
+            old.beta0 * service.config.retighten_beta0
+        )
+        assert updated.betas.beta1 == pytest.approx(
+            old.beta1 * service.config.retighten_beta1
+        )
+        events = service.audit.with_outcome(AuthOutcome.RETIGHTEN_APPLIED)
+        assert len(events) == 1
+        # The tightened thresholds keep approving the genuine chip.
+        assert service.authenticate(chip).approved
+
+    def test_committed_chip_does_not_tighten_twice(
+        self, enrolled_chip_and_record
+    ):
+        """After the commit, rung 2 serves from the enrolled thresholds."""
+        chip, record = enrolled_chip_and_record
+        server = AuthenticationServer({record.chip_id: record})
+        clock = VirtualClock()
+        service = AuthenticationService(
+            server,
+            ServiceConfig(max_requests_per_window=0, lockout_threshold=0),
+            seed=912,
+            clock=clock,
+        )
+        service.apply_retightening(chip.chip_id)
+        state = service._state(chip.chip_id)
+        selector = service._selector_for(chip.chip_id, state, MAX_RUNG)
+        assert selector is server.selector(chip.chip_id)
+        assert state.tightened_selector is None

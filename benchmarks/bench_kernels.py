@@ -1,0 +1,211 @@
+"""Compiled-kernel perf smoke: the numba backend must earn its keep.
+
+The dispatch layer in :mod:`repro.kernels` only pays off if the
+compiled paths actually beat the vectorized numpy reference on serving
+shapes.  This gate times the two kernels with the clearest contracts:
+
+* **packed scorer** -- the identification hot loop
+  (``packed_score_matrix``: a request grid XOR'd against the codebook
+  and popcounted).  Floor: >= 2x the numpy LUT path on the smoke shape.
+* **fused soft sweep** -- challenge -> parity -> delta -> ndtr in one
+  pass (``grid_soft_probabilities``) against the materialize-phi numpy
+  pipeline.  Reported for the record; the engine-level floor lives in
+  ``bench_throughput.py``.
+
+Bit-identity of the scores is asserted before anything is timed.
+
+Runs standalone (the CI perf-smoke job) or under pytest::
+
+    python benchmarks/bench_kernels.py --smoke
+    pytest benchmarks/bench_kernels.py
+
+Without numba installed the gate is a no-op (exit 0 / pytest skip):
+there is nothing to measure, and the fallback path is covered by the
+tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.codebook import popcount
+from repro.crp.transform import parity_features
+from repro.kernels import available_backends, resolve_backend
+from repro.silicon.arbiter import stack_fused_params
+from repro.silicon.environment import NOMINAL_CONDITION
+from repro.silicon.xorpuf import XorArbiterPuf
+
+try:
+    from _common import emit, format_row, save_results
+except ImportError:  # standalone: benchmarks/ is the script directory
+    sys.path.insert(0, str(Path(__file__).parent))
+    from _common import emit, format_row, save_results
+
+N_STAGES = 32
+
+#: Smoke shape of the packed gate: a 64-request batch against a
+#: 1000-identity codebook with 512-bit blocks -- the serving plane's
+#: steady state, large enough that the parallel kernel's threads are
+#: fed and small enough for a CI runner.
+SMOKE_REQUESTS = 64
+SMOKE_IDENTITIES = 1000
+SMOKE_BLOCK_BITS = 512
+
+#: Acceptance floor for the compiled packed scorer vs the numpy path.
+MIN_PACKED_SPEEDUP = 2.0
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_packed(backend) -> dict:
+    """Time the packed XOR + popcount scorer on the smoke shape."""
+    rng = np.random.default_rng(900)
+    n_bytes = SMOKE_BLOCK_BITS // 8
+    responses = rng.integers(
+        0, 256, size=(SMOKE_REQUESTS, SMOKE_IDENTITIES, n_bytes), dtype=np.uint8
+    )
+    matrix = rng.integers(0, 256, size=(SMOKE_IDENTITIES, n_bytes), dtype=np.uint8)
+
+    def numpy_path():
+        return popcount(
+            np.bitwise_xor(responses, matrix[None]), use_lut=True
+        ).sum(axis=-1, dtype=np.int64)
+
+    out = np.empty((SMOKE_REQUESTS, SMOKE_IDENTITIES), dtype=np.int64)
+
+    def compiled_path():
+        backend.packed_score_matrix(responses, matrix, out)
+        return out
+
+    np.testing.assert_array_equal(compiled_path(), numpy_path())
+    t_numpy = _best_of(numpy_path)
+    t_compiled = _best_of(compiled_path)
+    return {
+        "shape": (
+            f"{SMOKE_REQUESTS} requests x {SMOKE_IDENTITIES} identities "
+            f"x {SMOKE_BLOCK_BITS} bits"
+        ),
+        "numpy_seconds": t_numpy,
+        "compiled_seconds": t_compiled,
+        "speedup": t_numpy / t_compiled,
+    }
+
+
+def measure_fused_sweep(backend) -> dict:
+    """Time the fused soft-probability kernel vs the phi pipeline."""
+    rng = np.random.default_rng(901)
+    xor_puf = XorArbiterPuf.create(6, N_STAGES, seed=902)
+    challenges = rng.integers(0, 2, size=(50_000, N_STAGES), dtype=np.int8)
+    weights, quads, has_quad, gains, sigmas = stack_fused_params(
+        xor_puf.pufs, [NOMINAL_CONDITION]
+    )
+    out = np.empty((weights.shape[0], len(challenges)))
+
+    def fused():
+        backend.grid_soft_probabilities(
+            challenges, weights, quads, has_quad, gains, sigmas, out
+        )
+        return out
+
+    def materialized():
+        phi = parity_features(challenges)
+        return np.stack(
+            [
+                puf.response_probability_from_features(phi, NOMINAL_CONDITION)
+                for puf in xor_puf.pufs
+            ]
+        )
+
+    np.testing.assert_allclose(fused(), materialized(), rtol=1e-12, atol=1e-15)
+    t_numpy = _best_of(materialized, repeats=3)
+    t_fused = _best_of(fused, repeats=3)
+    return {
+        "shape": f"{len(xor_puf.pufs)} PUFs x {len(challenges)} challenges",
+        "numpy_seconds": t_numpy,
+        "compiled_seconds": t_fused,
+        "speedup": t_numpy / t_fused,
+    }
+
+
+def run_gate(printer=print) -> Optional[dict]:
+    """Measure both kernels, save the series, enforce the packed floor.
+
+    Returns the result payload, or ``None`` when numba is unavailable.
+    """
+    if "numba" not in available_backends():
+        printer("bench_kernels: numba not installed -- nothing to gate")
+        return None
+    backend = resolve_backend("numba")
+    packed = measure_packed(backend)
+    fused = measure_fused_sweep(backend)
+    payload = {"backend": backend.name, "packed": packed, "fused_sweep": fused}
+    save_results("kernel_smoke", payload)
+    printer(
+        f"packed scorer: {packed['speedup']:.1f}x numpy "
+        f"({packed['shape']})"
+    )
+    printer(
+        f"fused sweep:   {fused['speedup']:.1f}x numpy "
+        f"({fused['shape']})"
+    )
+    if packed["speedup"] < MIN_PACKED_SPEEDUP:
+        raise AssertionError(
+            f"compiled packed scorer is only {packed['speedup']:.2f}x the "
+            f"numpy path (floor {MIN_PACKED_SPEEDUP:.0f}x)"
+        )
+    return payload
+
+
+def test_kernel_smoke(capsys):
+    """Pytest entry: same gate, skipped without numba."""
+    import pytest
+
+    if "numba" not in available_backends():
+        pytest.skip("numba not installed")
+    lines: List[str] = []
+    payload = run_gate(printer=lines.append)
+    emit(capsys, "Kernel smoke -- compiled vs numpy", [
+        *(f"  {line}" for line in lines),
+        format_row(
+            "packed floor",
+            f">= {MIN_PACKED_SPEEDUP:.0f}x",
+            f"{payload['packed']['speedup']:.1f}x",
+        ),
+    ])
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compiled-kernel perf smoke (packed scorer floor)"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="alias for the default behaviour (CI symmetry with the "
+             "other perf gates)",
+    )
+    parser.parse_args(argv)
+    try:
+        payload = run_gate()
+    except AssertionError as failure:
+        print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    if payload is not None:
+        print("kernel perf floors met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

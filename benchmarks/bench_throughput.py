@@ -27,6 +27,7 @@ from repro.core.server import AuthenticationServer
 from repro.crp.challenges import random_challenges
 from repro.crp.transform import parity_features
 from repro.engine import EvaluationEngine
+from repro.kernels import current_backend_name
 from repro.silicon.chip import PufChip, fabricate_lot
 from repro.silicon.environment import NOMINAL_CONDITION
 from repro.silicon.noise import PAPER_N_TRIALS
@@ -45,11 +46,20 @@ MIN_SPEEDUP = 3.0
 
 
 def _update_root_report(section: str, payload: dict) -> None:
-    """Merge one section into the repo-root throughput report."""
+    """Merge one section into the repo-root throughput report.
+
+    The payload is stamped with the kernel backend that produced it and
+    *also* stored under a backend-tagged key (``soft_sweep:numpy``), so
+    numbers from different backends accumulate side by side while the
+    plain section keeps the latest run.
+    """
+    payload = dict(payload)
+    payload["backend"] = current_backend_name()
     report = {}
     if ROOT_REPORT.exists():
         report = json.loads(ROOT_REPORT.read_text(encoding="utf-8"))
     report[section] = payload
+    report[f"{section}:{payload['backend']}"] = payload
     ROOT_REPORT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
 
 
@@ -124,7 +134,8 @@ def test_throughput_soft_sweep(benchmark, capsys):
     _update_root_report("soft_sweep", payload)
     save_results("throughput_soft_sweep", payload)
     emit(capsys, "Throughput -- Fig. 3 soft-response sweep", [
-        f"  {payload['shape']}, jobs={engine.jobs}",
+        f"  {payload['shape']}, jobs={engine.jobs}, "
+        f"backend={current_backend_name()}",
         format_row("seed path", "--", f"{n_crps / t_seed / 1e6:.2f} M CRP/s"),
         format_row("engine", "--", f"{n_crps / t_engine / 1e6:.2f} M CRP/s"),
         format_row("speedup", f">= {MIN_SPEEDUP:.0f}x", f"{speedup:.1f}x"),

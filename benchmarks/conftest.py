@@ -1,5 +1,35 @@
 """Benchmark collection settings.
 
 Keeping a conftest here puts ``benchmarks/`` on ``sys.path`` so the
-bench modules can share ``_common`` without being a package.
+bench modules can share ``_common`` without being a package.  It also
+adds the ``--backend`` option so one invocation can pin the kernel
+backend whose numbers land in ``BENCH_throughput.json``::
+
+    pytest benchmarks/bench_throughput.py --backend numpy
+    pytest benchmarks/bench_throughput.py --backend numba   # needs repro[fast]
 """
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernels import BACKEND_NAMES, BackendUnavailableError, set_backend
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--backend",
+        choices=(*BACKEND_NAMES, "auto"),
+        default="auto",
+        help="kernel backend to benchmark (default: auto-detect)",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    choice = config.getoption("--backend", default="auto")
+    if choice == "auto":
+        return
+    try:
+        set_backend(choice)
+    except BackendUnavailableError as exc:
+        raise pytest.UsageError(str(exc)) from exc

@@ -83,17 +83,30 @@ class ChallengeSelector:
     # ------------------------------------------------------------------
     # Classification
     # ------------------------------------------------------------------
-    def _features(self, challenges: np.ndarray) -> np.ndarray:
+    def _features(
+        self, challenges: np.ndarray, *, validate: bool = True
+    ) -> np.ndarray:
         """Parity features for *challenges*, via the shared cache if set."""
         if self.feature_cache is not None:
-            return self.feature_cache.features(challenges)
-        return parity_features(challenges)
+            return self.feature_cache.features(challenges, validate=validate)
+        return parity_features(challenges, validate=validate)
 
     def categories(self, challenges: np.ndarray) -> np.ndarray:
         """``(n_pufs, n_challenges)`` per-PUF ResponseCategory codes."""
         challenges = as_challenge_array(challenges, self.n_stages)
+        return self._categories_trusted(challenges)
+
+    def _categories_trusted(self, challenges: np.ndarray) -> np.ndarray:
+        """:meth:`categories` minus the 0/1 content scan.
+
+        For batches from trusted internal sources: :meth:`categories`
+        after its own boundary validation, and the rejection loop's
+        :class:`~repro.crp.challenges.ChallengeStream` draws (the stream
+        only ever emits 0/1 bits).  Rescanning every rejected batch was
+        pure overhead in the selection hot loop.
+        """
         predicted = self.xor_model.predict_individual_soft_from_features(
-            self._features(challenges)
+            self._features(challenges, validate=False)
         )
         return np.stack(
             [
@@ -170,7 +183,7 @@ class ChallengeSelector:
             # One classification pass per batch: the stability mask and
             # the predicted bits are both read off the same category
             # array (the bits are valid exactly where the mask holds).
-            categories = self.categories(batch)
+            categories = self._categories_trusted(batch)
             mask = (categories != ResponseCategory.UNSTABLE).all(axis=0)
             if not mask.any():
                 continue

@@ -24,7 +24,11 @@ from repro.core.authentication import (
     ZERO_HAMMING_DISTANCE,
     authenticate,
 )
-from repro.core.codebook import IdentificationCodebook, pack_responses, popcount
+from repro.core.codebook import (
+    IdentificationCodebook,
+    _packed_distances,
+    pack_responses,
+)
 from repro.core.enrollment import EnrollmentRecord, enroll_chip
 from repro.core.selection import ChallengeSelector
 from repro.crp.transform import ParityFeatureCache, parity_features
@@ -134,6 +138,19 @@ class AuthenticationServer:
         record = enroll_chip(chip, seed=seed, **kwargs)
         self.register(record)
         return record
+
+    @property
+    def feature_cache_stats(self) -> dict:
+        """Counter snapshot of the shared parity-feature cache.
+
+        All of the server's selectors share one
+        :class:`~repro.crp.transform.ParityFeatureCache`; its
+        hits/misses/evictions (see
+        :meth:`~repro.crp.transform.ParityFeatureCache.stats`) say how
+        much transform work the serving layer is actually skipping --
+        the number the audit/summary outputs surface.
+        """
+        return self._feature_cache.stats()
 
     def selector(self, chip_id: str) -> ChallengeSelector:
         """Cached challenge selector for one identity.
@@ -479,10 +496,10 @@ class AuthenticationServer:
             ]
         )
         packed = pack_responses(responses)
-        predicted = np.stack([row.packed for row in rows])
-        mismatches = popcount(np.bitwise_xor(packed, predicted)).sum(
-            axis=-1, dtype=np.int64
-        )
+        predicted = np.ascontiguousarray(np.stack([row.packed for row in rows]))
+        # Row-aligned packed scoring through the kernel backend (the
+        # numpy path is the former popcount-sum expression, bit for bit).
+        mismatches = _packed_distances(packed, predicted, use_lut=False)
         return [
             AuthResult(
                 approved=bool(count <= tolerance),

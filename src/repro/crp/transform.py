@@ -24,6 +24,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.kernels import get_backend
 from repro.utils.validation import as_challenge_array
 
 __all__ = [
@@ -42,10 +43,15 @@ def to_signed(challenges: np.ndarray) -> np.ndarray:
     return 1 - 2 * challenges
 
 
-def from_signed(signed: np.ndarray) -> np.ndarray:
-    """Inverse of :func:`to_signed`: map {+1, -1} back to {0, 1}."""
+def from_signed(signed: np.ndarray, *, validate: bool = True) -> np.ndarray:
+    """Inverse of :func:`to_signed`: map {+1, -1} back to {0, 1}.
+
+    ``validate=False`` skips the +/-1 content scan for internal callers
+    whose input was produced by trusted code (e.g. attack feature
+    matrices derived from :func:`to_signed` output).
+    """
     signed = np.asarray(signed)
-    if signed.size and not np.isin(signed, (-1, 1)).all():
+    if validate and signed.size and not np.isin(signed, (-1, 1)).all():
         raise ValueError("signed challenge bits must be +/-1")
     return ((1 - signed) // 2).astype(np.int8)
 
@@ -61,6 +67,7 @@ def parity_features(
     challenges: np.ndarray,
     *,
     out: Optional[np.ndarray] = None,
+    validate: bool = True,
 ) -> np.ndarray:
     """Compute the parity feature matrix ``phi`` for a batch of challenges.
 
@@ -73,6 +80,10 @@ def parity_features(
         Optional preallocated float64 buffer of shape ``(n, k + 1)``.
         The chunked evaluation engine passes the same buffer for every
         chunk so the hot loop allocates nothing.
+    validate:
+        ``False`` skips the 0/1 content scan for internal callers whose
+        batch was validated at a public boundary (see
+        :func:`repro.utils.validation.as_challenge_array`).
 
     Returns
     -------
@@ -80,8 +91,12 @@ def parity_features(
         Float64 array of shape ``(n, k + 1)``; column ``i < k`` holds the
         suffix product ``prod_{j>=i} (1 - 2 c_j)`` and the final column is
         the constant 1.
+
+    The fill runs on the active kernel backend
+    (:mod:`repro.kernels`); every backend produces bit-identical
+    output here, because all products are over exact +/-1 values.
     """
-    challenges = as_challenge_array(challenges)
+    challenges = as_challenge_array(challenges, validate=validate)
     n, k = challenges.shape
     if out is None:
         out = np.empty((n, k + 1), dtype=np.float64)
@@ -90,13 +105,7 @@ def parity_features(
             f"out must be a float64 array of shape ({n}, {k + 1}), got "
             f"{out.dtype} {out.shape}"
         )
-    # Signed bits are written straight into the feature buffer as float64
-    # (single conversion; the old path went int8 -> int16 -> int8 -> float64).
-    np.multiply(challenges, -2.0, out=out[:, :k])
-    out[:, :k] += 1.0
-    out[:, k] = 1.0
-    # Suffix products: phi[:, i] = signed[:, i] * signed[:, i+1] * ... * signed[:, k-1]
-    np.cumprod(out[:, k - 1 :: -1], axis=1, out=out[:, k - 1 :: -1])
+    get_backend().parity_fill(np.ascontiguousarray(challenges), out)
     return out
 
 
@@ -113,6 +122,11 @@ class ParityFeatureCache:
     exceeded, so the cache is safe to attach to a long-lived server.
     Cached matrices are returned with the writeable flag cleared;
     callers must treat them as read-only.
+
+    The ``hits`` / ``misses`` / ``evictions`` counters (and the
+    :meth:`stats` snapshot built from them) make the cache's behaviour
+    observable from the serving layer -- e.g. whether a kernel-backend
+    change shifted traffic on or off the transform.
     """
 
     def __init__(self, max_entries: int = 64) -> None:
@@ -122,6 +136,7 @@ class ParityFeatureCache:
         self._entries: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -133,9 +148,11 @@ class ParityFeatureCache:
         digest.update(np.ascontiguousarray(challenges))
         return digest.digest()
 
-    def features(self, challenges: np.ndarray) -> np.ndarray:
+    def features(
+        self, challenges: np.ndarray, *, validate: bool = True
+    ) -> np.ndarray:
         """``parity_features(challenges)``, memoized on the batch content."""
-        challenges = as_challenge_array(challenges)
+        challenges = as_challenge_array(challenges, validate=validate)
         key = self._key(challenges)
         cached = self._entries.get(key)
         if cached is not None:
@@ -143,12 +160,25 @@ class ParityFeatureCache:
             self._entries.move_to_end(key)
             return cached
         self.misses += 1
-        phi = parity_features(challenges)
+        phi = parity_features(challenges, validate=False)
         phi.setflags(write=False)
         self._entries[key] = phi
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            self.evictions += 1
         return phi
+
+    def stats(self) -> dict:
+        """Counter snapshot: hits, misses, evictions, size, hit rate."""
+        lookups = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }
 
     def clear(self) -> None:
         """Drop every cached matrix (counters are kept)."""

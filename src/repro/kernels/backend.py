@@ -1,0 +1,209 @@
+"""Backend registry and runtime dispatch for the hot kernels.
+
+One process runs exactly one *active* kernel backend at a time:
+
+* ``numpy`` -- the vectorized reference implementations, bit-identical
+  to the seed code path.  Always available.
+* ``numba`` -- JIT-compiled fused kernels (optional dependency,
+  ``pip install repro[fast]``).
+
+Selection, in priority order:
+
+1. an explicit :func:`set_backend` call (or the engine/CLI knobs that
+   forward to it);
+2. the ``REPRO_KERNEL_BACKEND`` environment variable
+   (``numpy`` | ``numba`` | ``auto``);
+3. auto-detection: ``numba`` when importable, else ``numpy``.
+
+Worker processes never re-run this policy blindly: the evaluation
+engine resolves the active backend *name* up front and ships it inside
+each chunk call, so a pool worker uses exactly the backend its parent
+selected (see :mod:`repro.engine.worker`).  Backends are cached and
+warmed once per process -- :meth:`KernelBackend.warmup` is idempotent,
+so per-chunk calls never pay compilation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "BACKEND_NAMES",
+    "BackendUnavailableError",
+    "KernelBackend",
+    "available_backends",
+    "current_backend_name",
+    "get_backend",
+    "resolve_backend",
+    "set_backend",
+]
+
+#: Environment variable consulted when no backend was set explicitly.
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Every selectable backend name (``auto`` additionally accepted by
+#: :func:`set_backend` and the environment variable).
+BACKEND_NAMES = ("numpy", "numba")
+
+
+class BackendUnavailableError(RuntimeError):
+    """Raised when an explicitly requested backend cannot be loaded."""
+
+
+@dataclasses.dataclass
+class KernelBackend:
+    """One backend's kernel set.
+
+    ``fused`` advertises the challenge->parity->delta->response kernels
+    that skip the materialised feature matrix; callers fall back to the
+    shared-phi path when it is ``False``.  Optional entries are ``None``
+    on backends that do not provide them (the dispatchers in
+    :mod:`repro.core.codebook` etc. fall back to numpy).
+    """
+
+    name: str
+    fused: bool
+    parity_fill: Callable
+    ndtr: Callable
+    grid_soft_probabilities: Optional[Callable]
+    grid_noise_free: Optional[Callable]
+    xor_noise_free: Optional[Callable]
+    packed_score_rows: Optional[Callable]
+    packed_score_matrix: Optional[Callable]
+    _warmup: Optional[Callable[[], None]] = None
+    _warmed: bool = dataclasses.field(default=False, repr=False)
+
+    def warmup(self) -> None:
+        """Pre-compile every kernel (idempotent; no-op for numpy)."""
+        if self._warmed:
+            return
+        if self._warmup is not None:
+            self._warmup()
+        self._warmed = True
+
+
+def _load_numba_backend() -> KernelBackend:
+    """Import and build the numba backend (ImportError if numba absent).
+
+    Kept as a module-level function so tests can monkeypatch it to
+    simulate a numba-less environment even where numba is installed.
+    """
+    from repro.kernels import numba_backend
+
+    return numba_backend.make_backend()
+
+
+def _load_numpy_backend() -> KernelBackend:
+    from repro.kernels import numpy_backend
+
+    return numpy_backend.make_backend()
+
+
+#: Loaded backend singletons, one per name per process.
+_LOADED: Dict[str, KernelBackend] = {}
+
+#: Explicit :func:`set_backend` choice (``None`` = env var / auto).
+_SELECTED: Optional[str] = None
+
+
+def _check_name(name: str, *, allow_auto: bool) -> str:
+    valid = BACKEND_NAMES + (("auto",) if allow_auto else ())
+    if name not in valid:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; choose from {valid}"
+        )
+    return name
+
+
+def _load(name: str) -> KernelBackend:
+    backend = _LOADED.get(name)
+    if backend is not None:
+        return backend
+    if name == "numpy":
+        backend = _load_numpy_backend()
+    else:
+        try:
+            backend = _load_numba_backend()
+        except ImportError as exc:
+            raise BackendUnavailableError(
+                "the 'numba' kernel backend requires numba "
+                "(pip install 'repro[fast]'); install it or select the "
+                "'numpy' backend"
+            ) from exc
+    _LOADED[name] = backend
+    return backend
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Backend names loadable in this environment."""
+    names = ["numpy"]
+    try:
+        _load("numba")
+        names.append("numba")
+    except BackendUnavailableError:
+        pass
+    return tuple(names)
+
+
+def set_backend(name: Optional[str]) -> None:
+    """Select the process-wide kernel backend.
+
+    ``None`` or ``"auto"`` clears any explicit choice and returns to
+    the environment-variable / auto-detection policy.  Selecting
+    ``"numba"`` where numba is not installed raises
+    :class:`BackendUnavailableError` immediately (fail at configuration
+    time, not in the middle of a campaign).
+    """
+    global _SELECTED
+    if name is None or name == "auto":
+        _SELECTED = None
+        return
+    _check_name(name, allow_auto=False)
+    _load(name)  # fail fast if unavailable
+    _SELECTED = name
+
+
+def _policy_name() -> str:
+    """The backend name the current policy resolves to."""
+    if _SELECTED is not None:
+        return _SELECTED
+    env = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
+    if env and env != "auto":
+        return _check_name(env, allow_auto=False)
+    try:
+        _load("numba")
+        return "numba"
+    except BackendUnavailableError:
+        return "numpy"
+
+
+def get_backend() -> KernelBackend:
+    """The active backend under the current selection policy.
+
+    An explicit env-var request for an unavailable backend raises
+    :class:`BackendUnavailableError` (a silent fallback would invalidate
+    any benchmark run under that setting); auto-detection falls back to
+    numpy quietly.
+    """
+    return _load(_policy_name())
+
+
+def current_backend_name() -> str:
+    """Name of the backend :func:`get_backend` would return."""
+    return _policy_name()
+
+
+def resolve_backend(name: Optional[str] = None) -> KernelBackend:
+    """Backend for *name*, warmed and ready for hot-path use.
+
+    ``None`` resolves through the selection policy.  This is the entry
+    point worker processes use: the parent ships the resolved name, the
+    worker loads it once (module-level cache) and pays JIT warm-up once
+    per process, not per chunk.
+    """
+    backend = get_backend() if name is None else _load(_check_name(name, allow_auto=False))
+    backend.warmup()
+    return backend

@@ -1,0 +1,90 @@
+"""The numba-compiled backend (optional, ``pip install repro[fast]``).
+
+Importing this module requires numba; the backend registry treats an
+:class:`ImportError` here as "backend unavailable" and falls back to
+the numpy reference (see :func:`repro.kernels.backend._load_backend`).
+
+All kernels compile the loop implementations from
+:mod:`repro.kernels._impl` with ``nopython`` + ``parallel`` and
+``fastmath`` **disabled** -- reassociating float math would break the
+identical-hard-response contract.  ``cache=True`` persists the compiled
+machine code under numba's cache directory (``NUMBA_CACHE_DIR``
+overrides the default next to the source tree), so the one-time JIT
+warm-up cost -- a few seconds for the full kernel set -- is paid once
+per environment, not once per process.  Worker processes still run a
+:meth:`~repro.kernels.backend.KernelBackend.warmup` pass on first use
+to trigger the (cached) compilation outside the timed hot path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+from repro.kernels import _impl
+
+__all__ = ["make_backend"]
+
+#: Compilation options shared by every kernel.  ``fastmath`` stays off:
+#: the float contract (identical hard responses, bounded ULP drift)
+#: depends on IEEE-ordered arithmetic.
+_JIT = dict(nopython=True, nogil=True, cache=True)
+
+parity_fill = njit(parallel=True, **_JIT)(_impl.parity_fill)
+ndtr_fill = njit(parallel=True, **_JIT)(_impl.ndtr_fill)
+grid_soft_probabilities = njit(parallel=True, **_JIT)(_impl.grid_soft_probabilities)
+grid_noise_free = njit(parallel=True, **_JIT)(_impl.grid_noise_free)
+xor_noise_free = njit(parallel=True, **_JIT)(_impl.xor_noise_free)
+packed_score_rows = njit(parallel=True, **_JIT)(_impl.packed_score_rows)
+packed_score_matrix = njit(parallel=True, **_JIT)(_impl.packed_score_matrix)
+
+
+def _ndtr(x: np.ndarray) -> np.ndarray:
+    """Elementwise standard normal CDF via the jitted scalar kernel."""
+    x = np.ascontiguousarray(x, dtype=np.float64)
+    out = np.empty(x.size, dtype=np.float64)
+    ndtr_fill(x.reshape(-1), out)
+    return out.reshape(x.shape)
+
+
+def _warmup() -> None:
+    """Force-compile every kernel on tiny inputs (idempotent, cached)."""
+    challenges = np.zeros((2, 3), dtype=np.int8)
+    k1 = 4
+    phi = np.empty((2, k1), dtype=np.float64)
+    parity_fill(challenges, phi)
+    weights = np.zeros((2, k1), dtype=np.float64)
+    quads = np.zeros((2, k1, k1), dtype=np.float64)
+    has_quad = np.zeros(2, dtype=np.bool_)
+    gains = np.ones(2, dtype=np.float64)
+    sigmas = np.ones(2, dtype=np.float64)
+    probs = np.empty((2, 2), dtype=np.float64)
+    grid_soft_probabilities(challenges, weights, quads, has_quad, gains, sigmas, probs)
+    bits = np.empty((2, 2), dtype=np.int8)
+    grid_noise_free(challenges, weights, quads, has_quad, gains, bits)
+    xor_bits = np.empty(2, dtype=np.int8)
+    xor_noise_free(challenges, weights, quads, has_quad, gains, xor_bits)
+    ndtr_fill(np.zeros(2, dtype=np.float64), np.empty(2, dtype=np.float64))
+    packed = np.zeros((2, 1), dtype=np.uint8)
+    packed_score_rows(packed, packed, np.empty(2, dtype=np.int64))
+    packed_score_matrix(
+        np.zeros((1, 2, 1), dtype=np.uint8), packed, np.empty((1, 2), dtype=np.int64)
+    )
+
+
+def make_backend():
+    """Build the numba :class:`~repro.kernels.backend.KernelBackend`."""
+    from repro.kernels.backend import KernelBackend
+
+    return KernelBackend(
+        name="numba",
+        fused=True,
+        parity_fill=parity_fill,
+        ndtr=_ndtr,
+        grid_soft_probabilities=grid_soft_probabilities,
+        grid_noise_free=grid_noise_free,
+        xor_noise_free=xor_noise_free,
+        packed_score_rows=packed_score_rows,
+        packed_score_matrix=packed_score_matrix,
+        _warmup=_warmup,
+    )

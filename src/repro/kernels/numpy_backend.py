@@ -1,0 +1,60 @@
+"""The NumPy reference backend.
+
+These are the exact vectorized implementations the library shipped
+before the kernel layer existed, wrapped in the
+:class:`~repro.kernels.backend.KernelBackend` interface.  They are the
+equality oracle of the backend contract: the numpy backend is
+bit-identical to the seed code path, and every other backend is
+validated against it (bit-identity for integer/bit kernels, identical
+hard responses plus a documented ULP bound for float kernels).
+
+The numpy backend does not implement the fused grid kernels
+(``fused=False``); callers on this backend keep the materialised-phi
+path, which shares one feature matrix per chunk across the whole
+evaluation grid (see :mod:`repro.engine.worker`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special
+
+__all__ = ["make_backend"]
+
+
+def _parity_fill(challenges: np.ndarray, out: np.ndarray) -> None:
+    """Vectorized parity transform into a preallocated buffer.
+
+    Signed bits are written straight into the feature buffer as float64
+    (single conversion), then reduced in place with a reversed cumprod:
+    ``phi[:, i] = prod_{j >= i} (1 - 2 c_j)``.
+    """
+    n, k1 = out.shape
+    k = k1 - 1
+    np.multiply(challenges, -2.0, out=out[:, :k])
+    out[:, :k] += 1.0
+    out[:, k] = 1.0
+    np.cumprod(out[:, k - 1 :: -1], axis=1, out=out[:, k - 1 :: -1])
+
+
+def _ndtr(x: np.ndarray) -> np.ndarray:
+    """Standard normal CDF (the kernel behind ``stats.norm.cdf``)."""
+    return special.ndtr(x)
+
+
+def make_backend():
+    """Build the numpy :class:`~repro.kernels.backend.KernelBackend`."""
+    from repro.kernels.backend import KernelBackend
+
+    return KernelBackend(
+        name="numpy",
+        fused=False,
+        parity_fill=_parity_fill,
+        ndtr=_ndtr,
+        grid_soft_probabilities=None,
+        grid_noise_free=None,
+        xor_noise_free=None,
+        packed_score_rows=None,
+        packed_score_matrix=None,
+        _warmup=None,
+    )

@@ -25,8 +25,9 @@ from __future__ import annotations
 import dataclasses
 
 import numpy as np
-from scipy import optimize, special, stats
+from scipy import optimize, stats
 
+from repro import kernels
 from repro.silicon.environment import EnvironmentModel, NOMINAL_CONDITION, OperatingCondition
 from repro.utils.validation import check_in_range, check_positive_int
 
@@ -157,9 +158,10 @@ class NoiseModel:
     ) -> np.ndarray:
         """``Pr(response = 1)`` for delay differences *delta* at *condition*.
 
-        Uses :func:`scipy.special.ndtr` directly (the kernel behind
-        ``stats.norm.cdf``, minus the distribution-machinery overhead --
-        this sits on the per-evaluation hot path).
+        Runs :func:`repro.kernels.ndtr` -- the active backend's normal
+        CDF kernel (``scipy.special.ndtr`` on the numpy backend, the
+        jitted elementwise kernel on numba).  This sits on the
+        per-evaluation hot path.
         """
         delta = np.asarray(delta, dtype=np.float64)
-        return special.ndtr(delta / self.sigma_at(condition))
+        return kernels.ndtr(delta / self.sigma_at(condition))

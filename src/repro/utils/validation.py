@@ -71,18 +71,31 @@ def is_binary_array(arr: np.ndarray) -> bool:
     return bool(((values == 0.0) | (values == 1.0)).all())
 
 
-def as_challenge_array(challenges: Any, n_stages: Optional[int] = None) -> np.ndarray:
+def as_challenge_array(
+    challenges: Any,
+    n_stages: Optional[int] = None,
+    *,
+    validate: bool = True,
+) -> np.ndarray:
     """Coerce *challenges* to a 2-D int8 array of {0, 1} bits.
 
     A single challenge (1-D) is promoted to shape ``(1, k)``.  If
     *n_stages* is given, the trailing dimension must match it.
+
+    ``validate=False`` skips the full 0/1 content scan (shape and dtype
+    handling are kept).  It exists for *internal* hot paths whose input
+    was produced by trusted code or already validated at a public
+    boundary -- the evaluation engine validates a challenge matrix once
+    and then re-slices it per chunk, and the selectors classify batches
+    drawn from their own challenge streams.  Public APIs always call
+    with the default.
     """
     arr = np.asarray(challenges)
     if arr.ndim == 1:
         arr = arr[np.newaxis, :]
     if arr.ndim != 2:
         raise ValueError(f"challenges must be 1-D or 2-D, got ndim={arr.ndim}")
-    if arr.size and not is_binary_array(arr):
+    if validate and arr.size and not is_binary_array(arr):
         raise ValueError("challenges must contain only 0/1 bits")
     if n_stages is not None and arr.shape[1] != n_stages:
         raise ValueError(

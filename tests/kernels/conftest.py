@@ -1,0 +1,37 @@
+"""Backend-state hygiene for the kernel suite.
+
+The backend registry is process-global (an explicit selection plus a
+loaded-backend cache).  Every test in this package runs with the
+environment variable cleared and gets the pre-test selection and cache
+restored afterwards, so dispatch tests cannot leak state into each
+other -- or into the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernels import backend as backend_mod
+
+
+@pytest.fixture(autouse=True)
+def restore_backend_state(monkeypatch):
+    selected = backend_mod._SELECTED
+    loaded = dict(backend_mod._LOADED)
+    monkeypatch.delenv(backend_mod.BACKEND_ENV_VAR, raising=False)
+    yield
+    backend_mod._SELECTED = selected
+    backend_mod._LOADED.clear()
+    backend_mod._LOADED.update(loaded)
+
+
+@pytest.fixture()
+def no_numba(monkeypatch):
+    """Simulate an environment where numba cannot be imported."""
+
+    def fail() -> "backend_mod.KernelBackend":
+        raise ImportError("No module named 'numba'")
+
+    monkeypatch.setattr(backend_mod, "_load_numba_backend", fail)
+    backend_mod._LOADED.pop("numba", None)
+    backend_mod._SELECTED = None

@@ -1,0 +1,169 @@
+"""Backend selection policy, fail-fast errors and forced fallback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.engine import EvaluationEngine
+from repro.kernels import (
+    BACKEND_ENV_VAR,
+    BACKEND_NAMES,
+    BackendUnavailableError,
+    available_backends,
+    current_backend_name,
+    get_backend,
+    resolve_backend,
+    set_backend,
+)
+from repro.kernels import backend as backend_mod
+
+
+class TestSelectionPolicy:
+    def test_auto_detection_prefers_numba_when_available(self):
+        name = current_backend_name()
+        assert name in BACKEND_NAMES
+        expected = "numba" if "numba" in available_backends() else "numpy"
+        assert name == expected
+
+    def test_env_var_selects_numpy(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert current_backend_name() == "numpy"
+        assert get_backend().name == "numpy"
+
+    def test_env_var_auto_means_auto_detect(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "auto")
+        assert current_backend_name() in BACKEND_NAMES
+
+    def test_env_var_unknown_name_raises(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "cuda")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            get_backend()
+
+    def test_set_backend_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        set_backend("numpy")
+        assert current_backend_name() == "numpy"
+        # Clearing the explicit choice returns to the env-var policy.
+        set_backend(None)
+        assert current_backend_name() == "numpy"
+
+    def test_set_backend_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            set_backend("cuda")
+
+    def test_numpy_backend_always_available(self):
+        assert available_backends()[0] == "numpy"
+        backend = resolve_backend("numpy")
+        assert backend.name == "numpy"
+        assert backend.fused is False
+        assert backend._warmed  # resolve_backend warms
+
+    def test_loaded_backends_are_cached_singletons(self):
+        assert resolve_backend("numpy") is resolve_backend("numpy")
+
+
+class TestForcedFallback:
+    """Behaviour in a numba-less environment (monkeypatched import)."""
+
+    def test_auto_detection_falls_back_to_numpy(self, no_numba):
+        assert available_backends() == ("numpy",)
+        assert current_backend_name() == "numpy"
+        assert get_backend().name == "numpy"
+
+    def test_explicit_set_backend_fails_fast(self, no_numba):
+        with pytest.raises(BackendUnavailableError, match="repro\\[fast\\]"):
+            set_backend("numba")
+        # The failed selection must not stick.
+        assert current_backend_name() == "numpy"
+
+    def test_explicit_env_var_raises_instead_of_silently_falling_back(
+        self, no_numba, monkeypatch
+    ):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numba")
+        with pytest.raises(BackendUnavailableError):
+            get_backend()
+
+    def test_cli_flag_reports_configuration_error(self, no_numba, capsys):
+        exit_code = main(["--kernel-backend", "numba", "stability"])
+        assert exit_code == 2
+        assert "numba" in capsys.readouterr().err
+
+    def test_engine_still_runs_on_numpy(self, no_numba, xor_puf):
+        from repro.crp.challenges import random_challenges
+
+        challenges = random_challenges(256, xor_puf.n_stages, seed=9)
+        engine = EvaluationEngine(jobs=1, chunk_size=4096)
+        counts = engine.soft_counts(xor_puf.pufs, challenges, 100, seed=10)
+        assert counts.shape == (1, len(xor_puf.pufs), 256)
+
+
+class TestEngineThreading:
+    def test_engine_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            EvaluationEngine(kernel_backend="cuda")
+
+    def test_engine_normalises_auto_to_policy(self):
+        engine = EvaluationEngine(kernel_backend="auto")
+        assert engine.kernel_backend is None
+
+    def test_engine_resolves_concrete_name_for_workers(self):
+        engine = EvaluationEngine(kernel_backend="numpy")
+        name, fused = engine._resolve_backend()
+        assert name == "numpy"
+        assert fused is False
+
+    def test_engine_default_follows_process_policy(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        name, _ = EvaluationEngine()._resolve_backend()
+        assert name == "numpy"
+
+    def test_backends_produce_identical_counts(self, xor_puf):
+        """Cross-backend determinism oracle on a real engine sweep.
+
+        On a numba-less environment both runs resolve to numpy and the
+        assertion is a tautology; with numba installed (the CI kernels
+        job) this compares fused-kernel counts against the seed path.
+        """
+        from repro.crp.challenges import random_challenges
+
+        challenges = random_challenges(512, xor_puf.n_stages, seed=11)
+        results = {}
+        for name in available_backends():
+            engine = EvaluationEngine(jobs=1, kernel_backend=name)
+            results[name] = engine.soft_counts(
+                xor_puf.pufs, challenges, 1000, seed=12
+            )
+        reference = results["numpy"]
+        for name, counts in results.items():
+            np.testing.assert_array_equal(
+                counts, reference,
+                err_msg=f"backend {name} diverged from numpy counts",
+            )
+
+    def test_cli_parser_accepts_kernel_backend(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["--kernel-backend", "numpy", "stability"]
+        )
+        assert args.kernel_backend == "numpy"
+
+
+def test_backend_unavailable_error_is_runtime_error():
+    assert issubclass(BackendUnavailableError, RuntimeError)
+
+
+def test_loader_cache_respected_by_policy(monkeypatch):
+    """An already-loaded numba backend keeps serving even if the module
+    import would now fail (the cache is per-process, not per-call)."""
+    if "numba" not in available_backends():
+        pytest.skip("numba not installed")
+    set_backend("numba")
+
+    def fail():
+        raise ImportError("gone")
+
+    monkeypatch.setattr(backend_mod, "_load_numba_backend", fail)
+    assert get_backend().name == "numba"

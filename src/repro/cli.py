@@ -9,6 +9,8 @@ Lets a user exercise the library without writing Python::
     repro-puf identify   --chips 10 --probes 50
     repro-puf aging      --n-pufs 4 --amplitude 0.3
     repro-puf serve-sim  --report report.json --audit audit.jsonl
+    repro-puf lifecycle-sim --ticks 12 --chaos --report life.json
+    repro-puf revoke     db-dir chip-3 --reason "key compromise"
 
 (Installed as ``repro-puf``; also runnable as ``python -m repro.cli``.)
 Each subcommand prints a compact report and exits non-zero on failure,
@@ -182,6 +184,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-corner-availability", type=float, default=0.95,
                    help="fail (exit 1) if healthy-chip corner availability "
                         "falls below this")
+
+    p = sub.add_parser(
+        "lifecycle-sim",
+        help="replay a simulated fleet life (churn, aging storms, "
+             "revocation waves, persistence chaos) and gate the report",
+    )
+    p.add_argument("--chips", type=int, default=6, help="initial fleet size")
+    p.add_argument("--n-pufs", type=int, default=4)
+    p.add_argument("--n-stages", type=int, default=32)
+    p.add_argument("--ticks", type=int, default=12,
+                   help="lifecycle ticks (a year of monthly ticks by default)")
+    p.add_argument("--hours-per-tick", type=float, default=730.0)
+    p.add_argument("--requests-per-chip", type=int, default=4)
+    p.add_argument("--max-stale-rows", type=int, default=8,
+                   help="deferred-codebook staleness bound (rows)")
+    p.add_argument("--chaos", action="store_true",
+                   help="inject the seeded fault plan: a killed maintenance "
+                        "tick, a mid-flight codebook sync crash, and corrupt "
+                        "+ failed codebook persists")
+    p.add_argument("--workdir", metavar="DIR", default=None,
+                   help="exercise persistence each tick (save + reload the "
+                        "database here); required for persist-site chaos")
+    p.add_argument("--report", metavar="PATH", default=None,
+                   help="write the lifecycle report JSON here")
+    p.add_argument("--max-nominal-frr", type=float, default=0.02,
+                   help="fail (exit 1) if active-fleet FRR exceeds this")
+    p.add_argument("--min-availability", type=float, default=0.95,
+                   help="fail (exit 1) if active-fleet availability "
+                        "falls below this")
+
+    p = sub.add_parser(
+        "revoke",
+        help="revoke an enrolled identity in a persisted database",
+    )
+    p.add_argument("database", metavar="DIR",
+                   help="database directory written by `identify --save-db` "
+                        "or AuthenticationServer.save_database")
+    p.add_argument("chip_id", help="identity to revoke")
+    p.add_argument("--reason", default="",
+                   help="free-text reason recorded in the revocation table")
 
     p = sub.add_parser("aging", help="selected-CRP flips over an aging life")
     p.add_argument("--n-pufs", type=int, default=4)
@@ -389,6 +431,92 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_lifecycle_sim(args: argparse.Namespace) -> int:
+    from repro.faults import FaultPlan, FaultSpec, Site
+    from repro.service import LifecycleConfig, run_lifecycle_sim
+
+    config = LifecycleConfig(
+        n_chips=args.chips,
+        n_xors=args.n_pufs,
+        n_stages=args.n_stages,
+        ticks=args.ticks,
+        hours_per_tick=args.hours_per_tick,
+        requests_per_chip=args.requests_per_chip,
+        max_stale_rows=args.max_stale_rows,
+        max_nominal_frr=args.max_nominal_frr,
+        min_availability=args.min_availability,
+    )
+    faults = None
+    if args.chaos:
+        faults = FaultPlan([
+            FaultSpec(Site.SERVICE_LIFECYCLE, kind="crash", at=2),
+            FaultSpec(Site.CODEBOOK_SYNC, kind="crash", at=1),
+            FaultSpec(Site.CODEBOOK_PERSIST, kind="corrupt", at=2),
+            FaultSpec(Site.CODEBOOK_PERSIST, kind="io", at=4),
+        ])
+    report = run_lifecycle_sim(
+        config,
+        # Offset so the default CLI seed (0) lands on the sim's
+        # validated default fleet (7).
+        seed=args.seed + 7,
+        faults=faults,
+        workdir=args.workdir,
+        report_path=args.report,
+        progress=print,
+    )
+    print()
+    print(f"fleet: {report.enrolled_total} enrolled, "
+          f"{report.revoked_total} revoked, {report.retightens} re-tightens "
+          f"over {report.simulated_hours:,.0f} simulated hours")
+    print(f"traffic: {report.n_requests} requests, "
+          f"active-fleet FRR {report.frr:.1%}, "
+          f"availability {report.availability:.1%}")
+    print(f"revoked probes: {report.revoked_probes} presented, "
+          f"{report.revoked_denials} denied, "
+          f"{report.revoked_approvals} approved")
+    print(f"codebook: {report.codebook.get('rebuilds', 0)} row rebuilds, "
+          f"{report.codebook.get('restacks', 0)} restacks, "
+          f"{report.codebook.get('row_writes', 0)} in-place writes; "
+          f"worst served staleness {report.max_served_stale_rows} rows")
+    print(f"chaos: {report.maintenance_crashes} maintenance kills, "
+          f"{report.sync_crashes} sync crashes, "
+          f"{report.persist_failures}/{report.persist_saves} persists "
+          f"failed, {report.corrupt_recoveries} corrupt codebooks rebuilt")
+    print(f"no challenge replayed: {report.no_replay}")
+    failures = [
+        f"{name}: {gate['value']} vs bound {gate['bound']}"
+        for name, gate in report.gates.items()
+        if not gate["ok"]
+    ]
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_revoke(args: argparse.Namespace) -> int:
+    from repro.core.lifecycle import LifecycleError, RevokedChipError
+    from repro.core.server import UnknownChipError
+
+    try:
+        server = AuthenticationServer.load_database(args.database)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        record = server.revoke(args.chip_id, reason=args.reason)
+    except (UnknownChipError, LifecycleError, RevokedChipError) as exc:
+        # KeyError.__str__ repr-quotes its message; unwrap it.
+        detail = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"error: {detail}", file=sys.stderr)
+        return 1
+    server.save_database(args.database)
+    print(f"revoked {record.chip_id} at epoch {record.epoch}"
+          f" ({record.reason or 'no reason recorded'})")
+    print(f"active identities remaining: "
+          f"{', '.join(server.active_ids) or 'none'}")
+    return 0
+
+
 def _cmd_aging(args: argparse.Namespace) -> int:
     chip = PufChip.create(args.n_pufs, args.n_stages, seed=args.seed, chip_id="cli")
     record = enroll_chip(
@@ -455,6 +583,8 @@ _COMMANDS = {
     "auth": _cmd_auth,
     "identify": _cmd_identify,
     "serve-sim": _cmd_serve_sim,
+    "lifecycle-sim": _cmd_lifecycle_sim,
+    "revoke": _cmd_revoke,
     "aging": _cmd_aging,
     "figure": _cmd_figure,
 }

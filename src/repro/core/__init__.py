@@ -19,11 +19,18 @@ from repro.core.authentication import (
     authenticate,
 )
 from repro.core.codebook import (
+    CodebookPolicy,
     CodebookRow,
     IdentificationCodebook,
     pack_responses,
     packed_match_fractions,
     popcount,
+)
+from repro.core.lifecycle import (
+    LifecycleError,
+    LifecycleState,
+    RevocationRecord,
+    RevokedChipError,
 )
 from repro.core.enrollment import (
     PAPER_ENROLL_CHALLENGES,
@@ -58,11 +65,16 @@ __all__ = [
     "AuthResult",
     "Responder",
     "authenticate",
+    "CodebookPolicy",
     "CodebookRow",
     "IdentificationCodebook",
     "pack_responses",
     "packed_match_fractions",
     "popcount",
+    "LifecycleError",
+    "LifecycleState",
+    "RevocationRecord",
+    "RevokedChipError",
     "PAPER_ENROLL_CHALLENGES",
     "EnrollmentRecord",
     "enroll_chip",

@@ -23,18 +23,43 @@ Scores are bit-identical to the dense ``(responses == predicted).mean``
 path: both reduce to ``n_equal / n_challenges`` with the same two
 integers (pad bits cancel in the XOR), divided in the same float64 op.
 
-Staleness is epoch-based: the server bumps its epoch on any database
-mutation; a codebook synced at an older epoch re-validates its rows
-against the records' content fingerprints and rebuilds only the rows
-that actually changed (see :meth:`IdentificationCodebook.sync`).
+Staleness is tracked **per record**: the server journals which chip ids
+mutated at which epoch, and :meth:`IdentificationCodebook.sync` takes
+that dirty set so a register/retighten/revoke wave touches only the
+affected rows -- a fingerprint check and selector run per dirty id, an
+in-place row write when membership is unchanged, one memory-only
+restack when it is.  A full fingerprint sweep (``dirty=None``) remains
+the recovery path for codebooks loaded from disk or servers without a
+journal.  Revocation is cheaper still: :meth:`revoke_row` tombstones
+the row out of the argmax *immediately* (a mask flip, no rebuild); the
+next sync compacts the row away so the codebook converges to exactly
+the matrix a from-scratch rebuild over the surviving identities would
+produce.
+
+Persistence is crash-safe (PR 2's tmp + fsync + rename pattern with an
+embedded SHA-256 payload checksum): a save interrupted mid-write leaves
+the previous generation loadable, and corrupt bytes on disk surface as
+:class:`~repro.crp.dataset.CorruptDatasetError` -- which the server
+treats as "discard and rebuild", never as garbage scores.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import io
 import json
 from pathlib import Path
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Union,
+)
 
 import numpy as np
 
@@ -45,6 +70,7 @@ from repro.utils.rng import derive_generator
 from repro.utils.validation import check_positive_int
 
 __all__ = [
+    "CodebookPolicy",
     "IdentificationCodebook",
     "CodebookRow",
     "pack_responses",
@@ -162,6 +188,48 @@ def _packed_distances(
 
 
 @dataclasses.dataclass(frozen=True)
+class CodebookPolicy:
+    """How eagerly a server keeps its codebooks in sync with the records.
+
+    Attributes
+    ----------
+    deferred:
+        ``False`` (default): every identification sees a fully synced
+        codebook -- the historical behaviour.  ``True``: the serving
+        path tolerates **bounded** staleness so a register/retighten
+        wave does not stall the request that happens to arrive next;
+        rows are rebuilt by explicit
+        :meth:`~repro.core.server.AuthenticationServer.sync_codebooks`
+        maintenance calls (or forcibly, once the bound is hit).
+    max_stale_rows:
+        Deferred mode's staleness bound: the serving path serves a
+        stale codebook only while the number of pending dirty rows is
+        at or below this; one row more forces a sync on the spot.
+    rebuild_batch:
+        Row-build cap per maintenance sync step (``None`` = drain
+        everything).  Bounds the latency of a single
+        ``sync_codebooks`` call during a retighten storm.
+
+    Revocations are **never** deferred: a revoked identity is
+    tombstoned out of every built codebook at revoke time, whatever the
+    policy says -- staleness is a liveness trade-off, not a security
+    one.
+    """
+
+    deferred: bool = False
+    max_stale_rows: int = 64
+    rebuild_batch: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_stale_rows < 0:
+            raise ValueError(
+                f"max_stale_rows must be >= 0, got {self.max_stale_rows}"
+            )
+        if self.rebuild_batch is not None:
+            check_positive_int(self.rebuild_batch, "rebuild_batch")
+
+
+@dataclasses.dataclass(frozen=True)
 class CodebookRow:
     """One identity's materialized identification block.
 
@@ -188,7 +256,7 @@ class CodebookRow:
 
 
 class IdentificationCodebook:
-    """Contiguous, lazily synced codebook over one enrollment database.
+    """Contiguous, incrementally synced codebook over one enrollment database.
 
     Parameters
     ----------
@@ -212,10 +280,19 @@ class IdentificationCodebook:
             )
         self.seed = None if seed is None else int(seed)
         self._rows: Dict[str, CodebookRow] = {}
+        self._revoked: Set[str] = set()
         self.synced_epoch: Optional[int] = None
         self.rebuilds = 0
-        # Contiguous stacked form, rebuilt whenever the row set changes.
+        self.row_writes = 0
+        self.restacks = 0
+        self.syncs = 0
+        self.persists = 0
+        self.last_sync_pending = 0
+        # Contiguous stacked form, updated in place for content-only
+        # changes and rebuilt when the row membership changes.
         self._ids: List[str] = []
+        self._index: Dict[str, int] = {}
+        self._active: Optional[np.ndarray] = None
         self._stacked_challenges: Optional[np.ndarray] = None
         self._packed_matrix: Optional[np.ndarray] = None
 
@@ -229,6 +306,30 @@ class IdentificationCodebook:
     def ids(self) -> List[str]:
         """Row identities in matching (sorted) order."""
         return list(self._ids)
+
+    @property
+    def active_mask(self) -> np.ndarray:
+        """Boolean mask over :attr:`ids`: ``False`` = tombstoned row.
+
+        Tombstones exist only between a :meth:`revoke_row` call and the
+        next :meth:`sync` (which compacts the row away); a fully synced
+        codebook's mask is all ``True``.
+        """
+        if self._active is None:
+            raise RuntimeError("codebook is empty; sync it against a database")
+        return self._active.copy()
+
+    @property
+    def active_ids(self) -> List[str]:
+        """Row identities that are serveable (not tombstoned)."""
+        if self._active is None:
+            return []
+        return [c for c, ok in zip(self._ids, self._active) if ok]
+
+    @property
+    def revoked_ids(self) -> List[str]:
+        """Identities this codebook knows to be revoked (sorted)."""
+        return sorted(self._revoked)
 
     @property
     def n_bytes(self) -> int:
@@ -260,40 +361,170 @@ class IdentificationCodebook:
     # ------------------------------------------------------------------
     # Building / invalidation
     # ------------------------------------------------------------------
+    def revoke_row(self, chip_id: str) -> bool:
+        """Tombstone *chip_id* immediately; returns whether a row was hit.
+
+        A mask flip, not a rebuild: the row's bytes stay in the packed
+        matrix (so no restack happens on the serving path) but it can
+        never win the argmax again.  The next :meth:`sync` compacts the
+        row away entirely.  Idempotent; unknown ids are recorded so a
+        later sync never builds them.
+        """
+        self._revoked.add(chip_id)
+        position = self._index.get(chip_id)
+        if position is None or self._active is None:
+            return False
+        hit = bool(self._active[position])
+        self._active[position] = False
+        return hit
+
+    def pending_rows(
+        self,
+        records: Mapping[str, EnrollmentRecord],
+        dirty: Optional[Iterable[str]] = None,
+    ) -> int:
+        """How many rows :meth:`sync` would touch right now.
+
+        With a *dirty* journal this is a cheap set computation (no
+        fingerprints); without one it falls back to counting membership
+        differences only -- content-stale rows are invisible until a
+        full sweep, which is exactly why servers keep a journal.
+        """
+        wanted = {c for c in records if c not in self._revoked}
+        have = set(self._rows)
+        pending = len(wanted - have) + len(have - wanted)
+        if dirty is not None:
+            pending += len(
+                {c for c in dirty if c in wanted and c in have}
+            )
+        return pending
+
     def sync(
         self,
         records: Mapping[str, EnrollmentRecord],
         selector_for: Callable[[str], ChallengeSelector],
         epoch: Optional[int] = None,
+        *,
+        dirty: Optional[Iterable[str]] = None,
+        revoked: Optional[Iterable[str]] = None,
+        limit: Optional[int] = None,
+        faults=None,
     ) -> int:
         """Bring the codebook up to date with *records*; return rebuild count.
 
-        Rows are rebuilt only where missing or where the record's
-        content fingerprint changed (re-registration, re-tightened
-        betas); rows of unenrolled identities are dropped.  When
-        nothing changed the call is a cheap fingerprint sweep -- and
-        callers that track the server epoch can skip even that by
-        comparing :attr:`synced_epoch` first.
+        Parameters
+        ----------
+        records / selector_for / epoch:
+            The enrollment database view, exactly as before.
+        dirty:
+            Chip ids whose records *may* have changed since the last
+            sync (the server's mutation journal).  When given, only
+            these ids get a fingerprint check -- everything else is
+            trusted, turning a fleet-wide sweep into O(|dirty|) work.
+            ``None`` keeps the historical full fingerprint sweep (the
+            right call for codebooks fresh off disk).  Membership
+            changes (new or vanished ids) are always detected, dirty or
+            not: that comparison is a set operation, not a fingerprint
+            sweep.
+        revoked:
+            Identities to tombstone-and-compact.  Their rows are
+            dropped and never rebuilt; the set is remembered, so a
+            revoked id re-appearing in *records* stays excluded.
+        limit:
+            Cap on row *builds* this call (deferred maintenance).  When
+            the cap is hit the remaining stale rows stay pending,
+            :attr:`synced_epoch` does **not** advance, and
+            :attr:`last_sync_pending` reports the leftover count.
+        faults:
+            Optional :class:`repro.faults.FaultPlan`; consulted at
+            :attr:`repro.faults.Site.CODEBOOK_SYNC` with the sync
+            counter, so a rebuild dying mid-flight is a testable event.
+
+        The result after a fully drained sync is **bit-identical** to a
+        from-scratch rebuild over the same surviving records: same row
+        order, same stacked challenges, same packed bytes.
         """
+        if faults is not None:
+            from repro.faults import Site
+
+            faults.check(Site.CODEBOOK_SYNC, self.syncs)
+        self.syncs += 1
+        if revoked is not None:
+            for chip_id in revoked:
+                if chip_id not in self._revoked:
+                    self.revoke_row(chip_id)
+
         rebuilt = 0
-        wanted = sorted(records)
-        for chip_id in list(self._rows):
-            if chip_id not in records:
-                del self._rows[chip_id]
-                rebuilt += 1
-        for chip_id in wanted:
-            fingerprint = records[chip_id].fingerprint()
+        structural = False
+        # Fast path: a journal plus unchanged membership (a C-speed key
+        # comparison) means no drops, no adds, no sort -- the sync
+        # touches only the dirty rows.  This is the steady state of
+        # fleet maintenance, and it keeps the per-mutation cost
+        # O(|dirty|) instead of O(N) whatever the population size.
+        row_keys = self._rows.keys()
+        membership_unchanged = (
+            dirty is not None
+            and self._stacked_challenges is not None
+            and (
+                records.keys() - self._revoked == row_keys
+                if self._revoked
+                else records.keys() == row_keys
+            )
+        )
+        if membership_unchanged:
+            wanted = self._ids
+            candidates = sorted(set(dirty) & row_keys)
+        else:
+            wanted = [c for c in sorted(records) if c not in self._revoked]
+            wanted_set = set(wanted)
+            for chip_id in list(self._rows):
+                if chip_id not in wanted_set:
+                    del self._rows[chip_id]
+                    structural = True
+                    rebuilt += 1
+            if dirty is None:
+                candidates = wanted
+            else:
+                candidates = sorted(
+                    set(dirty) & wanted_set | (wanted_set - set(self._rows))
+                )
+        built = 0
+        pending = 0
+        touched: List[str] = []
+        for chip_id in candidates:
             row = self._rows.get(chip_id)
+            fingerprint = records[chip_id].fingerprint()
             if row is not None and row.fingerprint == fingerprint:
+                continue
+            if limit is not None and built >= limit:
+                pending += 1
                 continue
             self._rows[chip_id] = self._build_row(
                 chip_id, fingerprint, selector_for(chip_id)
             )
+            built += 1
             rebuilt += 1
-        if rebuilt or self._stacked_challenges is None:
-            self._restack(wanted)
-            self.rebuilds += rebuilt
-        self.synced_epoch = epoch
+            if row is None:
+                structural = True
+            else:
+                touched.append(chip_id)
+
+        if membership_unchanged:
+            # No drops or adds happened (candidates were all existing
+            # rows), so the stacked order is untouched.
+            present = self._ids
+        else:
+            present = [c for c in wanted if c in self._rows]
+        if structural or self._stacked_challenges is None or present != self._ids:
+            if present or self._ids:
+                self._restack(present)
+        elif touched:
+            for chip_id in touched:
+                self._write_row(self._index[chip_id], self._rows[chip_id])
+        self.rebuilds += rebuilt
+        self.last_sync_pending = pending
+        if pending == 0:
+            self.synced_epoch = epoch
         return rebuilt
 
     def _build_row(
@@ -314,17 +545,28 @@ class IdentificationCodebook:
         )
 
     def _restack(self, ids: Sequence[str]) -> None:
+        self.restacks += 1
         self._ids = list(ids)
+        self._index = {c: i for i, c in enumerate(self._ids)}
         if not self._ids:
+            self._active = None
             self._stacked_challenges = None
             self._packed_matrix = None
             return
+        self._active = np.ones(len(self._ids), dtype=bool)
         self._stacked_challenges = np.ascontiguousarray(
             np.concatenate([self._rows[c].challenges for c in self._ids])
         )
         self._packed_matrix = np.ascontiguousarray(
             np.stack([self._rows[c].packed for c in self._ids])
         )
+
+    def _write_row(self, position: int, row: CodebookRow) -> None:
+        """Overwrite one row of the stacked form in place (no restack)."""
+        self.row_writes += 1
+        n = self.n_challenges
+        self._stacked_challenges[position * n : (position + 1) * n] = row.challenges
+        self._packed_matrix[position] = row.packed
 
     # ------------------------------------------------------------------
     # Matching
@@ -335,7 +577,9 @@ class IdentificationCodebook:
         *responses* holds the device's answers to
         :attr:`stacked_challenges`, flat or shaped
         ``(n_identities, n_challenges)``.  Returns ``(n_identities,)``
-        float64 match fractions in :attr:`ids` order.
+        float64 match fractions in :attr:`ids` order.  Tombstoned rows
+        still get a score here (the matrix is contiguous); winners are
+        excluded at argmax time via :attr:`active_mask`.
         """
         return self.match_many(responses, use_lut=use_lut)[0]
 
@@ -363,40 +607,92 @@ class IdentificationCodebook:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: Union[str, Path]) -> None:
-        """Serialise rows + metadata to one ``.npz`` file."""
+    def save(self, path: Union[str, Path], *, faults=None) -> None:
+        """Serialise rows + metadata to one ``.npz`` file, crash-safely.
+
+        The write is atomic (tmp + fsync + rename, see
+        :func:`repro.engine.runtime.atomic_write_bytes`) and the payload
+        carries an embedded SHA-256 checksum: a crash mid-save leaves
+        the previous file generation intact, and bit rot is detected at
+        load time instead of producing silently wrong scores.  *faults*
+        hooks :attr:`repro.faults.Site.CODEBOOK_PERSIST`.
+        """
         if not self._ids:
             raise RuntimeError("refusing to save an empty codebook")
+        # The persist counter only advances once the atomic rename has
+        # happened, so a save killed by a fault replays the same index
+        # on retry (``fail_attempts`` then heals transient failures).
+        if faults is not None:
+            from repro.faults import Site
+
+            faults.check(Site.CODEBOOK_PERSIST, self.persists)
         meta = {
-            "version": 1,
+            "version": 2,
             "n_challenges": self.n_challenges,
             "seed": self.seed,
             "ids": self._ids,
             "fingerprints": [self._rows[c].fingerprint for c in self._ids],
+            "revoked": sorted(self._revoked),
         }
         challenges = np.stack([self._rows[c].challenges for c in self._ids])
+        arrays = {
+            "challenges": np.packbits(challenges.astype(np.uint8), axis=-1),
+            "predicted": np.stack([self._rows[c].packed for c in self._ids]),
+            "n_stages": np.int64(challenges.shape[-1]),
+            "n_challenges": np.int64(self.n_challenges),
+            "meta": np.frombuffer(
+                json.dumps(meta).encode("utf-8"), dtype=np.uint8
+            ),
+        }
+        from repro.crp.dataset import _payload_checksum
+        from repro.engine.runtime import atomic_write_bytes
+
+        buffer = io.BytesIO()
         np.savez_compressed(
-            Path(path),
-            challenges=np.packbits(challenges.astype(np.uint8), axis=-1),
-            predicted=np.stack([self._rows[c].packed for c in self._ids]),
-            n_stages=np.int64(challenges.shape[-1]),
-            n_challenges=np.int64(self.n_challenges),
-            meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+            buffer, checksum=np.str_(_payload_checksum(arrays)), **arrays
         )
+        data = buffer.getvalue()
+        if faults is not None:
+            from repro.faults import Site
+
+            # Same visit as the check above, so ``fail_attempts``
+            # counts whole saves, not individual hook calls.
+            data = faults.corrupt_bytes(
+                Site.CODEBOOK_PERSIST, data, self.persists, attempt=0
+            )
+        atomic_write_bytes(Path(path), data)
+        self.persists += 1
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "IdentificationCodebook":
+    def load(cls, path: Union[str, Path], *, faults=None) -> "IdentificationCodebook":
         """Rebuild a codebook from :meth:`save` output.
 
         Loaded rows carry their stored fingerprints; the next
         :meth:`sync` against a database validates them and rebuilds
-        only rows whose records changed since the save.
+        only rows whose records changed since the save.  Persisted
+        tombstones are re-applied immediately.
+
+        Raises
+        ------
+        repro.crp.dataset.CorruptDatasetError
+            For truncated, damaged or checksum-failing files (including
+            version-2 files whose stored SHA-256 does not match).
+            Files written before checksums existed still load.
         """
-        with np.load(Path(path)) as data:
-            meta = json.loads(bytes(data["meta"]).decode("utf-8"))
-            packed_challenges = data["challenges"]
-            packed_predicted = data["predicted"]
-            n_stages = int(data["n_stages"])
+        if faults is not None:
+            from repro.faults import Site
+
+            faults.check(Site.CODEBOOK_PERSIST)
+        from repro.crp.dataset import _checked_load
+
+        data = _checked_load(
+            Path(path),
+            ("challenges", "predicted", "n_stages", "n_challenges", "meta"),
+        )
+        meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+        packed_challenges = data["challenges"]
+        packed_predicted = data["predicted"]
+        n_stages = int(data["n_stages"])
         book = cls(n_challenges=int(meta["n_challenges"]), seed=meta["seed"])
         n = book.n_challenges
         for index, (chip_id, fingerprint) in enumerate(
@@ -414,4 +710,6 @@ class IdentificationCodebook:
                 packed=np.ascontiguousarray(packed_predicted[index]),
             )
         book._restack(meta["ids"])
+        for chip_id in meta.get("revoked", ()):
+            book.revoke_row(chip_id)
         return book

@@ -1,0 +1,145 @@
+"""The enrolled-identity lifecycle state machine (active -> revoked).
+
+The paper's protocol enrolls a chip once and serves it forever, but a
+real fleet lives under constant mutation: devices are lost, stolen,
+recalled or model-extracted, and a compromised identity must stop
+authenticating *immediately* -- a replayed transcript or a cloned model
+presented under a revoked id is exactly the ammunition of the Chosen
+Challenge Attack (arXiv 2312.01256).  This module gives the enrollment
+database a first-class lifecycle:
+
+* every enrolled identity is :attr:`LifecycleState.ACTIVE` until an
+  operator revokes it;
+* revocation is **terminal**: a revoked id can never be re-registered
+  (an attacker who extracted the old device's model must not be able to
+  re-enter the fleet under the same name) and never authenticates
+  again;
+* the decision is durable: :class:`RevocationRecord` entries persist
+  next to the enrollment records and survive a server reload.
+
+The state machine itself is deliberately tiny -- two states, one legal
+transition -- because every additional transition is an attack surface.
+What matters is where it is *enforced*: the server refuses sessions and
+registrations, the identification codebook tombstones the row out of
+argmax, and the serving layer turns the refusal into a typed, audited
+rejection (see :mod:`repro.service.service`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Mapping, Optional
+
+__all__ = [
+    "LifecycleError",
+    "LifecycleState",
+    "RevocationRecord",
+    "RevokedChipError",
+]
+
+
+class LifecycleError(RuntimeError):
+    """An illegal lifecycle transition was requested (e.g. double revoke)."""
+
+
+class RevokedChipError(KeyError):
+    """The requested operation targets a revoked identity.
+
+    Raised for authentication attempts, re-registrations and
+    re-tightenings of a revoked chip.  Subclasses :class:`KeyError` so
+    call sites that treat "not usable" as "not found" keep working, but
+    carries the revocation context for typed handling.
+    """
+
+    def __init__(self, revocation: "RevocationRecord", operation: str) -> None:
+        super().__init__(
+            f"chip {revocation.chip_id!r} is revoked "
+            f"({revocation.reason or 'no reason recorded'}, "
+            f"epoch {revocation.epoch}); refusing {operation}"
+        )
+        self.revocation = revocation
+        self.operation = operation
+
+    def __str__(self) -> str:  # KeyError wraps args in a repr'd tuple
+        return self.args[0]
+
+
+class LifecycleState(str, enum.Enum):
+    """Deployment state of one enrolled identity.
+
+    ``ACTIVE`` identities serve normally.  ``REVOKED`` is terminal:
+    the record is kept (for audit and to block re-registration under
+    the same id) but the identity never authenticates, never appears in
+    identification results, and never gets codebook rows rebuilt.
+    """
+
+    ACTIVE = "active"
+    REVOKED = "revoked"
+
+
+@dataclasses.dataclass(frozen=True)
+class RevocationRecord:
+    """The durable fact of one revocation.
+
+    Attributes
+    ----------
+    chip_id:
+        The revoked identity.
+    reason:
+        Operator-supplied context (compromise, recall, EOL...).
+    epoch:
+        Server database epoch at which the revocation took effect --
+        joins the codebook staleness accounting, so "was this row
+        tombstoned before that identification?" is answerable.
+    """
+
+    chip_id: str
+    reason: str = ""
+    epoch: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (see :func:`revocations_to_payload`)."""
+        return {
+            "chip_id": self.chip_id,
+            "reason": self.reason,
+            "epoch": self.epoch,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "RevocationRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            chip_id=str(payload["chip_id"]),
+            reason=str(payload.get("reason", "")),
+            epoch=int(payload.get("epoch", 0)),
+        )
+
+
+def revocations_to_payload(
+    revocations: Mapping[str, RevocationRecord]
+) -> Dict[str, object]:
+    """JSON payload of a revocation table (sorted, versioned)."""
+    return {
+        "version": 1,
+        "revoked": [
+            revocations[chip_id].to_dict() for chip_id in sorted(revocations)
+        ],
+    }
+
+
+def revocations_from_payload(
+    payload: Mapping[str, object]
+) -> Dict[str, RevocationRecord]:
+    """Inverse of :func:`revocations_to_payload`; validates the shape."""
+    entries = payload.get("revoked")
+    if not isinstance(entries, list):
+        raise ValueError(
+            "lifecycle payload has no 'revoked' list "
+            f"(found keys {sorted(payload)})"
+        )
+    table: Dict[str, RevocationRecord] = {}
+    for entry in entries:
+        record = RevocationRecord.from_dict(entry)
+        table[record.chip_id] = record
+    return table

@@ -6,13 +6,26 @@ stores :class:`~repro.core.enrollment.EnrollmentRecord` entries (delay
 parameters + thresholds -- not CRP tables) and runs Fig.-7 sessions,
 and a :class:`ModelResponder` adapter that lets an attacker's learned
 model masquerade as a device, for security evaluations.
+
+The database is *alive*: registrations, re-tightenings and revocations
+arrive while identifications are being served.  Every mutation bumps a
+monotone epoch **and** is journaled per chip id, so the identification
+codebooks resync incrementally -- a wave of mutations costs work
+proportional to the wave, not to the fleet
+(:meth:`AuthenticationServer.dirty_since`).  Revocation is terminal and
+enforced here, at the protocol layer: revoked identities cannot
+re-register, cannot authenticate, and are tombstoned out of every
+codebook the moment :meth:`AuthenticationServer.revoke` returns (see
+:mod:`repro.core.lifecycle`).
 """
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
+import json
 import time
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -25,11 +38,20 @@ from repro.core.authentication import (
     authenticate,
 )
 from repro.core.codebook import (
+    CodebookPolicy,
     IdentificationCodebook,
     _packed_distances,
     pack_responses,
 )
 from repro.core.enrollment import EnrollmentRecord, enroll_chip
+from repro.core.lifecycle import (
+    LifecycleError,
+    LifecycleState,
+    RevocationRecord,
+    RevokedChipError,
+    revocations_from_payload,
+    revocations_to_payload,
+)
 from repro.core.selection import ChallengeSelector
 from repro.crp.transform import ParityFeatureCache, parity_features
 from repro.silicon.chip import PufChip
@@ -48,6 +70,12 @@ __all__ = [
 #: when collecting enrollment records.
 _CODEBOOK_PREFIX = "_codebook_"
 
+#: File name of the persisted revocation table inside a database
+#: directory.  Unlike a corrupt codebook (recoverable -- rebuild from
+#: records), a corrupt revocation table is a security fault and refuses
+#: to load.
+_LIFECYCLE_FILE = "_lifecycle.json"
+
 
 class UnknownChipError(KeyError):
     """Raised for authentication attempts against an unenrolled identity."""
@@ -60,15 +88,37 @@ class AuthenticationServer:
     ----------
     records:
         Optional initial ``chip_id -> EnrollmentRecord`` mapping.
+    codebook_policy:
+        How eagerly identification codebooks chase database mutations
+        (:class:`~repro.core.codebook.CodebookPolicy`).  The default is
+        fully eager -- every identification sees a synced codebook;
+        deferred policies trade bounded staleness for never stalling a
+        request on a rebuild wave.
     """
 
-    def __init__(self, records: Optional[Mapping[str, EnrollmentRecord]] = None) -> None:
+    def __init__(
+        self,
+        records: Optional[Mapping[str, EnrollmentRecord]] = None,
+        *,
+        codebook_policy: Optional[CodebookPolicy] = None,
+    ) -> None:
         self._records: Dict[str, EnrollmentRecord] = dict(records or {})
         self._selectors: Dict[str, ChallengeSelector] = {}
         self._feature_cache = ParityFeatureCache()
         self._codebooks: Dict[int, IdentificationCodebook] = {}
         self._sorted_ids: Optional[List[str]] = None
         self._epoch = 0
+        self._mutations: Dict[str, int] = {}
+        # Epoch-ordered mutation log; lets dirty_since() take the tail
+        # after a synced epoch by bisection instead of scanning every
+        # chip ever mutated.  Compacted against _mutations when it
+        # outgrows the population (long-lived servers stay O(N)).
+        self._journal_log: List[Tuple[int, str]] = []
+        self._revocations: Dict[str, RevocationRecord] = {}
+        self.codebook_policy = codebook_policy or CodebookPolicy()
+        #: Corrupt codebook files discarded (and scheduled for rebuild)
+        #: by :meth:`load_database`.
+        self.codebook_recoveries = 0
 
     # ------------------------------------------------------------------
     # Database management
@@ -85,13 +135,24 @@ class AuthenticationServer:
 
     @property
     def enrolled_ids(self) -> list[str]:
-        """Identifiers of all enrolled chips (cached between mutations)."""
+        """Identifiers of all enrolled chips (cached between mutations).
+
+        Includes revoked identities -- their records are retained for
+        audit; use :attr:`active_ids` for the serveable fleet.
+        """
         if self._sorted_ids is None:
             self._sorted_ids = sorted(self._records)
         return list(self._sorted_ids)
 
+    @property
+    def active_ids(self) -> list[str]:
+        """Identifiers of enrolled chips that are not revoked."""
+        if not self._revocations:
+            return self.enrolled_ids
+        return [c for c in self.enrolled_ids if c not in self._revocations]
+
     def record(self, chip_id: str) -> EnrollmentRecord:
-        """The stored record for *chip_id*."""
+        """The stored record for *chip_id* (revoked records included)."""
         try:
             return self._records[chip_id]
         except KeyError:
@@ -99,17 +160,51 @@ class AuthenticationServer:
                 f"chip {chip_id!r} is not enrolled; known: {self.enrolled_ids}"
             ) from None
 
+    def dirty_since(self, synced_epoch: Optional[int]) -> Optional[Set[str]]:
+        """Chip ids mutated after *synced_epoch* (the journal view).
+
+        ``None`` in means ``None`` out: a consumer that never synced
+        has no baseline, so it must do a full sweep.  The journal only
+        covers this process's mutations -- exactly the window between a
+        codebook's last sync and now -- which is why freshly loaded
+        codebooks start with a full fingerprint sweep.
+        """
+        if synced_epoch is None:
+            return None
+        start = bisect.bisect_right(
+            self._journal_log, synced_epoch, key=lambda entry: entry[0]
+        )
+        return {chip_id for _, chip_id in self._journal_log[start:]}
+
+    def _journal(self, chip_id: str) -> None:
+        self._epoch += 1
+        self._mutations[chip_id] = self._epoch
+        self._journal_log.append((self._epoch, chip_id))
+        if len(self._journal_log) > max(64, 2 * len(self._mutations)):
+            # Re-mutated chips leave dead duplicates behind; keeping
+            # only each chip's latest epoch preserves every
+            # dirty_since() answer.
+            self._journal_log = sorted(
+                (epoch, chip) for chip, epoch in self._mutations.items()
+            )
+        self._sorted_ids = None
+
     def register(self, record: EnrollmentRecord) -> None:
         """Store (or replace) an enrollment record.
 
-        Bumps the database epoch: cached sorted ids and the chip's
-        selector are dropped eagerly, codebook rows are revalidated
-        lazily (at the next identification against them).
+        Bumps the database epoch and journals the mutation against the
+        chip id, so codebooks revalidate exactly this row at their next
+        sync.  Re-registering a revoked identity is refused
+        (:class:`~repro.core.lifecycle.RevokedChipError`): an attacker
+        holding an extracted model must not re-enter the fleet under a
+        burned name.
         """
+        revocation = self._revocations.get(record.chip_id)
+        if revocation is not None:
+            raise RevokedChipError(revocation, "re-registration")
         self._records[record.chip_id] = record
         self._selectors.pop(record.chip_id, None)
-        self._sorted_ids = None
-        self._epoch += 1
+        self._journal(record.chip_id)
 
     def retighten(
         self, chip_id: str, beta0: float = 0.25, beta1: float = 2.2
@@ -125,6 +220,9 @@ class AuthenticationServer:
         rows.  The defaults match the serving layer's rung-2 ladder
         step (see :class:`repro.service.ServiceConfig`).
         """
+        revocation = self._revocations.get(chip_id)
+        if revocation is not None:
+            raise RevokedChipError(revocation, "re-tightening")
         record = self.record(chip_id)
         updated = record.with_betas(
             BetaFactors(record.betas.beta0 * beta0, record.betas.beta1 * beta1)
@@ -139,6 +237,64 @@ class AuthenticationServer:
         self.register(record)
         return record
 
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def revoke(self, chip_id: str, reason: str = "") -> RevocationRecord:
+        """Revoke an enrolled identity, immediately and terminally.
+
+        The record is retained (audit; the id is burned forever) but
+        the identity stops serving *now*: every built codebook's row is
+        tombstoned out of argmax before this method returns -- no
+        rebuild, no sync, no staleness window, whatever the codebook
+        policy says.  Raises
+        :class:`~repro.core.lifecycle.LifecycleError` on double revoke
+        and :class:`UnknownChipError` for strangers.
+        """
+        if chip_id in self._revocations:
+            raise LifecycleError(
+                f"chip {chip_id!r} is already revoked "
+                f"({self._revocations[chip_id].reason or 'no reason recorded'})"
+            )
+        self.record(chip_id)  # strangers raise UnknownChipError
+        self._journal(chip_id)
+        revocation = RevocationRecord(
+            chip_id=chip_id, reason=reason, epoch=self._epoch
+        )
+        self._revocations[chip_id] = revocation
+        self._selectors.pop(chip_id, None)
+        for book in self._codebooks.values():
+            book.revoke_row(chip_id)
+        return revocation
+
+    def is_revoked(self, chip_id: str) -> bool:
+        """Whether *chip_id* has been revoked."""
+        return chip_id in self._revocations
+
+    def revocation(self, chip_id: str) -> Optional[RevocationRecord]:
+        """The revocation record for *chip_id*, or ``None`` if active."""
+        return self._revocations.get(chip_id)
+
+    @property
+    def revocations(self) -> Dict[str, RevocationRecord]:
+        """Snapshot of the revocation table (chip id -> record)."""
+        return dict(self._revocations)
+
+    def lifecycle_state(self, chip_id: str) -> LifecycleState:
+        """Lifecycle state of an enrolled identity."""
+        self.record(chip_id)  # strangers raise UnknownChipError
+        if chip_id in self._revocations:
+            return LifecycleState.REVOKED
+        return LifecycleState.ACTIVE
+
+    def _refuse_revoked(self, chip_id: str, operation: str) -> None:
+        revocation = self._revocations.get(chip_id)
+        if revocation is not None:
+            raise RevokedChipError(revocation, operation)
+
+    # ------------------------------------------------------------------
+    # Cached artefacts
+    # ------------------------------------------------------------------
     @property
     def feature_cache_stats(self) -> dict:
         """Counter snapshot of the shared parity-feature cache.
@@ -168,12 +324,18 @@ class AuthenticationServer:
     def codebook(
         self, n_challenges: int = 64, *, seed: Optional[int] = None
     ) -> IdentificationCodebook:
-        """The synced identification codebook for *n_challenges*.
+        """The identification codebook for *n_challenges*.
 
         Created on first use (with *seed* fixing the per-identity
-        selection streams) and cached per block length; stale rows --
-        anything registered or re-tightened since the last sync -- are
-        rebuilt here, lazily, before the codebook is returned.
+        selection streams) and cached per block length.  Under the
+        default (eager) policy any staleness is repaired here, before
+        the codebook is returned -- incrementally, via the mutation
+        journal, so the cost is proportional to what actually changed.
+        Under a deferred policy the codebook is served stale as long as
+        the pending-row count stays within
+        :attr:`~repro.core.codebook.CodebookPolicy.max_stale_rows`; one
+        row more and the sync happens on the spot.  Revocations are
+        never stale either way (tombstones are applied at revoke time).
         """
         if not self._records:
             raise UnknownChipError("no identities enrolled")
@@ -182,60 +344,177 @@ class AuthenticationServer:
             book = IdentificationCodebook(n_challenges, seed=seed)
             self._codebooks[n_challenges] = book
         if book.synced_epoch != self._epoch:
-            book.sync(self._records, self.selector, epoch=self._epoch)
+            policy = self.codebook_policy
+            if (
+                policy.deferred
+                and len(book) > 0
+                and book.pending_rows(
+                    self._records, self.dirty_since(book.synced_epoch)
+                )
+                <= policy.max_stale_rows
+            ):
+                return book
+            self._sync_codebook(book)
         return book
+
+    def _sync_codebook(
+        self,
+        book: IdentificationCodebook,
+        limit: Optional[int] = None,
+        faults=None,
+    ) -> int:
+        return book.sync(
+            self._records,
+            self.selector,
+            epoch=self._epoch,
+            dirty=self.dirty_since(book.synced_epoch),
+            revoked=self._revocations,
+            limit=limit,
+            faults=faults,
+        )
+
+    def sync_codebooks(
+        self, limit: Optional[int] = None, *, faults=None
+    ) -> Dict[int, int]:
+        """Maintenance resync of every built codebook.
+
+        The deferred policy's other half: a background loop (or the
+        lifecycle driver's tick) calls this to drain pending rebuilds
+        off the serving path.  *limit* caps row builds per codebook
+        this call (default: the policy's ``rebuild_batch``); leftovers
+        stay pending for the next call.  Returns ``block length ->
+        rows rebuilt``.
+        """
+        if limit is None:
+            limit = self.codebook_policy.rebuild_batch
+        rebuilt: Dict[int, int] = {}
+        for n_challenges, book in self._codebooks.items():
+            if book.synced_epoch == self._epoch:
+                rebuilt[n_challenges] = 0
+                continue
+            rebuilt[n_challenges] = self._sync_codebook(
+                book, limit=limit, faults=faults
+            )
+        return rebuilt
+
+    def codebook_status(self, n_challenges: int = 64) -> Dict[str, object]:
+        """Staleness/shape snapshot of one codebook (monitoring hook)."""
+        book = self._codebooks.get(n_challenges)
+        if book is None:
+            return {"built": False, "epoch": self._epoch}
+        pending = 0
+        if book.synced_epoch != self._epoch:
+            pending = book.pending_rows(
+                self._records, self.dirty_since(book.synced_epoch)
+            )
+        return {
+            "built": True,
+            "epoch": self._epoch,
+            "synced_epoch": book.synced_epoch,
+            "rows": len(book),
+            "pending_rows": pending,
+            "revoked_rows": len(book.revoked_ids),
+            "rebuilds": book.rebuilds,
+            "restacks": book.restacks,
+            "row_writes": book.row_writes,
+            "deferred": self.codebook_policy.deferred,
+            "max_stale_rows": self.codebook_policy.max_stale_rows,
+        }
 
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save_database(self, directory) -> None:
+    def save_database(self, directory, *, faults=None) -> None:
         """Write every enrollment record into *directory* (one .npz each).
 
         File names are derived from chip ids; ids must therefore be
         filesystem-safe (the library's ``chip-N`` convention is).
         Built identification codebooks are persisted alongside the
-        records (one ``_codebook_<n>.npz`` per block length), so a
-        reloaded server identifies without re-running any selection.
+        records (one ``_codebook_<n>.npz`` per block length, written
+        atomically with an embedded checksum), and the revocation table
+        goes into ``_lifecycle.json`` -- revocations are durable facts
+        that must survive a server reload.
         """
         from pathlib import Path
+
+        from repro.engine.runtime import atomic_write_bytes
 
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         for chip_id, record in self._records.items():
             record.save(directory / f"{chip_id}.npz")
+        atomic_write_bytes(
+            directory / _LIFECYCLE_FILE,
+            json.dumps(
+                revocations_to_payload(self._revocations), indent=2
+            ).encode("utf-8"),
+        )
         for n_challenges, book in self._codebooks.items():
             if len(book) == 0:
                 continue
             # Persist current rows only; a stale codebook is synced
             # first so the saved artefact matches the saved records.
             if book.synced_epoch != self._epoch:
-                book.sync(self._records, self.selector, epoch=self._epoch)
-            book.save(directory / f"{_CODEBOOK_PREFIX}{n_challenges}.npz")
+                self._sync_codebook(book)
+            book.save(
+                directory / f"{_CODEBOOK_PREFIX}{n_challenges}.npz",
+                faults=faults,
+            )
 
     @classmethod
-    def load_database(cls, directory) -> "AuthenticationServer":
+    def load_database(cls, directory, *, faults=None) -> "AuthenticationServer":
         """Rebuild a server from a :meth:`save_database` directory.
 
         Persisted codebooks are loaded as-is and validated lazily: each
         row carries the fingerprint of the record it was built from, so
         rows whose records changed (or vanished) since the save are
         rebuilt on the next identification instead of being trusted.
+        A codebook file that fails its checksum (bit rot, a crashed
+        writer that somehow half-landed) is *discarded* -- the server
+        loads fine, counts the loss in
+        :attr:`codebook_recoveries`, and rebuilds from records on
+        demand; corrupt bytes never become scores.  A corrupt
+        ``_lifecycle.json`` is different: the revocation table is a
+        security artefact, so it refuses to load
+        (:class:`~repro.crp.dataset.CorruptDatasetError`).
         """
         from pathlib import Path
+
+        from repro.crp.dataset import CorruptDatasetError
 
         directory = Path(directory)
         if not directory.is_dir():
             raise FileNotFoundError(f"no database directory at {directory}")
+        revocations: Dict[str, RevocationRecord] = {}
+        lifecycle_path = directory / _LIFECYCLE_FILE
+        if lifecycle_path.exists():
+            try:
+                payload = json.loads(lifecycle_path.read_text("utf-8"))
+                revocations = revocations_from_payload(payload)
+            except (ValueError, KeyError, TypeError) as error:
+                raise CorruptDatasetError(
+                    f"revocation table {lifecycle_path} is corrupt: {error}"
+                ) from error
         records = {}
         codebooks: Dict[int, IdentificationCodebook] = {}
+        recoveries = 0
         for path in sorted(directory.glob("*.npz")):
             if path.name.startswith(_CODEBOOK_PREFIX):
-                book = IdentificationCodebook.load(path)
+                try:
+                    book = IdentificationCodebook.load(path, faults=faults)
+                except CorruptDatasetError:
+                    recoveries += 1
+                    continue
                 codebooks[book.n_challenges] = book
                 continue
             record = EnrollmentRecord.load(path)
             records[record.chip_id] = record
         server = cls(records)
+        server._revocations = revocations
+        server.codebook_recoveries = recoveries
+        for book in codebooks.values():
+            for chip_id in revocations:
+                book.revoke_row(chip_id)
         server._codebooks.update(codebooks)
         return server
 
@@ -258,7 +537,11 @@ class AuthenticationServer:
 
         ``claimed_id`` defaults to the responder's own ``chip_id``
         attribute (the honest case); pass a different id to model an
-        impostor presenting someone else's identity.
+        impostor presenting someone else's identity.  A claim against a
+        revoked identity raises
+        :class:`~repro.core.lifecycle.RevokedChipError` before any
+        challenge is issued -- revoked chips get no transcript material
+        at all.
 
         Transient device failures
         -------------------------
@@ -280,6 +563,7 @@ class AuthenticationServer:
                 )
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self._refuse_revoked(claimed_id, "authentication")
         selector = self.selector(claimed_id)
         for attempt in range(max_attempts):
             # Attempt 0 keeps the historical seed derivation so existing
@@ -345,7 +629,9 @@ class AuthenticationServer:
 
         Both planes produce bit-identical scores for the same blocks,
         and a codebook built with seed ``s`` uses exactly the blocks
-        the dense plane derives from ``s``.
+        the dense plane derives from ``s``.  Revoked identities can win
+        on neither plane: the dense sweep iterates :attr:`active_ids`,
+        the codebook plane masks tombstoned rows out of argmax.
 
         Returns an :class:`IdentificationResult`; ``chip_id`` is
         ``None`` when no identity clears *min_match_fraction* (an
@@ -370,8 +656,11 @@ class AuthenticationServer:
             return self._best_match(
                 book.ids, book.match(responses),
                 min_match_fraction, return_scores,
+                active=book.active_mask,
             )
-        ids = self.enrolled_ids
+        ids = self.active_ids
+        if not ids:
+            raise UnknownChipError("no active identities enrolled")
         blocks = [
             self.selector(chip_id).select(
                 n_challenges, derive_generator(seed, "identify", chip_id)
@@ -396,20 +685,38 @@ class AuthenticationServer:
         match: np.ndarray,
         min_match_fraction: float,
         return_scores: bool,
+        active: Optional[np.ndarray] = None,
     ) -> IdentificationResult:
         """Winner + optional score dict from a sorted-id score vector.
 
         *ids* is ascending, so ``argmax`` (first occurrence wins) is
         exactly the deterministic tie-break: highest score, then
-        lexicographically lowest chip id.
+        lexicographically lowest chip id.  An *active* mask excludes
+        tombstoned (revoked) rows from both the winner search and the
+        reported scores.
         """
-        best = int(np.argmax(match))
+        if active is not None and not active.all():
+            if not active.any():
+                return IdentificationResult(
+                    chip_id=None,
+                    match_fraction=0.0,
+                    scores={} if return_scores else None,
+                )
+            masked = np.where(active, match, -1.0)
+        else:
+            active = None
+            masked = match
+        best = int(np.argmax(masked))
         best_score = float(match[best])
         return IdentificationResult(
             chip_id=ids[best] if best_score >= min_match_fraction else None,
             match_fraction=best_score,
             scores=(
-                {chip_id: float(value) for chip_id, value in zip(ids, match)}
+                {
+                    chip_id: float(value)
+                    for index, (chip_id, value) in enumerate(zip(ids, match))
+                    if active is None or active[index]
+                }
                 if return_scores else None
             ),
         )
@@ -443,8 +750,11 @@ class AuthenticationServer:
             ]
         )
         scores = book.match_many(responses)
+        active = book.active_mask
         return [
-            self._best_match(book.ids, row, min_match_fraction, return_scores)
+            self._best_match(
+                book.ids, row, min_match_fraction, return_scores, active=active
+            )
             for row in scores
         ]
 
@@ -487,6 +797,7 @@ class AuthenticationServer:
         book = self.codebook(n_challenges, seed=seed)
         rows = []
         for chip_id in claimed_ids:
+            self._refuse_revoked(chip_id, "batched authentication")
             self.record(chip_id)  # raises UnknownChipError for strangers
             rows.append(book.row(chip_id))
         responses = np.stack(

@@ -19,6 +19,7 @@ import dataclasses
 import hashlib
 import io
 import zipfile
+import zlib
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
@@ -100,7 +101,14 @@ def _checked_load(path: Path, required: Tuple[str, ...], faults=None) -> Dict[st
             arrays = {name: data[name] for name in data.files}
     except FileNotFoundError:
         raise
-    except (zipfile.BadZipFile, OSError, ValueError, EOFError, KeyError) as exc:
+    except (
+        zipfile.BadZipFile,
+        zlib.error,
+        OSError,
+        ValueError,
+        EOFError,
+        KeyError,
+    ) as exc:
         raise CorruptDatasetError(
             f"dataset file {path} is unreadable or truncated: {exc}"
         ) from exc

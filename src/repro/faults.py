@@ -97,6 +97,17 @@ class Site:
     #: One device-read attempt inside a supervised service session
     #: (index = the service's global read counter).
     SERVICE_READ = "service.read"
+    #: One identification-codebook sync pass (index = the codebook's
+    #: sync counter); crashes here model a rebuild dying mid-flight.
+    CODEBOOK_SYNC = "codebook.sync"
+    #: Codebook persistence (save *and* load; index = the codebook's
+    #: persist counter).  ``corrupt`` specs damage the serialised bytes
+    #: before they hit disk, ``io``/``abort`` specs kill the save before
+    #: the atomic rename -- the previous generation must stay loadable.
+    CODEBOOK_PERSIST = "codebook.persist"
+    #: One step of the fleet-lifecycle driver (index = tick number);
+    #: used by the chaos harness to kill maintenance work mid-tick.
+    SERVICE_LIFECYCLE = "service.lifecycle"
 
 
 #: Recognised values of :attr:`FaultSpec.kind`.

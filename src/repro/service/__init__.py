@@ -17,12 +17,20 @@ compromising the zero-HD protocol's no-replay invariant.
 * :mod:`repro.service.budget` -- never-used challenge-pool accounting;
 * :mod:`repro.service.events` -- structured audit events;
 * :mod:`repro.service.simulation` -- the ``serve-sim`` traffic replay
-  (drifting V/T schedule, injected faults, reliability report).
+  (drifting V/T schedule, injected faults, reliability report);
+* :mod:`repro.service.lifecycle` -- the fleet-lifecycle chaos driver
+  (enrollment churn, aging-driven retighten storms, revocation waves,
+  persistence chaos, gated acceptance report).
 """
 
 from repro.service.budget import ChallengeBudget, PoolExhaustedError
 from repro.service.drift import DriftMonitor, DriftPolicy, MAX_RUNG
 from repro.service.events import AuditLog, AuthEvent, AuthOutcome, challenge_digests
+from repro.service.lifecycle import (
+    LifecycleConfig,
+    LifecycleReport,
+    run_lifecycle_sim,
+)
 from repro.service.resilience import BreakerState, CircuitBreaker, RateLimiter
 from repro.service.service import AuthenticationService, ServiceConfig, ServiceResult
 from repro.service.simulation import (
@@ -42,6 +50,8 @@ __all__ = [
     "CircuitBreaker",
     "DriftMonitor",
     "DriftPolicy",
+    "LifecycleConfig",
+    "LifecycleReport",
     "MAX_RUNG",
     "PoolExhaustedError",
     "RateLimiter",
@@ -51,5 +61,6 @@ __all__ = [
     "VirtualClock",
     "challenge_digests",
     "drift_schedule",
+    "run_lifecycle_sim",
     "run_serve_sim",
 ]

@@ -54,23 +54,29 @@ class ChallengeBudget:
         Remaining fraction below which :attr:`low_water` turns on.
     spent:
         Challenges issued so far (monotone).
+    released:
+        Unspent capacity reclaimed when the chip left the fleet
+        (revocation).  A released pool can never reserve again.
     """
 
     chip_id: str
     capacity: int
     low_water_fraction: float = 0.10
     spent: int = 0
+    released: int = 0
 
     def __post_init__(self) -> None:
         check_positive_int(self.capacity, "capacity")
         check_probability(self.low_water_fraction, "low_water_fraction")
         if self.spent < 0:
             raise ValueError(f"spent must be >= 0, got {self.spent}")
+        if self.released < 0:
+            raise ValueError(f"released must be >= 0, got {self.released}")
 
     @property
     def remaining(self) -> int:
-        """Challenges still available."""
-        return self.capacity - self.spent
+        """Challenges still available (zero once released)."""
+        return self.capacity - self.spent - self.released
 
     @property
     def fraction_remaining(self) -> float:
@@ -104,3 +110,17 @@ class ChallengeBudget:
         was_low = self.low_water
         self.spent += n_challenges
         return self.low_water and not was_low
+
+    def release(self) -> int:
+        """Reclaim the whole unspent pool (the chip left the fleet).
+
+        Called on revocation: the remaining never-used challenges will
+        never be issued under this identity, so their provisioning cost
+        is returned to the operator's ledger instead of leaking.  The
+        reclaimed count is recorded in :attr:`released` and surfaced in
+        the service's budget stats.  Idempotent -- a second call
+        reclaims nothing; a released pool can never reserve again.
+        """
+        reclaimed = self.remaining
+        self.released += reclaimed
+        return reclaimed

@@ -37,6 +37,9 @@ class AuthOutcome(str, enum.Enum):
       spent (the service never replays instead).
     * ``DEADLINE_EXCEEDED`` -- the request's time budget ran out.
     * ``UNKNOWN_CHIP`` -- the claimed identity is not enrolled.
+    * ``REVOKED`` -- fast-fail: the claimed identity has been revoked.
+      No challenge is issued (a revoked chip must get zero transcript
+      material), so these events never carry digests.
 
     Informational outcomes (zero or more per request):
 
@@ -49,6 +52,10 @@ class AuthOutcome(str, enum.Enum):
     * ``RETIGHTEN_APPLIED`` -- an operator committed the flagged
       re-tightening into the enrollment database
       (:meth:`AuthenticationService.apply_retightening`).
+    * ``REVOCATION_COMMITTED`` -- an operator revoked the identity
+      (:meth:`AuthenticationService.revoke`); ``challenges_spent``
+      carries the *negative* of the reclaimed pool balance and
+      ``detail`` the operator's reason.
     * ``BUDGET_LOW`` -- the challenge pool crossed its low-water mark.
 
     Identification outcomes (one per :meth:`identify_many` item):
@@ -68,11 +75,13 @@ class AuthOutcome(str, enum.Enum):
     POOL_EXHAUSTED = "pool-exhausted"
     DEADLINE_EXCEEDED = "deadline-exceeded"
     UNKNOWN_CHIP = "unknown-chip"
+    REVOKED = "revoked"
     READ_FAILED = "read-failed"
     RUNG_ESCALATED = "rung-escalated"
     RUNG_RECOVERED = "rung-recovered"
     RETIGHTEN_FLAGGED = "retighten-flagged"
     RETIGHTEN_APPLIED = "retighten-applied"
+    REVOCATION_COMMITTED = "revocation-committed"
     BUDGET_LOW = "budget-low"
     IDENTIFIED = "identified"
     UNIDENTIFIED = "unidentified"
@@ -89,6 +98,7 @@ DECISION_OUTCOMES = frozenset(
         AuthOutcome.POOL_EXHAUSTED,
         AuthOutcome.DEADLINE_EXCEEDED,
         AuthOutcome.UNKNOWN_CHIP,
+        AuthOutcome.REVOKED,
     }
 )
 

@@ -42,6 +42,7 @@ from repro.baselines.majority_vote import majority_vote_responses
 from repro.core.authentication import AuthResult, DeviceReadError, Responder
 from repro.core.codebook import pack_responses, popcount
 from repro.core.enrollment import EnrollmentRecord
+from repro.core.lifecycle import RevocationRecord, RevokedChipError
 from repro.core.selection import ChallengeSelector
 from repro.core.server import (
     AuthenticationServer,
@@ -301,6 +302,8 @@ class AuthenticationService:
             "budget_remaining": state.budget.remaining,
             "budget_low_water": state.budget.low_water,
             "challenges_spent": state.budget.spent,
+            "challenges_released": state.budget.released,
+            "revoked": self._server.is_revoked(chip_id),
         }
 
     # ------------------------------------------------------------------
@@ -365,6 +368,22 @@ class AuthenticationService:
                 request=request, chip_id=claimed_id,
                 outcome=AuthOutcome.UNKNOWN_CHIP,
                 latency=self._clock() - start, detail=str(exc),
+            )
+        revocation = self._server.revocation(claimed_id)
+        if revocation is not None:
+            # Fast-fail before any per-chip state is touched: a revoked
+            # identity gets no challenges, no breaker/limiter churn, no
+            # transcript material whatsoever.
+            detail = (
+                f"identity revoked ({revocation.reason or 'no reason recorded'}"
+                f", epoch {revocation.epoch})"
+            )
+            self._emit(request, claimed_id, AuthOutcome.REVOKED,
+                       start=start, detail=detail)
+            return ServiceResult(
+                request=request, chip_id=claimed_id,
+                outcome=AuthOutcome.REVOKED,
+                latency=self._clock() - start, detail=detail,
             )
 
         state = self._state(claimed_id)
@@ -561,7 +580,7 @@ class AuthenticationService:
                 start=start,
                 n_challenges=self.config.n_challenges,
                 detail=f"best match {result.match_fraction:.4f} across "
-                       f"{len(self._server.enrolled_ids)} identities",
+                       f"{len(self._server.active_ids)} identities",
                 condition=str(condition),
             )
         return results
@@ -594,6 +613,56 @@ class AuthenticationService:
             ),
         )
         return record
+
+    def revoke(self, chip_id: str, reason: str = "") -> RevocationRecord:
+        """Revoke an identity across the whole serving stack, now.
+
+        One operator action threads the lifecycle transition through
+        every layer: the server marks the identity terminally revoked
+        and tombstones its codebook rows out of argmax
+        (:meth:`AuthenticationServer.revoke`), the chip's unspent
+        challenge budget is reclaimed
+        (:meth:`~repro.service.budget.ChallengeBudget.release` -- the
+        pool would otherwise leak forever), and an
+        :attr:`AuthOutcome.REVOCATION_COMMITTED` audit event records
+        who left and why.  Every subsequent request claiming this
+        identity fast-fails as :attr:`AuthOutcome.REVOKED` without
+        being issued a single challenge.
+
+        Raises :class:`~repro.core.lifecycle.LifecycleError` on double
+        revoke and :class:`UnknownChipError` for strangers -- both
+        *before* anything is mutated.
+        """
+        revocation = self._server.revoke(chip_id, reason=reason)
+        state = self._state(chip_id)
+        reclaimed = state.budget.release()
+        self._emit(
+            self._requests, chip_id,
+            AuthOutcome.REVOCATION_COMMITTED, start=self._clock(),
+            state=state,
+            challenges_spent=-reclaimed,
+            detail=(
+                f"revocation committed (epoch {revocation.epoch}): "
+                f"{reason or 'no reason recorded'}; "
+                f"{reclaimed} unspent challenges reclaimed"
+            ),
+        )
+        return revocation
+
+    @property
+    def budget_stats(self) -> Dict[str, object]:
+        """Fleet-wide challenge-pool accounting, including reclaimed capacity."""
+        spent = sum(s.budget.spent for s in self._chips.values())
+        released = sum(s.budget.released for s in self._chips.values())
+        return {
+            "chips": len(self._chips),
+            "spent": spent,
+            "released": released,
+            "released_chips": sum(
+                1 for s in self._chips.values() if s.budget.released
+            ),
+            "remaining": sum(s.budget.remaining for s in self._chips.values()),
+        }
 
     # ------------------------------------------------------------------
     # Internals

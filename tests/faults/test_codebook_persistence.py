@@ -1,0 +1,117 @@
+"""Kill-and-resume tests for codebook + lifecycle persistence.
+
+The persistence contract: a save killed at any point leaves the
+*previous* file generation intact and loadable; corrupted bytes are
+detected at load (never served as silently wrong scores); and a server
+reload after chaos converges to the same bits a clean rebuild would
+produce.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.codebook import IdentificationCodebook
+from repro.core.server import AuthenticationServer
+from repro.crp.dataset import CorruptDatasetError
+from repro.faults import FaultPlan, FaultSpec, InjectedFault, InjectedIOError, Site
+
+from tests.core.test_codebook_incremental import (
+    assert_bit_identical,
+    fresh_rebuild,
+    seeded_server,
+)
+
+pytestmark = pytest.mark.faults
+
+
+def built_server(seed: int = 50):
+    server = seeded_server(seed)
+    book = server.codebook(64, seed=seed)
+    return server, book
+
+
+class TestKillAndResume:
+    def test_killed_save_leaves_previous_generation(self, tmp_path):
+        """An I/O fault mid-save never touches the file on disk."""
+        server, book = built_server()
+        path = tmp_path / "book.npz"
+        plan = FaultPlan([
+            FaultSpec(Site.CODEBOOK_PERSIST, kind="io", at=1, fail_attempts=1),
+        ])
+        book.save(path, faults=plan)  # persist 0: clean
+        generation_one = path.read_bytes()
+        server.retighten(server.enrolled_ids[0], 0.9, 1.1)
+        server.codebook(64)
+        with pytest.raises(InjectedIOError):
+            book.save(path, faults=plan)  # persist 1: killed
+        assert path.read_bytes() == generation_one  # old generation intact
+        loaded = IdentificationCodebook.load(path)
+        assert loaded.ids == book.ids
+        # The retry replays the same persist index and succeeds.
+        book.save(path, faults=plan)
+        assert path.read_bytes() != generation_one
+        assert_bit_identical(
+            IdentificationCodebook.load(path), fresh_rebuild(server, 64, 50)
+        )
+
+    def test_no_tmp_litter_after_kill(self, tmp_path):
+        server, book = built_server()
+        plan = FaultPlan([FaultSpec(Site.CODEBOOK_PERSIST, kind="io", at=0)])
+        with pytest.raises(InjectedIOError):
+            book.save(tmp_path / "book.npz", faults=plan)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_corrupt_bytes_detected_at_load(self, tmp_path):
+        """A corrupting writer is caught by the checksum, not served."""
+        server, book = built_server()
+        path = tmp_path / "book.npz"
+        plan = FaultPlan([FaultSpec(Site.CODEBOOK_PERSIST, kind="corrupt", at=0)])
+        book.save(path, faults=plan)
+        with pytest.raises(CorruptDatasetError):
+            IdentificationCodebook.load(path)
+
+    def test_load_database_discards_corrupt_codebook_and_rebuilds(self, tmp_path):
+        server, book = built_server(seed=51)
+        plan = FaultPlan([FaultSpec(Site.CODEBOOK_PERSIST, kind="corrupt", at=0)])
+        server.save_database(tmp_path / "db", faults=plan)
+        reloaded = AuthenticationServer.load_database(tmp_path / "db")
+        # Records loaded fine; the bad codebook was discarded, counted,
+        # and a clean rebuild produces the canonical bits.
+        assert reloaded.codebook_recoveries == 1
+        assert reloaded.enrolled_ids == server.enrolled_ids
+        assert_bit_identical(
+            reloaded.codebook(64, seed=51), fresh_rebuild(server, 64, 51)
+        )
+
+    def test_killed_database_save_keeps_directory_loadable(self, tmp_path):
+        server, _ = built_server(seed=52)
+        server.save_database(tmp_path / "db")
+        server.retighten(server.enrolled_ids[0], 0.9, 1.1)
+        plan = FaultPlan([FaultSpec(Site.CODEBOOK_PERSIST, kind="io", at=1)])
+        with pytest.raises(OSError):
+            server.save_database(tmp_path / "db", faults=plan)
+        # The directory still loads -- stale rows are detected by
+        # fingerprint and rebuilt lazily, never trusted.
+        reloaded = AuthenticationServer.load_database(tmp_path / "db")
+        assert_bit_identical(
+            reloaded.codebook(64, seed=52), fresh_rebuild(server, 64, 52)
+        )
+
+
+class TestSyncCrashRecovery:
+    def test_mid_sync_crash_retries_clean(self):
+        """A sync killed mid-flight replays at the same index and heals."""
+        server, book = built_server(seed=53)
+        server.retighten(server.enrolled_ids[0], 0.9, 1.1)
+        plan = FaultPlan([
+            FaultSpec(Site.CODEBOOK_SYNC, kind="crash", at=1, fail_attempts=1),
+        ])
+        with pytest.raises(InjectedFault):
+            server.sync_codebooks(faults=plan)
+        # The crash left the sync counter unchanged, so the retry hits
+        # the same (site, index) visit and succeeds this attempt.
+        assert server.sync_codebooks(faults=plan) == {64: 1}
+        assert_bit_identical(
+            server.codebook(64), fresh_rebuild(server, 64, 53)
+        )

@@ -17,11 +17,16 @@ class TestParser:
             build_parser().parse_args(["frobnicate"])
 
     @pytest.mark.parametrize(
-        "command", ["stability", "enroll", "attack", "auth", "aging"]
+        "command",
+        ["stability", "enroll", "attack", "auth", "aging", "lifecycle-sim"],
     )
     def test_subcommands_parse(self, command):
         args = build_parser().parse_args([command])
         assert args.command == command
+
+    def test_revoke_requires_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["revoke", "some-db"])
 
     def test_global_seed(self):
         args = build_parser().parse_args(["--seed", "9", "stability"])
@@ -76,6 +81,33 @@ class TestCommands:
     def test_figure_unknown_name_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure", "fig99"])
+
+    def test_lifecycle_sim_passes(self, capsys, tmp_path):
+        report = tmp_path / "life.json"
+        code = main(
+            ["lifecycle-sim", "--chips", "3", "--ticks", "3",
+             "--requests-per-chip", "2", "--report", str(report)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no challenge replayed: True" in out
+        assert report.exists()
+
+    def test_revoke_round_trip(self, capsys, tmp_path):
+        db = tmp_path / "db"
+        assert main(
+            ["identify", "--chips", "2", "--probes", "2", "--train", "1000",
+             "--validation", "4000", "--save-db", str(db)]
+        ) == 0
+        capsys.readouterr()
+        code = main(["revoke", str(db), "chip-0", "--reason", "lost"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "revoked chip-0" in out and "lost" in out
+        # Terminal: the second attempt fails, as does a stranger.
+        assert main(["revoke", str(db), "chip-0"]) == 1
+        assert main(["revoke", str(db), "nobody"]) == 1
+        assert main(["revoke", str(tmp_path / "missing"), "chip-0"]) == 2
 
     def test_aging_table(self, capsys):
         code = main(

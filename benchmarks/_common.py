@@ -1,71 +1,26 @@
-"""Shared infrastructure for the reproduction benchmarks.
+"""Compatibility shim: the bench helpers now live in ``repro.bench``.
 
-Every benchmark:
-
-* runs at a laptop-scale default size, switchable to the paper's full
-  experiment sizes with ``REPRO_FULL_SCALE=1``;
-* prints a table with the paper's reported value next to ours (visible
-  even under pytest capture, via ``capsys.disabled()``);
-* saves its series as JSON under ``benchmarks/results/`` so
-  EXPERIMENTS.md can be regenerated from artefacts.
+Everything bench scripts used to import from here -- scale switches,
+the emit/format-row table helpers, results persistence -- is re-
+exported from the :mod:`repro.bench` package (where the truthiness
+parsing of ``REPRO_FULL_SCALE`` is fixed and the scale knob grew the
+named smoke/laptop/paper tiers).  Prefer ``from repro.bench import
+...`` in new code.
 """
 
 from __future__ import annotations
 
-import json
-import os
-from pathlib import Path
-from typing import Any, Dict, Iterable, List, Sequence
+from repro.bench import (  # noqa: F401 -- re-exports
+    active_tier,
+    emit,
+    engine_chunk_size,
+    engine_jobs,
+    format_row,
+    full_scale,
+    results_dir,
+    save_results,
+    scaled,
+)
 
-RESULTS_DIR = Path(__file__).parent / "results"
-
-
-def full_scale() -> bool:
-    """Whether the paper-scale sizes were requested."""
-    return os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0", "false")
-
-
-def engine_jobs() -> int:
-    """Worker-process count for engine-backed benchmarks.
-
-    Set ``REPRO_JOBS`` to fan measurement chunks over worker processes
-    (0 = all cores).  Results are bit-identical at any value.
-    """
-    return int(os.environ.get("REPRO_JOBS", "1") or "1")
-
-
-def engine_chunk_size() -> "int | None":
-    """Engine chunk size override from ``REPRO_CHUNK_SIZE`` (None = default)."""
-    raw = os.environ.get("REPRO_CHUNK_SIZE", "")
-    return int(raw) if raw else None
-
-
-def scaled(default: int, full: int) -> int:
-    """Pick the experiment size for the current scale."""
-    return full if full_scale() else default
-
-
-def emit(capsys, title: str, lines: Iterable[str]) -> None:
-    """Print a benchmark report, bypassing pytest's capture."""
-    with capsys.disabled():
-        print()
-        print(f"=== {title} " + "=" * max(0, 70 - len(title)))
-        for line in lines:
-            print(line)
-
-
-def save_results(name: str, payload: Dict[str, Any]) -> Path:
-    """Persist a benchmark's series for EXPERIMENTS.md bookkeeping."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"{name}.json"
-    payload = dict(payload)
-    payload["full_scale"] = full_scale()
-    with path.open("w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, default=float)
-    return path
-
-
-def format_row(label: str, paper: str, measured: str, note: str = "") -> str:
-    """One aligned paper-vs-measured table row."""
-    row = f"  {label:<28} paper: {paper:<14} ours: {measured:<14}"
-    return row + (f" {note}" if note else "")
+#: Kept for anything that referenced the old module constant.
+RESULTS_DIR = results_dir()

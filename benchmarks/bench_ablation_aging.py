@@ -13,25 +13,33 @@ buy measurably more lifetime -- margin is margin, whatever eats it.
 """
 
 
-
+from repro.bench import format_row, matrix, run_for_test
 
 from repro.experiments.protocols import run_aging_study as run_experiment
-
-from _common import emit, format_row, save_results, scaled
 
 N_STAGES = 32
 N_PUFS = 4
 HOURS = (0.0, 1000.0, 8760.0, 43_800.0, 87_600.0)  # 0, 6 wk, 1 y, 5 y, 10 y
 
 
+@matrix.cell(
+    "ablation_aging",
+    title="Abl-5 -- aging drift vs selection margins",
+    tiers={
+        "smoke": {"n_selected": 10_000},
+        "laptop": {"n_selected": 20_000},
+        "paper": {"n_selected": 100_000},
+    },
+)
+def ablation_aging_cell(ctx):
+    return run_experiment(ctx.params["n_selected"])
 
-def test_ablation_aging(benchmark, capsys):
-    n_selected = scaled(20_000, 100_000)
-    result = benchmark.pedantic(
-        run_experiment, args=(n_selected,), rounds=1, iterations=1
-    )
+
+def _report(run):
+    result = run.payload
     lines = [
-        f"  {n_selected} selected CRPs per policy; accelerated BTI drift "
+        f"  {run.context.params['n_selected']} selected CRPs per policy; "
+        "accelerated BTI drift "
         "(amplitude 0.30, t^0.2; the nominal 0.06 part never flips a "
         "selected CRP over 10 years)",
         "  one-shot flip rate of enrollment-selected CRPs vs age:",
@@ -48,8 +56,14 @@ def test_ablation_aging(benchmark, capsys):
             "yes" if corner[-1] <= nominal[-1] else "NO",
         )
     )
-    emit(capsys, "Abl-5 -- aging drift vs selection margins", lines)
-    save_results("ablation_aging", result)
+    return lines
+
+
+def test_ablation_aging(capsys):
+    run = run_for_test("ablation_aging", capsys, report=_report)
+    result = run.payload
+    nominal = result["flip_rates"]["nominal_beta"]
+    corner = result["flip_rates"]["corner_beta"]
     assert nominal[0] == 0.0 and corner[0] == 0.0  # fresh chip is clean
     assert nominal[-1] > 0.0  # accelerated stress eventually bites
     assert nominal[-1] >= nominal[1]  # drift accumulates

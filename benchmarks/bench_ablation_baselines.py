@@ -13,24 +13,36 @@ margin (impostor match rate vs the acceptance threshold).
 """
 
 
-
+from repro.bench import matrix, run_for_test
 
 from repro.experiments.protocols import run_baseline_comparison as run_experiment
-
-from _common import emit, save_results, scaled
 
 N_STAGES = 32
 N_PUFS = 6
 
 
+@matrix.cell(
+    "ablation_baselines",
+    title="Abl-3 -- scheme comparison",
+    tiers={
+        "smoke": {"n_candidates": 20_000},
+        "laptop": {"n_candidates": 40_000},
+        "paper": {"n_candidates": 200_000},
+    },
+)
+def ablation_baselines_cell(ctx):
+    return run_experiment(ctx.params["n_candidates"])
 
-def test_ablation_baselines(benchmark, capsys):
-    n_candidates = scaled(40_000, 200_000)
-    results = benchmark.pedantic(
-        run_experiment, args=(n_candidates,), rounds=1, iterations=1
-    )
-    lines = [f"  6-XOR PUF; {n_candidates} table candidates; 64-256 bit sessions"]
+
+def _report(run):
+    results = run.payload
+    lines = [
+        f"  6-XOR PUF; {run.context.params['n_candidates']} table "
+        f"candidates; 64-256 bit sessions"
+    ]
     for name, row in results.items():
+        if not isinstance(row, dict):
+            continue
         lines.append(f"  {name}:")
         lines.append(
             f"      honest={'PASS' if row['honest_ok'] else 'FAIL'}  "
@@ -41,8 +53,14 @@ def test_ablation_baselines(benchmark, capsys):
             f"      criterion: {row['criterion']}; usable CRPs: {row['usable_crps']}; "
             f"server storage ~{row['storage_floats']:.0f} words"
         )
-    emit(capsys, "Abl-3 -- scheme comparison", lines)
-    save_results("ablation_baselines", results)
+    return lines
+
+
+def test_ablation_baselines(capsys):
+    run = run_for_test("ablation_baselines", capsys, report=_report)
+    results = {
+        name: row for name, row in run.payload.items() if isinstance(row, dict)
+    }
     for name, row in results.items():
         assert row["honest_ok"], f"{name}: honest device rejected"
         assert not row["impostor_ok"], f"{name}: impostor accepted"

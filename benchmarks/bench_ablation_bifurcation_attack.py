@@ -13,24 +13,32 @@ measures both sides on a 2-XOR PUF:
 """
 
 
-
+from repro.bench import format_row, matrix, run_for_test
 
 from repro.experiments.attacks import run_bifurcation_attack as run_experiment
-
-from _common import emit, format_row, save_results, scaled
 
 N_STAGES = 32
 N_PUFS = 2
 
 
+@matrix.cell(
+    "ablation_bifurcation_attack",
+    title="Abl-7 -- noise bifurcation vs the MLP attack",
+    tiers={
+        "smoke": {"budgets": [2000, 8000, 20_000]},
+        "laptop": {"budgets": [2000, 8000, 20_000]},
+        "paper": {"budgets": [2000, 8000, 100_000]},
+    },
+    warmup=0,
+)
+def ablation_bifurcation_attack_cell(ctx):
+    return run_experiment(list(ctx.params["budgets"]))
 
-def test_ablation_bifurcation_attack(benchmark, capsys):
-    budgets = [2000, 8000, scaled(20_000, 100_000)]
-    result = benchmark.pedantic(
-        run_experiment, args=(budgets,), rounds=1, iterations=1
-    )
+
+def _report(run):
+    result = run.payload
     lines = [
-        f"  2-XOR PUF; MLP attack on clean vs bifurcated transcripts:",
+        "  2-XOR PUF; MLP attack on clean vs bifurcated transcripts:",
     ]
     for row in result["series"]:
         lines.append(
@@ -48,8 +56,12 @@ def test_ablation_bifurcation_attack(benchmark, capsys):
             f"vs guess {result['guess_baseline']:.0%}",
         )
     )
-    emit(capsys, "Abl-7 -- noise bifurcation vs the MLP attack", lines)
-    save_results("ablation_bifurcation_attack", result)
+    return lines
+
+
+def test_ablation_bifurcation_attack(capsys):
+    run = run_for_test("ablation_bifurcation_attack", capsys, report=_report)
+    result = run.payload
     first = result["series"][0]
     last = result["series"][-1]
     # The label noise hurts the attacker at every budget...

@@ -19,20 +19,30 @@ structural model -- do better than parity-feature learners.)
 
 from __future__ import annotations
 
+from repro.bench import format_row, matrix, run_for_test
+
 from repro.experiments.feedforward import run_feedforward_comparison as run_experiment
 
-from _common import emit, format_row, save_results, scaled
+
+@matrix.cell(
+    "ablation_feedforward",
+    title="Abl-8 -- XOR width vs feed-forward structure",
+    tiers={
+        "smoke": {"n_train": 10_000},
+        "laptop": {"n_train": 15_000},
+        "paper": {"n_train": 100_000},
+    },
+    warmup=0,
+)
+def ablation_feedforward_cell(ctx):
+    return run_experiment(n_train=ctx.params["n_train"], seed=3)
 
 
-def test_ablation_feedforward(benchmark, capsys):
-    n_train = scaled(15_000, 100_000)
-    result = benchmark.pedantic(
-        run_experiment, kwargs={"n_train": n_train, "seed": 3},
-        rounds=1, iterations=1,
-    )
+def _report(run):
+    result = run.payload
     lines = [
-        f"  {n_train} training CRPs; stability over 101 reads; "
-        "5-loop feed-forward topology",
+        f"  {run.context.params['n_train']} training CRPs; stability over "
+        "101 reads; 5-loop feed-forward topology",
         f"  {'structure':<16} {'n':>2} {'stability':>10} "
         f"{'logistic':>10} {'MLP':>8}",
     ]
@@ -48,8 +58,12 @@ def test_ablation_feedforward(benchmark, capsys):
             "feed-forward breaks the paper's linear-regression enrollment",
         )
     )
-    emit(capsys, "Abl-8 -- XOR width vs feed-forward structure", lines)
-    save_results("ablation_feedforward", result)
+    return lines
+
+
+def test_ablation_feedforward(capsys):
+    run = run_for_test("ablation_feedforward", capsys, report=_report)
+    result = run.payload
     for n_key in result["linear"]:
         linear, ff = result["linear"][n_key], result["feedforward"][n_key]
         # Structure buys attack resistance...

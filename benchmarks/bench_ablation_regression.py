@@ -13,32 +13,31 @@ prediction accuracy, and fit time.
 """
 
 
-
-import numpy as np
-
+from repro.bench import format_row, matrix, run_for_test
 
 from repro.experiments.regression import run_regression_methods as run_experiment
-
-from _common import emit, format_row, save_results, scaled
 
 N_STAGES = 32
 
 
-def _cosine(a: np.ndarray, b: np.ndarray) -> float:
-    # Drop the constant feature: the linear method absorbs the 0.5
-    # offset of fractional targets there.
-    a, b = a[:-1], b[:-1]
-    return float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b)))
+@matrix.cell(
+    "ablation_regression",
+    title="Abl-1 -- delay-parameter extraction methods",
+    # The paper's enrollment budget is 5 000 CRPs at every tier.
+    tiers={"laptop": {"n_train": 5000}},
+)
+def ablation_regression_cell(ctx):
+    return run_experiment(ctx.params["n_train"])
 
 
-
-def test_ablation_regression_methods(benchmark, capsys):
-    n_train = scaled(5000, 5000)
-    result = benchmark.pedantic(
-        run_experiment, args=(n_train,), rounds=1, iterations=1
-    )
-    lines = [f"  one PUF, {n_train} enrollment challenges; method comparison:"]
-    for method, row in result.items():
+def _report(run):
+    lines = [
+        f"  one PUF, {run.context.params['n_train']} enrollment "
+        f"challenges; method comparison:"
+    ]
+    for method, row in run.payload.items():
+        if not isinstance(row, dict):
+            continue
         lines.append(
             format_row(
                 method,
@@ -47,8 +46,15 @@ def test_ablation_regression_methods(benchmark, capsys):
                 f"acc {row['accuracy']:.2%}, fit {row['fit_ms']:.1f} ms",
             )
         )
-    emit(capsys, "Abl-1 -- delay-parameter extraction methods", lines)
-    save_results("ablation_regression", result)
+    return lines
+
+
+def test_ablation_regression_methods(capsys):
+    run = run_for_test("ablation_regression", capsys, report=_report)
+    result = {
+        method: row for method, row in run.payload.items()
+        if isinstance(row, dict)
+    }
     # All four recover the direction; the statistically matched
     # estimators (probit / binomial MLE) align at least as well as the
     # paper's plain OLS, which trades alignment for a closed-form fit.

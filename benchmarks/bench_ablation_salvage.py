@@ -15,57 +15,65 @@ policy keeps only ~0.8**8 = 17 % of CRPs:
 """
 
 
-
+from repro.bench import format_row, matrix, run_for_test
 
 from repro.experiments.protocols import run_salvage_comparison as run_experiment
-
-from _common import emit, format_row, save_results, scaled
 
 N_STAGES = 32
 N_PUFS = 8
 
 
+@matrix.cell(
+    "ablation_salvage",
+    title="Abl-6 -- all-stable selection vs XOR-level salvage (n = 8)",
+    tiers={
+        "smoke": {"n_candidates": 10_000},
+        "laptop": {"n_candidates": 20_000},
+        "paper": {"n_candidates": 200_000},
+    },
+)
+def ablation_salvage_cell(ctx):
+    return run_experiment(ctx.params["n_candidates"])
 
-def test_ablation_salvage(benchmark, capsys):
-    n_candidates = scaled(20_000, 200_000)
-    result = benchmark.pedantic(
-        run_experiment, args=(n_candidates,), rounds=1, iterations=1
-    )
+
+def _report(run):
+    result = run.payload
     model, salvage = result["model"], result["salvage"]
-    emit(
-        capsys,
-        "Abl-6 -- all-stable selection vs XOR-level salvage (n = 8)",
-        [
-            format_row(
-                "usable-CRP yield (model)", "0.545**n-ish",
-                f"{model['yield']:.2%}",
-            ),
-            format_row(
-                "usable-CRP yield (salvage)", "> all-stable 0.8**n",
-                f"{salvage['yield']:.2%}",
-                f"(all-stable ref {result['all_stable_reference_yield']:.2%})",
-            ),
-            format_row(
-                "enrollment reads (model)", "counters, fuse-gated",
-                f"{model['enroll_reads']:.1e}",
-            ),
-            format_row(
-                "enrollment reads (salvage)", "protocol traffic",
-                f"{salvage['enroll_reads']:.1e}",
-            ),
-            format_row("criterion (model)", "zero HD", model["criterion"]),
-            format_row("criterion (salvage)", "relaxed", salvage["criterion"]),
-            format_row(
-                "honest / impostor (model)", "pass / reject",
-                f"{model['honest_ok']} / {model['impostor_ok']}",
-            ),
-            format_row(
-                "honest / impostor (salvage)", "pass / reject",
-                f"{salvage['honest_ok']} / {salvage['impostor_ok']}",
-            ),
-        ],
-    )
-    save_results("ablation_salvage", result)
+    return [
+        format_row(
+            "usable-CRP yield (model)", "0.545**n-ish",
+            f"{model['yield']:.2%}",
+        ),
+        format_row(
+            "usable-CRP yield (salvage)", "> all-stable 0.8**n",
+            f"{salvage['yield']:.2%}",
+            f"(all-stable ref {result['all_stable_reference_yield']:.2%})",
+        ),
+        format_row(
+            "enrollment reads (model)", "counters, fuse-gated",
+            f"{model['enroll_reads']:.1e}",
+        ),
+        format_row(
+            "enrollment reads (salvage)", "protocol traffic",
+            f"{salvage['enroll_reads']:.1e}",
+        ),
+        format_row("criterion (model)", "zero HD", model["criterion"]),
+        format_row("criterion (salvage)", "relaxed", salvage["criterion"]),
+        format_row(
+            "honest / impostor (model)", "pass / reject",
+            f"{model['honest_ok']} / {model['impostor_ok']}",
+        ),
+        format_row(
+            "honest / impostor (salvage)", "pass / reject",
+            f"{salvage['honest_ok']} / {salvage['impostor_ok']}",
+        ),
+    ]
+
+
+def test_ablation_salvage(capsys):
+    run = run_for_test("ablation_salvage", capsys, report=_report)
+    result = run.payload
+    model, salvage = result["model"], result["salvage"]
     assert model["honest_ok"] and not model["impostor_ok"]
     assert salvage["honest_ok"] and not salvage["impostor_ok"]
     # The structural trade the paper describes:

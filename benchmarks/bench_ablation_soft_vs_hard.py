@@ -11,25 +11,29 @@ on-chip counters.
 """
 
 
-
+from repro.bench import format_row, matrix, run_for_test
 
 from repro.experiments.regression import run_soft_vs_hard as run_experiment
-
-from _common import emit, format_row, full_scale, save_results
 
 N_STAGES = 32
 
 
+@matrix.cell(
+    "ablation_soft_vs_hard",
+    title="Abl-2 -- soft-response vs hard-response enrollment",
+    tiers={
+        "smoke": {"budgets": [100, 300, 1000, 5000]},
+        "laptop": {"budgets": [100, 300, 1000, 5000]},
+        "paper": {"budgets": [100, 300, 1000, 5000, 20_000]},
+    },
+)
+def ablation_soft_vs_hard_cell(ctx):
+    return {"series": run_experiment(list(ctx.params["budgets"]))}
 
-def test_ablation_soft_vs_hard(benchmark, capsys):
-    budgets = (
-        [100, 300, 1000, 5000, 20_000] if full_scale() else [100, 300, 1000, 5000]
-    )
-    series = benchmark.pedantic(
-        run_experiment, args=(budgets,), rounds=1, iterations=1
-    )
+
+def _report(run):
     lines = ["  binomial-MLE-on-soft vs logistic-on-hard, same challenge budget:"]
-    for row in series:
+    for row in run.payload["series"]:
         lines.append(
             format_row(
                 f"budget {row['budget']}",
@@ -38,8 +42,12 @@ def test_ablation_soft_vs_hard(benchmark, capsys):
                 f"hard {row['hard_accuracy']:.2%}",
             )
         )
-    emit(capsys, "Abl-2 -- soft-response vs hard-response enrollment", lines)
-    save_results("ablation_soft_vs_hard", {"series": series})
+    return lines
+
+
+def test_ablation_soft_vs_hard(capsys):
+    run = run_for_test("ablation_soft_vs_hard", capsys, report=_report)
+    series = run.payload["series"]
     # Soft responses dominate at every budget and dramatically at small
     # ones (the counters buy ~an order of magnitude of challenges).
     for row in series:

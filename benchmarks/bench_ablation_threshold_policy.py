@@ -12,23 +12,34 @@ response disagree with the server's prediction?
 """
 
 
-
+from repro.bench import format_row, matrix, run_for_test
 
 from repro.experiments.thresholds import run_threshold_policy as run_experiment
-
-from _common import emit, format_row, save_results, scaled
 
 N_STAGES = 32
 
 
+@matrix.cell(
+    "ablation_threshold_policy",
+    title="Abl-4 -- threshold policy flip errors",
+    tiers={
+        "smoke": {"n_eval": 50_000},
+        "laptop": {"n_eval": 100_000},
+        "paper": {"n_eval": 1_000_000},
+    },
+)
+def ablation_threshold_policy_cell(ctx):
+    return run_experiment(ctx.params["n_eval"])
 
-def test_ablation_threshold_policy(benchmark, capsys):
-    n_eval = scaled(100_000, 1_000_000)
-    policies = benchmark.pedantic(
-        run_experiment, args=(n_eval,), rounds=1, iterations=1
-    )
-    lines = [f"  one PUF, {n_eval} one-shot authentication bits per policy"]
-    for name, row in policies.items():
+
+def _report(run):
+    lines = [
+        f"  one PUF, {run.context.params['n_eval']} one-shot "
+        f"authentication bits per policy"
+    ]
+    for name, row in run.payload.items():
+        if not isinstance(row, dict):
+            continue
         lines.append(
             format_row(
                 name,
@@ -37,8 +48,12 @@ def test_ablation_threshold_policy(benchmark, capsys):
                 f"usable {row['usable_fraction']:.1%}",
             )
         )
-    emit(capsys, "Abl-4 -- threshold policy flip errors", lines)
-    save_results("ablation_threshold_policy", policies)
+    return lines
+
+
+def test_ablation_threshold_policy(capsys):
+    run = run_for_test("ablation_threshold_policy", capsys, report=_report)
+    policies = run.payload
     # The flip-error ordering the paper's design rests on:
     assert (
         policies["three_category_beta"]["error_rate"]

@@ -22,9 +22,8 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.protocol_design import false_accept_rate
+from repro.bench import format_row, matrix, run_for_test
 from repro.silicon.wafer import fabricate_wafer, uniqueness_vs_distance
-
-from _common import emit, format_row, save_results, scaled
 
 
 def run_experiment(n_challenges: int, seed: int = 0):
@@ -53,13 +52,28 @@ def run_experiment(n_challenges: int, seed: int = 0):
     return results
 
 
-def test_ablation_wafer(benchmark, capsys):
-    n_challenges = scaled(3000, 20_000)
-    results = benchmark.pedantic(
-        run_experiment, args=(n_challenges,), rounds=1, iterations=1
-    )
-    lines = [f"  3x3 die grid, {n_challenges} challenges, 64-bit zero-HD FAR:"]
+@matrix.cell(
+    "ablation_wafer",
+    title="Abl-9 -- wafer spatial correlation vs uniqueness",
+    tiers={
+        "smoke": {"n_challenges": 2000},
+        "laptop": {"n_challenges": 3000},
+        "paper": {"n_challenges": 20_000},
+    },
+)
+def ablation_wafer_cell(ctx):
+    return run_experiment(ctx.params["n_challenges"])
+
+
+def _report(run):
+    results = run.payload
+    lines = [
+        f"  3x3 die grid, {run.context.params['n_challenges']} challenges, "
+        f"64-bit zero-HD FAR:"
+    ]
     for label, row in results.items():
+        if not isinstance(row, dict):
+            continue
         lines.append(
             format_row(
                 f"{label}: neighbour HD", "0.5 if independent",
@@ -67,15 +81,18 @@ def test_ablation_wafer(benchmark, capsys):
                 f"FAR(neighbour) {row['far_neighbour_64']:.2e}",
             )
         )
-    independents = results["independent"]
     lines.append(
         format_row(
             "independent reference FAR", "2**-64 = 5.4e-20",
-            f"{independents['far_neighbour_64']:.2e}",
+            f"{results['independent']['far_neighbour_64']:.2e}",
         )
     )
-    emit(capsys, "Abl-9 -- wafer spatial correlation vs uniqueness", lines)
-    save_results("ablation_wafer", results)
+    return lines
+
+
+def test_ablation_wafer(capsys):
+    run = run_for_test("ablation_wafer", capsys, report=_report)
+    results = run.payload
     assert results["independent"]["neighbour_hd"] == pytest.approx(0.5, abs=0.06)
     assert results["strong"]["neighbour_hd"] < results["moderate"]["neighbour_hd"]
     assert results["moderate"]["neighbour_hd"] < 0.5

@@ -17,13 +17,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.bench import format_row, matrix, run_for_test
 from repro.crp.challenges import random_challenges
 from repro.silicon.arbiter import ArbiterPuf
 from repro.silicon.counters import measure_soft_responses
 from repro.silicon.delays import expected_delay_std
 from repro.silicon.noise import PAPER_N_TRIALS, calibrate_noise_sigma
-
-from _common import emit, format_row, save_results, scaled
 
 N_STAGES = 32
 TARGETS = (0.60, 0.70, 0.80, 0.90, 0.95)
@@ -59,15 +58,24 @@ def run_experiment(n_challenges: int, n_chips: int, seed: int = 0):
     return {"n_challenges": n_challenges, "n_chips": n_chips, "series": series}
 
 
-def test_calibration_sweep(benchmark, capsys):
-    n_challenges = scaled(20_000, 200_000)
-    n_chips = scaled(6, 10)
-    result = benchmark.pedantic(
-        run_experiment, args=(n_challenges, n_chips), rounds=1, iterations=1
-    )
+@matrix.cell(
+    "calibration",
+    title="Calibration -- stability integral vs simulated silicon",
+    tiers={
+        "smoke": {"n_challenges": 10_000, "n_chips": 6},
+        "laptop": {"n_challenges": 20_000, "n_chips": 6},
+        "paper": {"n_challenges": 200_000, "n_chips": 10},
+    },
+)
+def calibration_cell(ctx):
+    return run_experiment(ctx.params["n_challenges"], ctx.params["n_chips"])
+
+
+def _report(run):
+    result = run.payload
     lines = [
-        f"  {n_chips} chips x {n_challenges} challenges x {PAPER_N_TRIALS} "
-        "reads per target:",
+        f"  {result['n_chips']} chips x {result['n_challenges']} challenges "
+        f"x {PAPER_N_TRIALS} reads per target:",
     ]
     for row in result["series"]:
         lines.append(
@@ -79,8 +87,12 @@ def test_calibration_sweep(benchmark, capsys):
                 f"sigma_n {row['noise_sigma']:.3f})",
             )
         )
-    emit(capsys, "Calibration -- stability integral vs simulated silicon", lines)
-    save_results("calibration", result)
+    return lines
+
+
+def test_calibration_sweep(capsys):
+    run = run_for_test("calibration", capsys, report=_report)
+    result = run.payload
     for row in result["series"]:
         assert row["measured_mean"] == pytest.approx(row["target"], abs=0.04)
     # Noise sigma must fall as the stability demand rises.

@@ -6,7 +6,7 @@ enrolled identity, O(N) per mutation).  The mutation journal makes the
 sync touch only the rows that actually changed, so steady-state fleet
 maintenance (a re-tighten here, a revocation there) costs O(changed).
 
-This benchmark pins that claim at population scale:
+The ``codebook_sync`` matrix cell pins that claim at population scale:
 
 * builds one codebook over N synthetic enrollment records (real
   selection maths, millisecond construction -- population size is the
@@ -15,22 +15,22 @@ This benchmark pins that claim at population scale:
   journal-driven incremental sync against the global-epoch baseline
   (the same sync with ``dirty=None``: a full fingerprint sweep),
   min-of-k per wave so OS scheduling noise is not billed to either path;
-* reports the p99 of both distributions, asserts the >= 10x floor,
+* reports the p99 of both distributions, asserts the tier's floor,
   verifies the two books stay bit-identical throughout, and merges the
-  series into ``BENCH_throughput.json``.
+  p99 speedup (the gated metric) into ``BENCH_throughput.json``.
 
-Runs standalone (the CI chaos job) or under pytest::
+Runs standalone (CI back-compat), under pytest, or via the matrix CLI::
 
     python benchmarks/bench_codebook_sync.py --smoke   # N=1000
     python benchmarks/bench_codebook_sync.py           # N=10000
     pytest benchmarks/bench_codebook_sync.py           # smoke-sized
+    repro-puf bench run codebook_sync --tier smoke
 """
 
 from __future__ import annotations
 
 import argparse
 import gc
-import json
 import sys
 import time
 from pathlib import Path
@@ -45,16 +45,20 @@ from repro.core.model import LinearPufModel, XorPufModel
 from repro.core.server import AuthenticationServer
 from repro.core.thresholds import ThresholdPair
 
-try:
-    from _common import emit, format_row, save_results
-except ImportError:  # standalone: benchmarks/ is the script directory
+if str(Path(__file__).parent) not in sys.path:  # standalone execution
     sys.path.insert(0, str(Path(__file__).parent))
-    from _common import emit, format_row, save_results
+
+from repro.bench import (
+    format_row,
+    matrix,
+    record_result,
+    run_cell,
+    run_for_test,
+)
 
 N_STAGES = 32
 N_XORS = 2
 N_CHALLENGES = 64
-ROOT_REPORT = Path(__file__).parent.parent / "BENCH_throughput.json"
 
 #: Acceptance floors: p99 incremental sync must be at least this much
 #: cheaper than the global-epoch full sweep after a mutation wave.  The
@@ -74,15 +78,6 @@ WAVES = 30
 #: so every rep really does rebuild the row.)  Applied identically to
 #: both paths.
 REPS = 3
-
-
-def _update_root_report(section: str, payload: dict) -> None:
-    """Merge one section into the repo-root throughput report."""
-    report = {}
-    if ROOT_REPORT.exists():
-        report = json.loads(ROOT_REPORT.read_text(encoding="utf-8"))
-    report[section] = payload
-    ROOT_REPORT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
 
 
 def synth_record(chip_id: str, seed: int) -> EnrollmentRecord:
@@ -172,6 +167,10 @@ def measure(n_identities: int, waves: int = WAVES) -> Dict[str, object]:
         "n_identities": n_identities,
         "waves": waves,
         "timing_reps": REPS,
+        "shape": (
+            f"{N_XORS}-XOR synthetic records, {N_CHALLENGES} "
+            f"challenges/identity, {waves} single-chip mutation waves"
+        ),
         "codebook_build_seconds": build_seconds,
         "incremental_p50_seconds": float(np.median(incremental_times)),
         "incremental_p99_seconds": p99_incremental,
@@ -182,49 +181,60 @@ def measure(n_identities: int, waves: int = WAVES) -> Dict[str, object]:
     }
 
 
-def run(n_identities: int, *, smoke: bool, printer=print) -> Dict[str, object]:
-    payload = measure(n_identities)
-    printer(
-        f"N={n_identities}: build {payload['codebook_build_seconds']:.2f}s, "
-        f"per-mutation sync p99 "
+@matrix.cell(
+    "codebook_sync",
+    title="Throughput -- incremental codebook sync",
+    tiers={
+        "smoke": {"n_identities": SMOKE_N, "waves": 15,
+                  "floor": MIN_P99_SPEEDUP_SMOKE},
+        "laptop": {"n_identities": SMOKE_N, "waves": WAVES,
+                   "floor": MIN_P99_SPEEDUP_SMOKE},
+        "paper": {"n_identities": FULL_N, "waves": WAVES,
+                  "floor": MIN_P99_SPEEDUP_FULL},
+    },
+    metric="p99_speedup",
+    unit="x",
+    direction="higher",
+    trajectory=True,
+    gated=True,
+    warmup=0,  # measure() runs its own warm-up wave
+)
+def codebook_sync_cell(ctx):
+    payload = measure(ctx.params["n_identities"], ctx.params["waves"])
+    payload["floor"] = ctx.params["floor"]
+    return payload
+
+
+def _summary_line(payload: Dict[str, object]) -> str:
+    return (
+        f"  N={payload['n_identities']}: build "
+        f"{payload['codebook_build_seconds']:.2f}s, per-mutation sync p99 "
         f"{1e3 * payload['incremental_p99_seconds']:.2f} ms incremental vs "
         f"{1e3 * payload['full_sweep_p99_seconds']:.2f} ms full sweep "
         f"({payload['p99_speedup']:.1f}x)"
     )
-    report = {
-        "shape": (
-            f"{N_XORS}-XOR synthetic records, {N_CHALLENGES} "
-            f"challenges/identity, {WAVES} single-chip mutation waves"
-        ),
-        "mode": "smoke" if smoke else "full",
-        "series": [payload],
-    }
-    _update_root_report(
-        "codebook_sync_smoke" if smoke else "codebook_sync", report
-    )
-    save_results("codebook_sync", report)
-    floor = MIN_P99_SPEEDUP_SMOKE if smoke else MIN_P99_SPEEDUP_FULL
+
+
+def _check_floor(payload: Dict[str, object], floor: float) -> None:
     if payload["p99_speedup"] < floor:
         raise AssertionError(
-            f"incremental sync p99 at N={n_identities} is only "
+            f"incremental sync p99 at N={payload['n_identities']} is only "
             f"{payload['p99_speedup']:.1f}x cheaper than the full sweep "
             f"(floor {floor:.1f}x)"
         )
-    return payload
 
 
 def test_codebook_sync_smoke(capsys):
-    """Pytest entry: the smoke-sized run with its 10x floor."""
-    lines: List[str] = []
-    payload = run(SMOKE_N, smoke=True, printer=lines.append)
-    emit(capsys, "Throughput -- incremental codebook sync", [
-        *(f"  {line}" for line in lines),
+    """Pytest entry: the smoke-sized cell with its floor."""
+    run = run_for_test("codebook_sync", capsys, report=lambda r: [
+        _summary_line(r.payload),
         format_row(
-            f"p99 speedup @ N={SMOKE_N}",
-            f">= {MIN_P99_SPEEDUP_SMOKE:.1f}x",
-            f"{payload['p99_speedup']:.1f}x",
+            f"p99 speedup @ N={r.payload['n_identities']}",
+            f">= {r.payload['floor']:.1f}x",
+            f"{r.payload['p99_speedup']:.1f}x",
         ),
     ])
+    _check_floor(run.payload, run.payload["floor"])
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -239,9 +249,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--n", type=int, default=None, help="population size")
     args = parser.parse_args(argv)
-    n_identities = args.n or (SMOKE_N if args.smoke else FULL_N)
     try:
-        run(n_identities, smoke=args.smoke)
+        if args.n is not None:
+            floor = MIN_P99_SPEEDUP_SMOKE if args.smoke else MIN_P99_SPEEDUP_FULL
+            payload = measure(args.n)
+            payload["floor"] = floor
+        else:
+            tier = "smoke" if args.smoke else "paper"
+            run = run_cell(matrix.get("codebook_sync"), tier=tier, samples=1)
+            record_result(run)
+            payload = run.payload
+        print(_summary_line(payload).strip())
+        _check_floor(payload, payload["floor"])
     except AssertionError as failure:
         print(f"FAIL: {failure}", file=sys.stderr)
         return 1

@@ -20,12 +20,11 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.bench import format_row, matrix, run_for_test
 from repro.crp.challenges import random_challenges
 from repro.engine import EvaluationEngine
 from repro.faults import FaultPlan, FaultSpec, InjectedCampaignAbort, Site
 from repro.silicon.xorpuf import XorArbiterPuf
-
-from _common import emit, engine_chunk_size, engine_jobs, format_row, save_results, scaled
 
 N_STAGES = 32
 N_PUFS = 4
@@ -42,10 +41,7 @@ def _sweep(engine, xor_puf, challenges):
     return np.stack([d.soft_responses for d in datasets]), elapsed
 
 
-def test_checkpoint_overhead_and_resume_speedup(capsys):
-    n_challenges = scaled(16 * CHUNK, 256 * CHUNK)
-    jobs = engine_jobs()
-    chunk_size = engine_chunk_size() or CHUNK
+def run_experiment(n_challenges: int, jobs: int, chunk_size: int):
     xor_puf = XorArbiterPuf.create(N_PUFS, N_STAGES, seed=76)
     challenges = random_challenges(n_challenges, N_STAGES, seed=78)
     campaign_root = Path(tempfile.mkdtemp(prefix="repro-bench-ckpt-"))
@@ -89,22 +85,12 @@ def test_checkpoint_overhead_and_resume_speedup(capsys):
         report = resumer.last_report
         resumed_fraction = report.chunks_resumed / report.chunks_total
         speedup = t_plain / t_resume if t_resume > 0 else float("inf")
-
-        emit(capsys, "Fault tolerance -- checkpoint overhead & resume", [
-            f"  {n_challenges} challenges x {N_TRIALS} trials, "
-            f"{N_PUFS} PUFs, chunk={chunk_size}, jobs={jobs}",
-            format_row("plain sweep", "--", f"{t_plain:.2f} s"),
-            format_row("checkpointed sweep", "--", f"{t_checkpointed:.2f} s",
-                       f"(+{overhead:.1%} overhead)"),
-            format_row("resumed fraction", "--", f"{resumed_fraction:.0%}",
-                       f"(killed at chunk {abort_at}/{n_chunks})"),
-            format_row("resume vs cold run", "--", f"{speedup:.2f}x",
-                       f"({t_resume:.2f} s to finish)"),
-        ])
-        save_results("fault_tolerance", {
+        return {
             "n_challenges": n_challenges,
             "chunk_size": chunk_size,
             "jobs": jobs,
+            "n_chunks": n_chunks,
+            "abort_at": abort_at,
             "plain_seconds": t_plain,
             "checkpointed_seconds": t_checkpointed,
             "checkpoint_overhead": overhead,
@@ -112,7 +98,42 @@ def test_checkpoint_overhead_and_resume_speedup(capsys):
             "resume_seconds": t_resume,
             "resumed_fraction": resumed_fraction,
             "resume_speedup": speedup,
-        })
-        assert report.chunks_resumed >= 1
+            "chunks_resumed": report.chunks_resumed,
+        }
     finally:
         shutil.rmtree(campaign_root, ignore_errors=True)
+
+
+@matrix.cell(
+    "fault_tolerance",
+    title="Fault tolerance -- checkpoint overhead & resume",
+    tiers={
+        "smoke": {"n_chunks": 8},
+        "laptop": {"n_chunks": 16},
+        "paper": {"n_chunks": 256},
+    },
+    warmup=0,
+)
+def fault_tolerance_cell(ctx):
+    chunk_size = ctx.chunk_size or CHUNK
+    return run_experiment(ctx.params["n_chunks"] * chunk_size, ctx.jobs, chunk_size)
+
+
+def _report(run):
+    r = run.payload
+    return [
+        f"  {r['n_challenges']} challenges x {N_TRIALS} trials, "
+        f"{N_PUFS} PUFs, chunk={r['chunk_size']}, jobs={r['jobs']}",
+        format_row("plain sweep", "--", f"{r['plain_seconds']:.2f} s"),
+        format_row("checkpointed sweep", "--", f"{r['checkpointed_seconds']:.2f} s",
+                   f"(+{r['checkpoint_overhead']:.1%} overhead)"),
+        format_row("resumed fraction", "--", f"{r['resumed_fraction']:.0%}",
+                   f"(killed at chunk {r['abort_at']}/{r['n_chunks']})"),
+        format_row("resume vs cold run", "--", f"{r['resume_speedup']:.2f}x",
+                   f"({r['resume_seconds']:.2f} s to finish)"),
+    ]
+
+
+def test_checkpoint_overhead_and_resume_speedup(capsys):
+    run = run_for_test("fault_tolerance", capsys, report=_report)
+    assert run.payload["chunks_resumed"] >= 1

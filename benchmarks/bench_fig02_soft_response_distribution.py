@@ -5,54 +5,60 @@ chips at 0.9 V / 25 degC, histogrammed in 0.01 bins.  Reported numbers:
 Pr(soft = 0.00) = 39.7 %, Pr(soft = 1.00) = 40.1 %, i.e. ~80 % of
 challenges are 100 % stable.
 
-Default scale: 200 k challenges across a 10-chip lot (the fractions are
-scale-invariant); ``REPRO_FULL_SCALE=1`` runs the full 1 M.
+The fractions are scale-invariant, so the matrix tiers only move the
+challenge count: 50 k (smoke), 200 k (laptop), the full 1 M (paper).
 """
 
 
 import numpy as np
 
 from repro.analysis.statistics import wilson_interval
+from repro.bench import format_row, matrix, run_for_test
 from repro.silicon.noise import PAPER_N_TRIALS
 
 from repro.experiments.stability import run_fig02 as run_experiment
 
-from _common import emit, engine_chunk_size, engine_jobs, format_row, save_results, scaled
-
 N_STAGES = 32
 
 
-
-def test_fig02_soft_response_distribution(benchmark, capsys):
-    n_challenges = scaled(200_000, 1_000_000)
-    result = benchmark.pedantic(
-        run_experiment,
-        args=(n_challenges,),
-        kwargs={"jobs": engine_jobs(), "chunk_size": engine_chunk_size()},
-        rounds=1,
-        iterations=1,
+@matrix.cell(
+    "fig02",
+    title="Fig. 2 -- soft-response distribution (single MUX PUF)",
+    tiers={
+        "smoke": {"n_challenges": 50_000},
+        "laptop": {"n_challenges": 200_000},
+        "paper": {"n_challenges": 1_000_000},
+    },
+)
+def fig02_cell(ctx):
+    return run_experiment(
+        ctx.params["n_challenges"], jobs=ctx.jobs, chunk_size=ctx.chunk_size
     )
+
+
+def _report(run):
+    result = run.payload
     stable = result["stable_zero"] + result["stable_one"]
     n_total = result["n_chips"] * result["n_challenges_per_chip"]
     lo, hi = wilson_interval(int(round(stable * n_total)), n_total)
     hist = np.asarray(result["histogram"])
     # The mid-range of Fig. 2 is flat and tiny; report its mean level.
     mid_level = hist[30:71].mean()
+    return [
+        f"  lot: {result['n_chips']} chips x "
+        f"{result['n_challenges_per_chip']} challenges x {PAPER_N_TRIALS} trials",
+        format_row("Pr(soft = 0.00)", "39.7 %", f"{result['stable_zero']:.1%}"),
+        format_row("Pr(soft = 1.00)", "40.1 %", f"{result['stable_one']:.1%}"),
+        format_row(
+            "Pr(stable)", "79.8 %", f"{stable:.1%}",
+            f"(95% CI {lo:.1%}..{hi:.1%})",
+        ),
+        format_row("mid-bin level (0.30-0.70)", "~0.1 %/bin", f"{mid_level:.2%}/bin"),
+    ]
 
-    emit(
-        capsys,
-        "Fig. 2 -- soft-response distribution (single MUX PUF)",
-        [
-            f"  lot: {result['n_chips']} chips x "
-            f"{result['n_challenges_per_chip']} challenges x {PAPER_N_TRIALS} trials",
-            format_row("Pr(soft = 0.00)", "39.7 %", f"{result['stable_zero']:.1%}"),
-            format_row("Pr(soft = 1.00)", "40.1 %", f"{result['stable_one']:.1%}"),
-            format_row(
-                "Pr(stable)", "79.8 %", f"{stable:.1%}",
-                f"(95% CI {lo:.1%}..{hi:.1%})",
-            ),
-            format_row("mid-bin level (0.30-0.70)", "~0.1 %/bin", f"{mid_level:.2%}/bin"),
-        ],
-    )
-    save_results("fig02", result)
+
+def test_fig02_soft_response_distribution(capsys):
+    run = run_for_test("fig02", capsys, report=_report)
+    result = run.payload
+    stable = result["stable_zero"] + result["stable_one"]
     assert abs(stable - 0.80) < 0.05

@@ -6,28 +6,34 @@ masks for n = 1..10.  Reported: the fraction follows ~0.800**n, with
 """
 
 
-
+from repro.bench import format_row, matrix, run_for_test
 from repro.silicon.noise import PAPER_N_TRIALS
 
 from repro.experiments.stability import run_fig03 as run_experiment
-
-from _common import emit, engine_chunk_size, engine_jobs, format_row, save_results, scaled
 
 N_STAGES = 32
 N_PUFS = 10
 
 
-
-def test_fig03_stable_fraction_vs_n(benchmark, capsys):
-    n_challenges = scaled(100_000, 1_000_000)
-    result = benchmark.pedantic(
-        run_experiment,
-        args=(n_challenges,),
-        kwargs={"jobs": engine_jobs(), "chunk_size": engine_chunk_size()},
-        rounds=1,
-        iterations=1,
+@matrix.cell(
+    "fig03",
+    title="Fig. 3 -- stable CRPs vs number of XOR-ed PUFs",
+    tiers={
+        "smoke": {"n_challenges": 50_000},
+        "laptop": {"n_challenges": 100_000},
+        "paper": {"n_challenges": 1_000_000},
+    },
+)
+def fig03_cell(ctx):
+    return run_experiment(
+        ctx.params["n_challenges"], jobs=ctx.jobs, chunk_size=ctx.chunk_size
     )
+
+
+def _report(run):
+    result = run.payload
     fractions = {int(k): v for k, v in result["fractions"].items()}
+    n_challenges = run.context.params["n_challenges"]
     lines = [
         f"  {n_challenges} challenges x {PAPER_N_TRIALS} trials, n = 1..{N_PUFS}",
         format_row("decay base", "0.800", f"{result['decay_base']:.3f}"),
@@ -41,7 +47,12 @@ def test_fig03_stable_fraction_vs_n(benchmark, capsys):
             )
         )
     lines.append(format_row("stable at n=10", "10.9 %", f"{fractions[10]:.1%}"))
-    emit(capsys, "Fig. 3 -- stable CRPs vs number of XOR-ed PUFs", lines)
-    save_results("fig03", result)
+    return lines
+
+
+def test_fig03_stable_fraction_vs_n(capsys):
+    run = run_for_test("fig03", capsys, report=_report)
+    result = run.payload
+    fractions = {int(k): v for k, v in result["fractions"].items()}
     assert abs(result["decay_base"] - 0.800) < 0.05
     assert abs(fractions[10] - 0.109) < 0.06

@@ -7,41 +7,66 @@ Reported: for n < 10 the model exceeds 90 % with < 100 k CRPs; at the
 largest size the n = 10/11 curves sit around 85.7 %; conclusion: an XOR
 PUF needs n >= 10.
 
-Default scale sweeps n in {4, 5, 6, 7} over up to ~25 k stable training
-CRPs -- enough to show the monotone difficulty trend and the 90 % line.
-``REPRO_FULL_SCALE=1`` raises the pool to the paper's 1 M challenges and
-extends n to 10 (hours of CPU).
+The laptop tier sweeps n in {4, 5, 6, 7} over up to ~25 k stable
+training CRPs -- enough to show the monotone difficulty trend and the
+90 % line; smoke trims the sweep to n in {4, 5}; paper raises the pool
+to the full 1 M challenges and extends n to 10 (hours of CPU).
 """
 
 
 from typing import Dict
 
+from repro.bench import format_row, matrix, run_for_test
 
 from repro.experiments.attacks import run_fig04 as run_experiment
-
-from _common import emit, format_row, full_scale, save_results, scaled
 
 N_STAGES = 32
 
 
+@matrix.cell(
+    "fig04",
+    title="Fig. 4 -- MLP attack accuracy vs CRPs and n",
+    tiers={
+        "smoke": {"n_values": [4, 5], "pool": 120_000},
+        "laptop": {"n_values": [4, 5, 6, 7], "pool": 120_000},
+        "paper": {"n_values": [4, 5, 6, 7, 8, 9, 10], "pool": 1_000_000},
+    },
+    warmup=0,
+)
+def fig04_cell(ctx):
+    return run_experiment(list(ctx.params["n_values"]), ctx.params["pool"])
 
-def test_fig04_modeling_attack(benchmark, capsys):
-    n_values = [4, 5, 6, 7, 8, 9, 10] if full_scale() else [4, 5, 6, 7]
-    pool = scaled(120_000, 1_000_000)
-    result = benchmark.pedantic(
-        run_experiment, args=(n_values, pool), rounds=1, iterations=1
+
+def _final_accuracies(result) -> Dict[int, float]:
+    return {
+        int(n_key): curve[-1]["accuracy"]
+        for n_key, curve in result["curves"].items()
+    }
+
+
+def _mostly_monotone(final_accuracies: Dict[int, float]) -> bool:
+    """Accuracy at max budget decreases with n, one inversion allowed."""
+    ns = sorted(final_accuracies)
+    inversions = sum(
+        final_accuracies[a] < final_accuracies[b] - 0.02
+        for a, b in zip(ns, ns[1:])
     )
+    return inversions <= 1
+
+
+def _report(run):
+    result = run.payload
+    pool = run.context.params["pool"]
     lines = [
         f"  challenge pool {pool}, stable-only 90/10 split, MLP 35-25-25 (L-BFGS)",
         "  accuracy vs training-set size:",
     ]
-    final_accuracies = {}
     for n_key, curve in result["curves"].items():
         series = "  ".join(
             f"{point['n_train']}->{point['accuracy']:.1%}" for point in curve
         )
         lines.append(f"    n={n_key}: {series}")
-        final_accuracies[int(n_key)] = curve[-1]["accuracy"]
+    final_accuracies = _final_accuracies(result)
     lines.append(
         format_row(
             "trend", "accuracy drops with n",
@@ -54,17 +79,11 @@ def test_fig04_modeling_attack(benchmark, capsys):
             f"n={min(final_accuracies)}: {final_accuracies[min(final_accuracies)]:.1%}",
         )
     )
-    emit(capsys, "Fig. 4 -- MLP attack accuracy vs CRPs and n", lines)
-    save_results("fig04", result)
+    return lines
+
+
+def test_fig04_modeling_attack(capsys):
+    run = run_for_test("fig04", capsys, report=_report)
+    final_accuracies = _final_accuracies(run.payload)
     assert final_accuracies[min(final_accuracies)] > 0.90
     assert _mostly_monotone(final_accuracies)
-
-
-def _mostly_monotone(final_accuracies: Dict[int, float]) -> bool:
-    """Accuracy at max budget decreases with n, one inversion allowed."""
-    ns = sorted(final_accuracies)
-    inversions = sum(
-        final_accuracies[a] < final_accuracies[b] - 0.02
-        for a, b in zip(ns, ns[1:])
-    )
-    return inversions <= 1

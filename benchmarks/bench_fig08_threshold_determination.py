@@ -13,56 +13,61 @@ measurement fell below 1.00.  Qualitative claims reproduced here:
 """
 
 
-
+from repro.bench import format_row, matrix, run_for_test
 
 from repro.experiments.thresholds import run_fig08 as run_experiment
-
-from _common import emit, format_row, save_results, scaled
 
 N_STAGES = 32
 
 
+@matrix.cell(
+    "fig08",
+    title="Fig. 8 -- three-category thresholds from 5 000 training CRPs",
+    # The paper itself uses 5 000 training CRPs; every tier keeps that
+    # shape (the laptop declaration covers smoke and paper by fallback).
+    tiers={"laptop": {"n_train": 5000}},
+)
+def fig08_cell(ctx):
+    return run_experiment(ctx.params["n_train"])
 
-def test_fig08_threshold_determination(benchmark, capsys):
-    n_train = scaled(5000, 5000)  # the paper itself uses 5 000 here
-    result = benchmark.pedantic(
-        run_experiment, args=(n_train,), rounds=1, iterations=1
-    )
-    emit(
-        capsys,
-        "Fig. 8 -- three-category thresholds from 5 000 training CRPs",
-        [
-            f"  linear regression fit: {result['fit_ms']:.1f} ms "
-            f"(paper: 4.3 ms for the same size)",
-            format_row(
-                "predicted range", "wider than [0,1]",
-                f"[{result['pred_min']:.2f}, {result['pred_max']:.2f}]",
-            ),
-            format_row(
-                "predicted centre", "~0.5", f"{result['pred_median']:.2f}"
-            ),
-            format_row(
-                "Thr(0) / Thr(1)", "interior",
-                f"{result['thr0']:.3f} / {result['thr1']:.3f}",
-            ),
-            format_row(
-                "measured stable", "~80 %",
-                f"{result['measured_stable_fraction']:.1%}",
-            ),
-            format_row(
-                "model-kept stable", "< measured",
-                f"{result['predicted_stable_fraction']:.1%}",
-            ),
-            format_row(
-                "marginal CRPs discarded", "> 0",
-                f"{result['discarded_marginal_fraction']:.1%}",
-            ),
-            format_row(
-                "unstable kept as stable", "0", str(result["false_stable_count"])
-            ),
-        ],
-    )
-    save_results("fig08", result)
+
+def _report(run):
+    result = run.payload
+    return [
+        f"  linear regression fit: {result['fit_ms']:.1f} ms "
+        f"(paper: 4.3 ms for the same size)",
+        format_row(
+            "predicted range", "wider than [0,1]",
+            f"[{result['pred_min']:.2f}, {result['pred_max']:.2f}]",
+        ),
+        format_row(
+            "predicted centre", "~0.5", f"{result['pred_median']:.2f}"
+        ),
+        format_row(
+            "Thr(0) / Thr(1)", "interior",
+            f"{result['thr0']:.3f} / {result['thr1']:.3f}",
+        ),
+        format_row(
+            "measured stable", "~80 %",
+            f"{result['measured_stable_fraction']:.1%}",
+        ),
+        format_row(
+            "model-kept stable", "< measured",
+            f"{result['predicted_stable_fraction']:.1%}",
+        ),
+        format_row(
+            "marginal CRPs discarded", "> 0",
+            f"{result['discarded_marginal_fraction']:.1%}",
+        ),
+        format_row(
+            "unstable kept as stable", "0", str(result["false_stable_count"])
+        ),
+    ]
+
+
+def test_fig08_threshold_determination(capsys):
+    run = run_for_test("fig08", capsys, report=_report)
+    result = run.payload
     assert result["pred_min"] < 0.0 < 1.0 < result["pred_max"]
     assert 0.0 < result["thr0"] < result["thr1"] < 1.0
     assert result["predicted_stable_fraction"] < result["measured_stable_fraction"]

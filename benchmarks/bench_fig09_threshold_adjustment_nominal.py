@@ -8,44 +8,54 @@ conservative pair (0.74, 1.08).
 """
 
 
-
+from repro.bench import format_row, matrix, run_for_test
 
 from repro.experiments.thresholds import run_fig09 as run_experiment
-
-from _common import emit, format_row, save_results, scaled
 
 N_STAGES = 32
 N_TRAIN = 5000
 
 
+@matrix.cell(
+    "fig09",
+    title="Fig. 9 -- beta search at nominal (10-chip lot)",
+    tiers={
+        "smoke": {"n_test": 50_000},
+        "laptop": {"n_test": 100_000},
+        "paper": {"n_test": 1_000_000},
+    },
+)
+def fig09_cell(ctx):
+    return run_experiment(ctx.params["n_test"])
 
-def test_fig09_threshold_adjustment_nominal(benchmark, capsys):
-    n_test = scaled(100_000, 1_000_000)
-    result = benchmark.pedantic(
-        run_experiment, args=(n_test,), rounds=1, iterations=1
-    )
+
+def _report(run):
+    result = run.payload
     b0 = result["beta0_values"]
     b1 = result["beta1_values"]
-    emit(
-        capsys,
-        "Fig. 9 -- beta search at nominal (10-chip lot)",
-        [
-            f"  train 5 000 / test {n_test} CRPs per chip at 0.9 V / 25 C",
-            format_row(
-                "beta0 range over chips", "0.74..0.93",
-                f"{min(b0):.2f}..{max(b0):.2f}",
-            ),
-            format_row(
-                "beta1 range over chips", "1.04..1.08",
-                f"{min(b1):.2f}..{max(b1):.2f}",
-            ),
-            format_row(
-                "fleet-conservative pair", "(0.74, 1.08)",
-                f"({result['fleet_beta0']:.2f}, {result['fleet_beta1']:.2f})",
-            ),
-        ],
-    )
-    save_results("fig09", result)
+    return [
+        f"  train 5 000 / test {run.context.params['n_test']} CRPs "
+        f"per chip at 0.9 V / 25 C",
+        format_row(
+            "beta0 range over chips", "0.74..0.93",
+            f"{min(b0):.2f}..{max(b0):.2f}",
+        ),
+        format_row(
+            "beta1 range over chips", "1.04..1.08",
+            f"{min(b1):.2f}..{max(b1):.2f}",
+        ),
+        format_row(
+            "fleet-conservative pair", "(0.74, 1.08)",
+            f"({result['fleet_beta0']:.2f}, {result['fleet_beta1']:.2f})",
+        ),
+    ]
+
+
+def test_fig09_threshold_adjustment_nominal(capsys):
+    run = run_for_test("fig09", capsys, report=_report)
+    result = run.payload
+    b0 = result["beta0_values"]
+    b1 = result["beta1_values"]
     # Reproduction bands: tightening happens, stays in a plausible window.
     assert all(b <= 1.0 for b in b0) and min(b0) < 1.0
     assert all(b >= 1.0 for b in b1) and max(b1) > 1.0

@@ -7,24 +7,32 @@ saturates around ~60 %, against ~80 % measured; the paper settles on
 """
 
 
-
+from repro.bench import format_row, matrix, run_for_test
 
 from repro.experiments.thresholds import run_fig10 as run_experiment
-
-from _common import emit, format_row, save_results, scaled
 
 N_STAGES = 32
 TRAIN_SIZES = (500, 1000, 2000, 5000, 10_000)
 
 
+@matrix.cell(
+    "fig10",
+    title="Fig. 10 -- stable fraction vs training-set size",
+    tiers={
+        "smoke": {"n_test": 50_000, "pool": 30_000},
+        "laptop": {"n_test": 100_000, "pool": 30_000},
+        "paper": {"n_test": 1_000_000, "pool": 30_000},
+    },
+)
+def fig10_cell(ctx):
+    return run_experiment(ctx.params["n_test"], ctx.params["pool"])
 
-def test_fig10_training_set_size(benchmark, capsys):
-    n_test = scaled(100_000, 1_000_000)
-    result = benchmark.pedantic(
-        run_experiment, args=(n_test, 30_000), rounds=1, iterations=1
-    )
+
+def _report(run):
+    result = run.payload
     lines = [
-        f"  test set {n_test} CRPs; thresholds beta-adjusted per size",
+        f"  test set {run.context.params['n_test']} CRPs; "
+        f"thresholds beta-adjusted per size",
         format_row(
             "measured stable", "~80 %", f"{result['measured_stable']:.1%}"
         ),
@@ -38,8 +46,12 @@ def test_fig10_training_set_size(benchmark, capsys):
                 f"(fit {point['fit_ms']:.1f} ms)",
             )
         )
-    emit(capsys, "Fig. 10 -- stable fraction vs training-set size", lines)
-    save_results("fig10", result)
+    return lines
+
+
+def test_fig10_training_set_size(capsys):
+    run = run_for_test("fig10", capsys, report=_report)
+    result = run.payload
     fractions = [p["predicted_stable"] for p in result["series"]]
     # Grows from the smallest to the knee, then saturates...
     assert fractions[-2] > fractions[0] - 0.02

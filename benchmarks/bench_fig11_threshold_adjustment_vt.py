@@ -8,41 +8,51 @@ without ever re-measuring the chip per corner at enrollment.
 """
 
 
-
+from repro.bench import format_row, matrix, run_for_test
 
 from repro.experiments.thresholds import run_fig11 as run_experiment
-
-from _common import emit, format_row, save_results, scaled
 
 N_STAGES = 32
 N_TRAIN = 5000
 
 
+@matrix.cell(
+    "fig11",
+    title="Fig. 11 -- beta adjustment across 9 V/T corners",
+    tiers={
+        "smoke": {"n_test": 25_000},
+        "laptop": {"n_test": 40_000},
+        "paper": {"n_test": 1_000_000},
+    },
+)
+def fig11_cell(ctx):
+    return run_experiment(ctx.params["n_test"])
 
-def test_fig11_threshold_adjustment_vt(benchmark, capsys):
-    n_test = scaled(40_000, 1_000_000)
-    result = benchmark.pedantic(
-        run_experiment, args=(n_test,), rounds=1, iterations=1
-    )
+
+def _report(run):
+    result = run.payload
     b0n, b1n = result["betas_nominal"]
     b0v, b1v = result["betas_vt"]
-    emit(
-        capsys,
-        "Fig. 11 -- beta adjustment across 9 V/T corners",
-        [
-            f"  train 5 000 @ nominal; test {n_test} @ 0.8-1.0 V x 0-60 C",
-            format_row("betas (nominal)", "less stringent", f"({b0n:.2f}, {b1n:.2f})"),
-            format_row("betas (all V/T)", "more stringent", f"({b0v:.2f}, {b1v:.2f})"),
-            format_row(
-                "stable @ nominal only", "~80 %", f"{result['stable_nominal']:.1%}"
-            ),
-            format_row(
-                "stable at ALL corners", "lower (distribution widens)",
-                f"{result['stable_all_corners']:.1%}",
-            ),
-        ],
-    )
-    save_results("fig11", result)
+    return [
+        f"  train 5 000 @ nominal; test {run.context.params['n_test']} "
+        f"@ 0.8-1.0 V x 0-60 C",
+        format_row("betas (nominal)", "less stringent", f"({b0n:.2f}, {b1n:.2f})"),
+        format_row("betas (all V/T)", "more stringent", f"({b0v:.2f}, {b1v:.2f})"),
+        format_row(
+            "stable @ nominal only", "~80 %", f"{result['stable_nominal']:.1%}"
+        ),
+        format_row(
+            "stable at ALL corners", "lower (distribution widens)",
+            f"{result['stable_all_corners']:.1%}",
+        ),
+    ]
+
+
+def test_fig11_threshold_adjustment_vt(capsys):
+    run = run_for_test("fig11", capsys, report=_report)
+    result = run.payload
+    b0n, b1n = result["betas_nominal"]
+    b0v, b1v = result["betas_vt"]
     assert b0v <= b0n and b1v >= b1n
     assert (b0v < b0n) or (b1v > b1n)
     assert result["stable_all_corners"] < result["stable_nominal"]

@@ -14,89 +14,48 @@ tiniest fraction practically usable.
 """
 
 
-import numpy as np
-
 from repro.analysis.stability import decay_base
-from repro.core.adjustment import find_beta_factors
-from repro.core.regression import fit_soft_response_model
-from repro.core.thresholds import determine_thresholds
-from repro.crp.challenges import random_challenges
-from repro.silicon.chip import PufChip
-from repro.silicon.counters import measure_soft_responses
-from repro.silicon.environment import paper_corner_grid
-from repro.silicon.noise import PAPER_N_TRIALS
+from repro.bench import format_row, matrix, run_for_test
 
 from repro.experiments.thresholds import run_fig12 as run_experiment
-
-from _common import emit, engine_chunk_size, engine_jobs, format_row, save_results, scaled
 
 N_STAGES = 32
 N_PUFS = 10
 N_TRAIN = 5000
 
 
-def _enroll_models(chip: PufChip, n_validation: int, seed: int):
-    """Per-PUF models + base thresholds + nominal and V/T betas."""
-    models, pairs = [], []
-    validation_ch = random_challenges(n_validation, N_STAGES, seed=seed + 500)
-    nominal_beta_list, vt_beta_list = [], []
-    for index in range(chip.n_pufs):
-        puf = chip.oracle().pufs[index]
-        train_ch = random_challenges(N_TRAIN, N_STAGES, seed=seed + index)
-        train = measure_soft_responses(
-            puf, train_ch, PAPER_N_TRIALS,
-            rng=np.random.default_rng(seed + 100 + index),
-        )
-        model, _ = fit_soft_response_model(train)
-        pair = determine_thresholds(model.predict_soft(train_ch), train)
-        nominal_val = [
-            measure_soft_responses(
-                puf, validation_ch, PAPER_N_TRIALS,
-                rng=np.random.default_rng(seed + 200 + index),
-            )
-        ]
-        corner_val = [
-            measure_soft_responses(
-                puf, validation_ch, PAPER_N_TRIALS, condition,
-                rng=np.random.default_rng(seed + 300 + index * 10 + c),
-            )
-            for c, condition in enumerate(paper_corner_grid())
-        ]
-        nominal_beta_list.append(find_beta_factors(model, pair, nominal_val))
-        vt_beta_list.append(find_beta_factors(model, pair, corner_val))
-        models.append(model)
-        pairs.append(pair)
-    from repro.core.adjustment import conservative_betas
-
-    return (
-        models,
-        pairs,
-        conservative_betas(nominal_beta_list),
-        conservative_betas(vt_beta_list),
+@matrix.cell(
+    "fig12",
+    title="Fig. 12 -- stable fraction vs n, three selection regimes",
+    tiers={
+        "smoke": {"n_eval": 40_000, "n_validation": 20_000},
+        "laptop": {"n_eval": 60_000, "n_validation": 20_000},
+        "paper": {"n_eval": 1_000_000, "n_validation": 20_000},
+    },
+)
+def fig12_cell(ctx):
+    return run_experiment(
+        ctx.params["n_eval"], ctx.params["n_validation"],
+        jobs=ctx.jobs, chunk_size=ctx.chunk_size,
     )
 
 
-
-def test_fig12_predicted_stable_vs_n(benchmark, capsys):
-    n_eval = scaled(60_000, 1_000_000)
-    result = benchmark.pedantic(
-        run_experiment,
-        args=(n_eval, 20_000),
-        kwargs={"jobs": engine_jobs(), "chunk_size": engine_chunk_size()},
-        rounds=1,
-        iterations=1,
-    )
-    curves = {
+def _curves(result):
+    return {
         "measured (nominal)": ("0.800**n", result["measured"]),
         "predicted (nominal)": ("0.545**n", result["predicted_nominal"]),
         "predicted (all V/T)": ("0.342**n", result["predicted_vt"]),
     }
-    lines = [f"  {n_eval} challenges, 10-input XOR PUF, per-curve decay base:"]
-    bases = {}
-    for label, (paper, fractions) in curves.items():
-        base = decay_base(fractions)
-        bases[label] = base
-        lines.append(format_row(label, paper, f"{base:.3f}**n"))
+
+
+def _report(run):
+    result = run.payload
+    lines = [
+        f"  {run.context.params['n_eval']} challenges, 10-input XOR PUF, "
+        f"per-curve decay base:"
+    ]
+    for label, (paper, fractions) in _curves(result).items():
+        lines.append(format_row(label, paper, f"{decay_base(fractions):.3f}**n"))
     lines.append(
         format_row(
             "measured @ n=10", "10.9 %", f"{result['measured'][10]:.2%}"
@@ -114,15 +73,15 @@ def test_fig12_predicted_stable_vs_n(benchmark, capsys):
             f"{result['predicted_vt'][10]:.4%}",
         )
     )
-    emit(capsys, "Fig. 12 -- stable fraction vs n, three selection regimes", lines)
-    save_results(
-        "fig12",
-        {
-            **{k: {str(n): v for n, v in frac.items()} for k, (p, frac) in curves.items()},
-            "betas_nominal": result["betas_nominal"],
-            "betas_vt": result["betas_vt"],
-        },
-    )
+    return lines
+
+
+def test_fig12_predicted_stable_vs_n(capsys):
+    run = run_for_test("fig12", capsys, report=_report)
+    bases = {
+        label: decay_base(fractions)
+        for label, (_, fractions) in _curves(run.payload).items()
+    }
     # Ordering claim: measured > predicted-nominal > predicted-V/T decay base.
     assert bases["measured (nominal)"] > bases["predicted (nominal)"]
     assert bases["predicted (nominal)"] >= bases["predicted (all V/T)"] - 0.02

@@ -5,8 +5,9 @@ a per-call selector sweep (O(N) linear-regression rejection loops) and
 becomes one stacked device read plus one XOR + popcount pass over a
 bit-packed matrix.  This benchmark pins that claim:
 
-* sweeps N in {10, 100, 1000, 10000} enrolled identities (base chips
-  alias-replicated, so scaling N costs registrations, not enrollments);
+* sweeps N enrolled identities (base chips alias-replicated, so
+  scaling N costs registrations, not enrollments) -- N={100} at the
+  smoke tier, up to N={10, 100, 1000, 10000} at the paper tier;
 * times the dense plane (per-call selection, fresh seeds so the
   parity-feature cache cannot hide the work) against the codebook
   plane (synced once, then pure matching);
@@ -20,22 +21,23 @@ bit-packed matrix.  This benchmark pins that claim:
 * verifies bit-identity on a fixed-seed regression corpus: twin chips
   answer both planes from the same noise-stream position, and every
   per-identity score must match exactly;
-* merges the series into ``BENCH_throughput.json`` and asserts the
-  acceptance floors (>= 5x at N=100 in smoke mode, >= 50x at N=1000 in
-  the full sweep).
+* records the ``identify_scale`` matrix cell (gated metric: the
+  codebook-vs-dense speedup at the tier's gate population) into
+  ``BENCH_throughput.json`` and asserts the acceptance floors (>= 5x
+  at N=100 in smoke mode, >= 50x at N=1000 in the full sweep).
 
-Runs standalone (the CI perf-smoke job) or under pytest::
+Runs standalone (CI back-compat), under pytest, or via the matrix CLI::
 
     python benchmarks/bench_identify_scale.py --smoke
     python benchmarks/bench_identify_scale.py            # full sweep
     pytest benchmarks/bench_identify_scale.py            # smoke-sized
+    repro-puf bench run identify_scale --tier smoke
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
-import json
 import sys
 import time
 from pathlib import Path
@@ -47,18 +49,23 @@ from repro.core.enrollment import enroll_chip
 from repro.core.server import AuthenticationServer
 from repro.silicon.chip import PufChip, fabricate_lot
 
-try:
-    from _common import emit, format_row, save_results
-except ImportError:  # standalone: benchmarks/ is the script directory
+if str(Path(__file__).parent) not in sys.path:  # standalone execution
     sys.path.insert(0, str(Path(__file__).parent))
-    from _common import emit, format_row, save_results
+
+from repro.bench import (
+    format_row,
+    matrix,
+    record_result,
+    run_cell,
+    run_for_test,
+    save_results,
+)
 
 N_STAGES = 32
 N_PUFS = 3
 N_CHALLENGES = 64
 #: Distinct silicon instances; larger populations alias their records.
 N_BASE_CHIPS = 8
-ROOT_REPORT = Path(__file__).parent.parent / "BENCH_throughput.json"
 
 #: Acceptance floors (ISSUE 5): the codebook plane must beat the dense
 #: plane by these factors at the stated population sizes.
@@ -71,15 +78,6 @@ MIN_SPEEDUP_FULL_N1000 = 50.0
 FULL_SWEEP = (10, 100, 1000, 10_000)
 DENSE_REPS = {10: 10, 100: 5, 1000: 2, 10_000: 1}
 BOOK_REPS = {10: 200, 100: 100, 1000: 20, 10_000: 5}
-
-
-def _update_root_report(section: str, payload: dict) -> None:
-    """Merge one section into the repo-root throughput report."""
-    report = {}
-    if ROOT_REPORT.exists():
-        report = json.loads(ROOT_REPORT.read_text(encoding="utf-8"))
-    report[section] = payload
-    ROOT_REPORT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
 
 
 def build_population(
@@ -240,45 +238,72 @@ def check_regression_corpus() -> int:
     return compared
 
 
-def run_sweep(
-    sweep: Sequence[int],
-    *,
-    smoke: bool,
-    printer=print,
-) -> List[Dict[str, float]]:
-    """Measure every population size, merge reports, enforce floors."""
-    compared = check_regression_corpus()
-    printer(f"regression corpus: {compared} scores bit-identical across planes")
+def measure_sweep(sweep: Sequence[int], gate_n: int) -> Dict[str, object]:
+    """Verify bit-identity, measure every population size in *sweep*.
 
-    series = []
-    for n_identities in sweep:
-        payload = measure(
+    The payload's ``gate_speedup`` (the codebook-vs-dense speedup at
+    ``gate_n``) is the cell's gated metric -- a machine-portable ratio.
+    """
+    compared = check_regression_corpus()
+    series = [
+        measure(
             n_identities,
             DENSE_REPS.get(n_identities, 3),
             BOOK_REPS.get(n_identities, 30),
         )
-        series.append(payload)
-        printer(
-            f"N={n_identities:>6}: dense "
-            f"{payload['dense_identifies_per_sec']:>10.1f}/s   codebook "
-            f"{payload['codebook_identifies_per_sec']:>10.1f}/s   batched "
-            f"{payload['batched_identifies_per_sec']:>10.1f}/s   "
-            f"speedup {payload['speedup']:>7.1f}x"
-        )
-
-    report = {
+        for n_identities in sweep
+    ]
+    by_n = {int(entry["n_identities"]): entry for entry in series}
+    return {
         "shape": (
             f"{N_BASE_CHIPS} base chips alias-scaled, "
             f"{N_CHALLENGES} challenges/identity"
         ),
-        "mode": "smoke" if smoke else "full",
+        "sweep": list(sweep),
+        "gate_n": gate_n,
+        "gate_speedup": by_n[gate_n]["speedup"],
         "regression_scores_compared": compared,
         "series": series,
     }
-    _update_root_report("identify_scale", report)
-    save_results("identify_scale", report)
 
-    by_n = {int(entry["n_identities"]): entry for entry in series}
+
+@matrix.cell(
+    "identify_scale",
+    title="Throughput -- identification vs population size",
+    tiers={
+        "smoke": {"sweep": [100], "gate_n": 100},
+        "laptop": {"sweep": [10, 100, 1000], "gate_n": 1000},
+        "paper": {"sweep": list(FULL_SWEEP), "gate_n": 1000},
+    },
+    metric="gate_speedup",
+    unit="x",
+    direction="higher",
+    trajectory=True,
+    gated=True,
+    warmup=0,  # each measure() warms both planes internally
+)
+def identify_scale_cell(ctx):
+    return measure_sweep(ctx.params["sweep"], ctx.params["gate_n"])
+
+
+def _series_lines(payload: Dict[str, object]) -> List[str]:
+    lines = [
+        f"  regression corpus: {payload['regression_scores_compared']} "
+        f"scores bit-identical across planes",
+    ]
+    for entry in payload["series"]:
+        lines.append(
+            f"  N={entry['n_identities']:>6}: dense "
+            f"{entry['dense_identifies_per_sec']:>10.1f}/s   codebook "
+            f"{entry['codebook_identifies_per_sec']:>10.1f}/s   batched "
+            f"{entry['batched_identifies_per_sec']:>10.1f}/s   "
+            f"speedup {entry['speedup']:>7.1f}x"
+        )
+    return lines
+
+
+def _check_floor(payload: Dict[str, object], smoke: bool) -> None:
+    by_n = {int(entry["n_identities"]): entry for entry in payload["series"]}
     if smoke:
         speedup = by_n[100]["speedup"]
         if speedup < MIN_SPEEDUP_SMOKE_N100:
@@ -293,22 +318,19 @@ def run_sweep(
                 f"codebook identify at N=1000 is only {speedup:.1f}x the "
                 f"dense plane (floor {MIN_SPEEDUP_FULL_N1000:.0f}x)"
             )
-    return series
 
 
 def test_identify_scale_smoke(capsys):
-    """Pytest entry: the smoke-sized sweep with its 5x floor."""
-    lines: List[str] = []
-    series = run_sweep([100], smoke=True, printer=lines.append)
-    entry = series[0]
-    emit(capsys, "Throughput -- identification vs population size", [
-        *(f"  {line}" for line in lines),
+    """Pytest entry: the smoke cell with its 5x floor."""
+    run = run_for_test("identify_scale", capsys, report=lambda r: [
+        *_series_lines(r.payload),
         format_row(
-            "speedup @ N=100",
+            f"speedup @ N={r.payload['gate_n']}",
             f">= {MIN_SPEEDUP_SMOKE_N100:.0f}x",
-            f"{entry['speedup']:.1f}x",
+            f"{r.payload['gate_speedup']:.1f}x",
         ),
     ])
+    assert run.payload["gate_speedup"] >= MIN_SPEEDUP_SMOKE_N100
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -325,9 +347,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         help=f"population sizes to sweep (default {list(FULL_SWEEP)})",
     )
     args = parser.parse_args(argv)
-    sweep = [100] if args.smoke else (args.ns or list(FULL_SWEEP))
     try:
-        run_sweep(sweep, smoke=args.smoke)
+        if args.smoke:
+            run = run_cell(matrix.get("identify_scale"), tier="smoke", samples=1)
+            record_result(run)
+            payload = run.payload
+        else:
+            sweep = args.ns or list(FULL_SWEEP)
+            payload = measure_sweep(sweep, 1000 if 1000 in sweep else sweep[-1])
+            save_results("identify_scale", payload)
+        for line in _series_lines(payload):
+            print(line.strip())
+        _check_floor(payload, smoke=args.smoke)
     except AssertionError as failure:
         print(f"FAIL: {failure}", file=sys.stderr)
         return 1

@@ -2,22 +2,25 @@
 
 The dispatch layer in :mod:`repro.kernels` only pays off if the
 compiled paths actually beat the vectorized numpy reference on serving
-shapes.  This gate times the two kernels with the clearest contracts:
+shapes.  Two matrix cells (both pinned to the ``numba`` backend) time
+the kernels with the clearest contracts:
 
-* **packed scorer** -- the identification hot loop
+* **packed_scorer** -- the identification hot loop
   (``packed_score_matrix``: a request grid XOR'd against the codebook
-  and popcounted).  Floor: >= 2x the numpy LUT path on the smoke shape.
-* **fused soft sweep** -- challenge -> parity -> delta -> ndtr in one
-  pass (``grid_soft_probabilities``) against the materialize-phi numpy
-  pipeline.  Reported for the record; the engine-level floor lives in
+  and popcounted).  Floor: >= 2x the numpy LUT path on the smoke
+  shape; the speedup ratio is the gated metric.
+* **fused_sweep** -- challenge -> parity -> delta -> ndtr in one pass
+  (``grid_soft_probabilities``) against the materialize-phi numpy
+  pipeline.  Trajectory-only; the engine-level floor lives in
   ``bench_throughput.py``.
 
 Bit-identity of the scores is asserted before anything is timed.
 
-Runs standalone (the CI perf-smoke job) or under pytest::
+Runs standalone (CI back-compat), under pytest, or via the matrix CLI::
 
     python benchmarks/bench_kernels.py --smoke
     pytest benchmarks/bench_kernels.py
+    repro-puf bench run packed_scorer fused_sweep --tier smoke
 
 Without numba installed the gate is a no-op (exit 0 / pytest skip):
 there is nothing to measure, and the fallback path is covered by the
@@ -28,7 +31,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -41,74 +43,61 @@ from repro.silicon.arbiter import stack_fused_params
 from repro.silicon.environment import NOMINAL_CONDITION
 from repro.silicon.xorpuf import XorArbiterPuf
 
-try:
-    from _common import emit, format_row, save_results
-except ImportError:  # standalone: benchmarks/ is the script directory
+if str(Path(__file__).parent) not in sys.path:  # standalone execution
     sys.path.insert(0, str(Path(__file__).parent))
-    from _common import emit, format_row, save_results
+
+from repro.bench import (
+    best_of,
+    format_row,
+    matrix,
+    record_result,
+    run_cell,
+    run_for_test,
+    save_results,
+)
 
 N_STAGES = 32
-
-#: Smoke shape of the packed gate: a 64-request batch against a
-#: 1000-identity codebook with 512-bit blocks -- the serving plane's
-#: steady state, large enough that the parallel kernel's threads are
-#: fed and small enough for a CI runner.
-SMOKE_REQUESTS = 64
-SMOKE_IDENTITIES = 1000
-SMOKE_BLOCK_BITS = 512
 
 #: Acceptance floor for the compiled packed scorer vs the numpy path.
 MIN_PACKED_SPEEDUP = 2.0
 
 
-def _best_of(fn, repeats: int = 5) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def measure_packed(backend) -> dict:
-    """Time the packed XOR + popcount scorer on the smoke shape."""
+def measure_packed(backend, requests: int, identities: int, block_bits: int) -> dict:
+    """Time the packed XOR + popcount scorer on one serving shape."""
     rng = np.random.default_rng(900)
-    n_bytes = SMOKE_BLOCK_BITS // 8
+    n_bytes = block_bits // 8
     responses = rng.integers(
-        0, 256, size=(SMOKE_REQUESTS, SMOKE_IDENTITIES, n_bytes), dtype=np.uint8
+        0, 256, size=(requests, identities, n_bytes), dtype=np.uint8
     )
-    matrix = rng.integers(0, 256, size=(SMOKE_IDENTITIES, n_bytes), dtype=np.uint8)
+    codebook = rng.integers(0, 256, size=(identities, n_bytes), dtype=np.uint8)
 
     def numpy_path():
         return popcount(
-            np.bitwise_xor(responses, matrix[None]), use_lut=True
+            np.bitwise_xor(responses, codebook[None]), use_lut=True
         ).sum(axis=-1, dtype=np.int64)
 
-    out = np.empty((SMOKE_REQUESTS, SMOKE_IDENTITIES), dtype=np.int64)
+    out = np.empty((requests, identities), dtype=np.int64)
 
     def compiled_path():
-        backend.packed_score_matrix(responses, matrix, out)
+        backend.packed_score_matrix(responses, codebook, out)
         return out
 
     np.testing.assert_array_equal(compiled_path(), numpy_path())
-    t_numpy = _best_of(numpy_path)
-    t_compiled = _best_of(compiled_path)
+    t_numpy = best_of(numpy_path)
+    t_compiled = best_of(compiled_path)
     return {
-        "shape": (
-            f"{SMOKE_REQUESTS} requests x {SMOKE_IDENTITIES} identities "
-            f"x {SMOKE_BLOCK_BITS} bits"
-        ),
+        "shape": f"{requests} requests x {identities} identities x {block_bits} bits",
         "numpy_seconds": t_numpy,
         "compiled_seconds": t_compiled,
         "speedup": t_numpy / t_compiled,
     }
 
 
-def measure_fused_sweep(backend) -> dict:
+def measure_fused_sweep(backend, n_challenges: int) -> dict:
     """Time the fused soft-probability kernel vs the phi pipeline."""
     rng = np.random.default_rng(901)
     xor_puf = XorArbiterPuf.create(6, N_STAGES, seed=902)
-    challenges = rng.integers(0, 2, size=(50_000, N_STAGES), dtype=np.int8)
+    challenges = rng.integers(0, 2, size=(n_challenges, N_STAGES), dtype=np.int8)
     weights, quads, has_quad, gains, sigmas = stack_fused_params(
         xor_puf.pufs, [NOMINAL_CONDITION]
     )
@@ -130,14 +119,54 @@ def measure_fused_sweep(backend) -> dict:
         )
 
     np.testing.assert_allclose(fused(), materialized(), rtol=1e-12, atol=1e-15)
-    t_numpy = _best_of(materialized, repeats=3)
-    t_fused = _best_of(fused, repeats=3)
+    t_numpy = best_of(materialized, repeats=3)
+    t_fused = best_of(fused, repeats=3)
     return {
         "shape": f"{len(xor_puf.pufs)} PUFs x {len(challenges)} challenges",
         "numpy_seconds": t_numpy,
         "compiled_seconds": t_fused,
         "speedup": t_numpy / t_fused,
     }
+
+
+@matrix.cell(
+    "packed_scorer",
+    title="Kernel smoke -- packed XOR+popcount scorer",
+    tiers={
+        # A 64-request batch against a 1000-identity codebook with
+        # 512-bit blocks: the serving plane's steady state, large
+        # enough to feed the parallel kernel, small enough for CI.
+        "smoke": {"requests": 64, "identities": 1000, "block_bits": 512},
+        "laptop": {"requests": 64, "identities": 2000, "block_bits": 512},
+        "paper": {"requests": 256, "identities": 5000, "block_bits": 512},
+    },
+    metric="speedup",
+    unit="x",
+    direction="higher",
+    backends=("numba",),
+    trajectory=True,
+    gated=True,
+)
+def packed_scorer_cell(ctx):
+    return measure_packed(resolve_backend(ctx.backend), **ctx.params)
+
+
+@matrix.cell(
+    "fused_sweep",
+    title="Kernel smoke -- fused soft-probability sweep",
+    tiers={
+        "smoke": {"n_challenges": 50_000},
+        "laptop": {"n_challenges": 100_000},
+        "paper": {"n_challenges": 500_000},
+    },
+    metric="speedup",
+    unit="x",
+    direction="higher",
+    backends=("numba",),
+    trajectory=True,
+)
+def fused_sweep_cell(ctx):
+    return measure_fused_sweep(resolve_backend(ctx.backend), **ctx.params)
 
 
 def run_gate(printer=print) -> Optional[dict]:
@@ -148,10 +177,12 @@ def run_gate(printer=print) -> Optional[dict]:
     if "numba" not in available_backends():
         printer("bench_kernels: numba not installed -- nothing to gate")
         return None
-    backend = resolve_backend("numba")
-    packed = measure_packed(backend)
-    fused = measure_fused_sweep(backend)
-    payload = {"backend": backend.name, "packed": packed, "fused_sweep": fused}
+    packed_run = run_cell(matrix.get("packed_scorer"), backend="numba")
+    fused_run = run_cell(matrix.get("fused_sweep"), backend="numba")
+    record_result(packed_run)
+    record_result(fused_run)
+    packed, fused = packed_run.payload, fused_run.payload
+    payload = {"backend": "numba", "packed": packed, "fused_sweep": fused}
     save_results("kernel_smoke", payload)
     printer(
         f"packed scorer: {packed['speedup']:.1f}x numpy "
@@ -169,22 +200,34 @@ def run_gate(printer=print) -> Optional[dict]:
     return payload
 
 
-def test_kernel_smoke(capsys):
-    """Pytest entry: same gate, skipped without numba."""
+def test_kernel_packed_scorer(capsys):
+    """Pytest entry: packed-scorer cell plus its floor, skipped without numba."""
     import pytest
 
     if "numba" not in available_backends():
         pytest.skip("numba not installed")
-    lines: List[str] = []
-    payload = run_gate(printer=lines.append)
-    emit(capsys, "Kernel smoke -- compiled vs numpy", [
-        *(f"  {line}" for line in lines),
+    run = run_for_test("packed_scorer", capsys, report=lambda r: [
+        f"  {r.payload['shape']}",
         format_row(
             "packed floor",
             f">= {MIN_PACKED_SPEEDUP:.0f}x",
-            f"{payload['packed']['speedup']:.1f}x",
+            f"{r.payload['speedup']:.1f}x",
         ),
     ])
+    assert run.payload["speedup"] >= MIN_PACKED_SPEEDUP
+
+
+def test_kernel_fused_sweep(capsys):
+    """Pytest entry: fused-sweep cell (recorded, no floor)."""
+    import pytest
+
+    if "numba" not in available_backends():
+        pytest.skip("numba not installed")
+    run = run_for_test("fused_sweep", capsys, report=lambda r: [
+        f"  {r.payload['shape']}",
+        format_row("fused sweep", "--", f"{r.payload['speedup']:.1f}x numpy"),
+    ])
+    assert run.payload["speedup"] > 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

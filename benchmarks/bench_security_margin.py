@@ -13,22 +13,33 @@ secure"); with a 1 M-challenge harvest the supply at n = 10 is ~10.9 %
 
 
 from repro.analysis.attack_cost import stable_crp_supply
+from repro.bench import format_row, matrix, run_for_test
 from repro.experiments.attacks import run_security_margin as run_experiment
-
-from _common import emit, format_row, full_scale, save_results, scaled
 
 N_STAGES = 32
 TARGET_ACCURACY = 0.90
 
 
+@matrix.cell(
+    "security_margin",
+    title="Security margin -- requirement vs stable-CRP supply",
+    tiers={
+        "smoke": {"n_values": [3, 4, 5], "pool": 150_000},
+        "laptop": {"n_values": [3, 4, 5, 6], "pool": 150_000},
+        "paper": {"n_values": [3, 4, 5, 6, 7], "pool": 1_000_000},
+    },
+    warmup=0,
+)
+def security_margin_cell(ctx):
+    return run_experiment(list(ctx.params["n_values"]), ctx.params["pool"])
 
-def test_security_margin(benchmark, capsys):
-    n_values = [3, 4, 5, 6, 7] if full_scale() else [3, 4, 5, 6]
-    pool = scaled(150_000, 1_000_000)
-    result = benchmark.pedantic(
-        run_experiment, args=(n_values, pool), rounds=1, iterations=1
-    )
-    lines = [f"  90 %-accuracy CRP requirement per width (pool {pool}):"]
+
+def _report(run):
+    result = run.payload
+    lines = [
+        f"  90 %-accuracy CRP requirement per width "
+        f"(pool {run.context.params['pool']}):"
+    ]
     for n_key, req in result["requirements"].items():
         req_text = f"{req:,.0f}" if req else "not reached"
         supply = stable_crp_supply(int(n_key), 1_000_000)
@@ -57,8 +68,12 @@ def test_security_margin(benchmark, capsys):
             ),
         ]
     )
-    emit(capsys, "Security margin -- requirement vs stable-CRP supply", lines)
-    save_results("security_margin", result)
+    return lines
+
+
+def test_security_margin(capsys):
+    run = run_for_test("security_margin", capsys, report=_report)
+    result = run.payload
     assert result["growth_factor"] > 1.5
     assert result["crossover_1M"] is not None
     assert 6 <= result["crossover_1M"] <= 14

@@ -15,52 +15,59 @@ at a time.  This bench shows both sides:
 """
 
 
-
-
+from repro.bench import format_row, matrix, run_for_test
 from repro.experiments.attacks import run_reliability_defense as run_experiment
-
-from _common import emit, format_row, save_results, scaled
 
 N_STAGES = 32
 N_PUFS = 2
 
 
+@matrix.cell(
+    "security_reliability",
+    title="Reliability attack (ref [9]) vs challenge selection",
+    tiers={
+        "smoke": {"n_harvest": 10_000, "n_queries": 15},
+        "laptop": {"n_harvest": 15_000, "n_queries": 15},
+        "paper": {"n_harvest": 100_000, "n_queries": 15},
+    },
+    warmup=0,
+)
+def security_reliability_cell(ctx):
+    return run_experiment(ctx.params["n_harvest"], ctx.params["n_queries"])
 
-def test_reliability_attack_vs_protocol(benchmark, capsys):
-    n_harvest = scaled(15_000, 100_000)
-    result = benchmark.pedantic(
-        run_experiment, args=(n_harvest, 15), rounds=1, iterations=1
-    )
-    emit(
-        capsys,
-        "Reliability attack (ref [9]) vs challenge selection",
-        [
-            f"  {N_PUFS}-XOR PUF, {n_harvest} harvested challenges x "
-            f"{result['n_queries']} reads",
-            format_row(
-                "open chip: constituents", f"{N_PUFS}",
-                f"{result['open_recovered']}",
-            ),
-            format_row(
-                "open chip: clone accuracy", "high (attack works)",
-                f"{result['open_accuracy']:.1%}",
-            ),
-            format_row(
-                "reliability variance (open)", "> 0",
-                f"{result['open_reliability_variance']:.2e}",
-            ),
-            format_row(
-                "reliability variance (protocol)", "0 (stable-only)",
-                f"{result['protocol_reliability_variance']:.2e}",
-            ),
-            format_row(
-                "protocol-fed attack", "collapses",
-                "failed (no signal)" if result["protocol_attack_failed"]
-                else "converged (!)",
-            ),
-        ],
-    )
-    save_results("security_reliability", result)
+
+def _report(run):
+    result = run.payload
+    return [
+        f"  {N_PUFS}-XOR PUF, {run.context.params['n_harvest']} harvested "
+        f"challenges x {result['n_queries']} reads",
+        format_row(
+            "open chip: constituents", f"{N_PUFS}",
+            f"{result['open_recovered']}",
+        ),
+        format_row(
+            "open chip: clone accuracy", "high (attack works)",
+            f"{result['open_accuracy']:.1%}",
+        ),
+        format_row(
+            "reliability variance (open)", "> 0",
+            f"{result['open_reliability_variance']:.2e}",
+        ),
+        format_row(
+            "reliability variance (protocol)", "0 (stable-only)",
+            f"{result['protocol_reliability_variance']:.2e}",
+        ),
+        format_row(
+            "protocol-fed attack", "collapses",
+            "failed (no signal)" if result["protocol_attack_failed"]
+            else "converged (!)",
+        ),
+    ]
+
+
+def test_reliability_attack_vs_protocol(capsys):
+    run = run_for_test("security_reliability", capsys, report=_report)
+    result = run.payload
     assert result["open_recovered"] == N_PUFS
     assert result["open_accuracy"] > 0.85
     assert result["protocol_reliability_variance"] < 1e-4

@@ -16,9 +16,8 @@ to come from (re-)selection.  Results land in
 ``benchmarks/results/service_resilience.json``.
 """
 
+from repro.bench import matrix, run_for_test
 from repro.service import DriftPolicy, ServiceConfig, run_serve_sim
-
-from _common import emit, save_results, scaled
 
 #: Drift policy that never moves: the monitor needs more samples than
 #: the trace can ever provide, freezing the service at rung 0.
@@ -40,11 +39,19 @@ def _run(n_chips, steps, config=None):
     )
 
 
-def test_ladder_vs_frozen_zero_hd(capsys):
-    n_chips = scaled(2, 5)
-    steps = (
-        (scaled(24, 80), scaled(8, 150), scaled(40, 80), scaled(8, 80))
-    )
+@matrix.cell(
+    "service_resilience",
+    title="Serving-path resilience: degradation ladder ablation",
+    tiers={
+        "smoke": {"n_chips": 2, "steps": [24, 8, 40, 8]},
+        "laptop": {"n_chips": 2, "steps": [24, 8, 40, 8]},
+        "paper": {"n_chips": 5, "steps": [80, 150, 80, 80]},
+    },
+    warmup=0,
+)
+def service_resilience_cell(ctx):
+    n_chips = ctx.params["n_chips"]
+    steps = tuple(ctx.params["steps"])
     n_requests = sum(steps)
     frozen_config = ServiceConfig(
         breaker_failure_threshold=3,
@@ -56,65 +63,72 @@ def test_ladder_vs_frozen_zero_hd(capsys):
 
     ladder = _run(n_chips, steps)
     frozen = _run(n_chips, steps, config=frozen_config)
-    assert ladder.no_replay and frozen.no_replay
-    assert frozen.rung_moves == {} or all(
-        not moves for moves in frozen.rung_moves.values()
-    )
+    return {
+        "n_chips": n_chips,
+        "n_requests": n_requests,
+        "no_replay": bool(ladder.no_replay and frozen.no_replay),
+        "frozen_rung_moves": {c: m for c, m in frozen.rung_moves.items()},
+        "frozen": {
+            "phases": frozen.phases,
+            "latency_mean": frozen.latency_mean,
+            "latency_p95": frozen.latency_p95,
+        },
+        "ladder": {
+            "phases": ladder.phases,
+            "latency_mean": ladder.latency_mean,
+            "latency_p95": ladder.latency_p95,
+            "rung_moves": {c: m for c, m in ladder.rung_moves.items()},
+            "flagged_chips": ladder.flagged_chips,
+        },
+    }
 
-    def phase(report, name, key):
-        return report.phases[name][key]
 
+def _phase(side, name, key):
+    return side["phases"][name][key]
+
+
+def _report(run):
+    r = run.payload
+    frozen, ladder = r["frozen"], r["ladder"]
     lines = [
-        f"  fleet: {n_chips} chips, {n_requests} requests per replay",
+        f"  fleet: {r['n_chips']} chips, {r['n_requests']} requests per replay",
         "",
         f"  {'':<26} {'frozen zero-HD':>16} {'ladder':>16}",
     ]
     for name in ("nominal", "corner"):
         lines.append(
             f"  {name + ' availability':<26}"
-            f" {phase(frozen, name, 'availability'):>15.1%}"
-            f" {phase(ladder, name, 'availability'):>15.1%}"
+            f" {_phase(frozen, name, 'availability'):>15.1%}"
+            f" {_phase(ladder, name, 'availability'):>15.1%}"
         )
         lines.append(
             f"  {name + ' FRR':<26}"
-            f" {phase(frozen, name, 'frr'):>15.1%}"
-            f" {phase(ladder, name, 'frr'):>15.1%}"
+            f" {_phase(frozen, name, 'frr'):>15.1%}"
+            f" {_phase(ladder, name, 'frr'):>15.1%}"
         )
     lines += [
-        f"  {'latency mean':<26} {frozen.latency_mean:>14.3f}s"
-        f" {ladder.latency_mean:>14.3f}s",
-        f"  {'latency p95':<26} {frozen.latency_p95:>14.3f}s"
-        f" {ladder.latency_p95:>14.3f}s",
+        f"  {'latency mean':<26} {frozen['latency_mean']:>14.3f}s"
+        f" {ladder['latency_mean']:>14.3f}s",
+        f"  {'latency p95':<26} {frozen['latency_p95']:>14.3f}s"
+        f" {ladder['latency_p95']:>14.3f}s",
         "",
-        f"  ladder rung moves: { {c: m for c, m in ladder.rung_moves.items()} }",
-        f"  flagged for re-tightening: {ladder.flagged_chips}",
+        f"  ladder rung moves: {ladder['rung_moves']}",
+        f"  flagged for re-tightening: {ladder['flagged_chips']}",
     ]
-    emit(capsys, "Serving-path resilience: degradation ladder ablation", lines)
+    return lines
 
-    save_results(
-        "service_resilience",
-        {
-            "n_chips": n_chips,
-            "n_requests": n_requests,
-            "frozen": {
-                "phases": frozen.phases,
-                "latency_mean": frozen.latency_mean,
-                "latency_p95": frozen.latency_p95,
-            },
-            "ladder": {
-                "phases": ladder.phases,
-                "latency_mean": ladder.latency_mean,
-                "latency_p95": ladder.latency_p95,
-                "rung_moves": ladder.rung_moves,
-                "flagged_chips": ladder.flagged_chips,
-            },
-        },
+
+def test_ladder_vs_frozen_zero_hd(capsys):
+    run = run_for_test("service_resilience", capsys, report=_report)
+    r = run.payload
+    assert r["no_replay"]
+    assert r["frozen_rung_moves"] == {} or all(
+        not moves for moves in r["frozen_rung_moves"].values()
     )
-
     # The ablation's headline: the ladder must not hurt nominal and
     # must materially help the corner.
-    assert phase(ladder, "nominal", "availability") >= 0.95
+    assert _phase(r["ladder"], "nominal", "availability") >= 0.95
     assert (
-        phase(ladder, "corner", "availability")
-        >= phase(frozen, "corner", "availability")
+        _phase(r["ladder"], "corner", "availability")
+        >= _phase(r["frozen"], "corner", "availability")
     )

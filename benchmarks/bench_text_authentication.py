@@ -12,42 +12,50 @@ zero-HD policy.
 """
 
 
-
-
+from repro.bench import format_row, matrix, run_for_test
 from repro.experiments.protocols import run_zero_hd_authentication as run_experiment
-
-from _common import emit, format_row, save_results, scaled
 
 N_STAGES = 32
 N_PUFS = 4
 
 
+@matrix.cell(
+    "text_authentication",
+    title="T-text-3 -- zero-HD authentication across V/T corners",
+    tiers={
+        "smoke": {"n_sessions": 40, "n_challenges": 64},
+        "laptop": {"n_sessions": 60, "n_challenges": 64},
+        "paper": {"n_sessions": 400, "n_challenges": 64},
+    },
+)
+def text_authentication_cell(ctx):
+    return run_experiment(ctx.params["n_sessions"], ctx.params["n_challenges"])
 
-def test_zero_hd_authentication(benchmark, capsys):
-    n_sessions = scaled(60, 400)
-    result = benchmark.pedantic(
-        run_experiment, args=(n_sessions, 64), rounds=1, iterations=1
-    )
-    emit(
-        capsys,
-        "T-text-3 -- zero-HD authentication across V/T corners",
-        [
-            f"  {n_sessions} sessions x 64 selected challenges, 3 chips, 9 corners",
-            format_row(
-                "false rejects (honest)", "0",
-                f"{result['false_reject_rate']:.1%}",
-            ),
-            format_row(
-                "false accepts (impostor)", "0",
-                f"{result['false_accept_rate']:.1%}",
-            ),
-            format_row(
-                "random-challenge rejects", "high (why selection exists)",
-                f"{result['random_challenge_reject_rate']:.1%}",
-            ),
-        ],
-    )
-    save_results("text_authentication", result)
+
+def _report(run):
+    result = run.payload
+    return [
+        f"  {run.context.params['n_sessions']} sessions x "
+        f"{run.context.params['n_challenges']} selected challenges, "
+        f"3 chips, 9 corners",
+        format_row(
+            "false rejects (honest)", "0",
+            f"{result['false_reject_rate']:.1%}",
+        ),
+        format_row(
+            "false accepts (impostor)", "0",
+            f"{result['false_accept_rate']:.1%}",
+        ),
+        format_row(
+            "random-challenge rejects", "high (why selection exists)",
+            f"{result['random_challenge_reject_rate']:.1%}",
+        ),
+    ]
+
+
+def test_zero_hd_authentication(capsys):
+    run = run_for_test("text_authentication", capsys, report=_report)
+    result = run.payload
     assert result["false_reject_rate"] == 0.0
     assert result["false_accept_rate"] == 0.0
     assert result["random_challenge_reject_rate"] > 0.5

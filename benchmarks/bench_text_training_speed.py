@@ -6,24 +6,36 @@ CRPs but only a weak function of n".
 """
 
 
-
-
+from repro.bench import format_row, matrix, run_for_test
 from repro.experiments.attacks import run_training_speed as run_experiment
-
-from _common import emit, format_row, save_results, scaled
 
 N_STAGES = 32
 
 
+@matrix.cell(
+    "text_training_speed",
+    title="T-text-1 -- attack training speed per CRP",
+    tiers={
+        "smoke": {"n_train": 15_000, "n_values": [4, 6]},
+        "laptop": {"n_train": 20_000, "n_values": [4, 6]},
+        "paper": {"n_train": 100_000, "n_values": [4, 6]},
+    },
+    warmup=0,
+)
+def text_training_speed_cell(ctx):
+    return run_experiment(ctx.params["n_train"], list(ctx.params["n_values"]))
 
-def test_training_speed_per_crp(benchmark, capsys):
-    n_train = scaled(20_000, 100_000)
-    result = benchmark.pedantic(
-        run_experiment, args=(n_train, [4, 6]), rounds=1, iterations=1
-    )
-    lines = [f"  MLP 35-25-25, L-BFGS, {n_train} training CRPs"]
+
+def _rows(payload):
+    return {k: v for k, v in payload.items() if isinstance(v, dict)}
+
+
+def _report(run):
+    lines = [
+        f"  MLP 35-25-25, L-BFGS, {run.context.params['n_train']} training CRPs"
+    ]
     speeds, per_iteration = [], []
-    for n_key, row in result.items():
+    for n_key, row in _rows(run.payload).items():
         speeds.append(row["ms_per_crp"])
         per_iteration.append(row["ms_per_crp"] / max(row["iterations"], 1))
         lines.append(
@@ -44,8 +56,17 @@ def test_training_speed_per_crp(benchmark, capsys):
             "is iteration count, not per-CRP cost)",
         )
     )
-    emit(capsys, "T-text-1 -- attack training speed per CRP", lines)
-    save_results("text_training_speed", result)
+    return lines
+
+
+def test_training_speed_per_crp(capsys):
+    run = run_for_test("text_training_speed", capsys, report=_report)
+    rows = _rows(run.payload)
+    speeds = [row["ms_per_crp"] for row in rows.values()]
+    per_iteration = [
+        row["ms_per_crp"] / max(row["iterations"], 1) for row in rows.values()
+    ]
+    iter_ratio = max(per_iteration) / min(per_iteration)
     # Same order of magnitude as the paper's desktop figure.
     assert all(0.005 < s < 4.0 for s in speeds)
     # The per-iteration cost per CRP is nearly n-independent; total time

@@ -1,18 +1,25 @@
 """Benchmark collection settings.
 
 Keeping a conftest here puts ``benchmarks/`` on ``sys.path`` so the
-bench modules can share ``_common`` without being a package.  It also
-adds the ``--backend`` option so one invocation can pin the kernel
-backend whose numbers land in ``BENCH_throughput.json``::
+bench modules import the same way under pytest and standalone.  It also
+adds two options mirroring the ``repro-puf bench`` CLI knobs:
 
-    pytest benchmarks/bench_throughput.py --backend numpy
+* ``--backend`` pins the kernel backend whose numbers land in
+  ``BENCH_throughput.json``;
+* ``--tier`` pins the scale tier (smoke/laptop/paper) for every matrix
+  cell the selected bench tests run, overriding ``REPRO_SCALE``::
+
+    pytest benchmarks/bench_throughput.py --backend numpy --tier smoke
     pytest benchmarks/bench_throughput.py --backend numba   # needs repro[fast]
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro.bench import TIERS
 from repro.kernels import BACKEND_NAMES, BackendUnavailableError, set_backend
 
 
@@ -23,9 +30,18 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         default="auto",
         help="kernel backend to benchmark (default: auto-detect)",
     )
+    parser.addoption(
+        "--tier",
+        choices=TIERS,
+        default=None,
+        help="benchmark scale tier (default: REPRO_SCALE, else laptop)",
+    )
 
 
 def pytest_configure(config: pytest.Config) -> None:
+    tier = config.getoption("--tier", default=None)
+    if tier:
+        os.environ["REPRO_SCALE"] = tier
     choice = config.getoption("--backend", default="auto")
     if choice == "auto":
         return

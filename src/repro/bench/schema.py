@@ -1,0 +1,208 @@
+"""Versioned benchmark-result schema and trajectory file handling.
+
+Two artifact families:
+
+* ``benchmarks/results/<name>.json`` -- one file per benchmark with its
+  latest payload (series, tables), as the seed always wrote.  Cell runs
+  add the matrix envelope (samples, stats, env) around the payload.
+* ``BENCH_throughput.json`` (repo root) -- the committed *trajectory*:
+  one entry per matrix cell id, carrying the sample array and robust
+  stats that ``repro-puf bench compare`` gates against.
+
+Schema v2 layout of the trajectory file::
+
+    {
+      "schema_version": 2,
+      "cells": {
+        "soft_sweep:smoke:j1:numpy": {
+          "case": "soft_sweep", "tier": "smoke", "jobs": 1,
+          "backend": "numpy", "metric": "speedup", "unit": "x",
+          "direction": "higher", "gated": true,
+          "samples": [9.1, 9.4, 9.2],
+          "stats": {"n": 3, "min": ..., "median": ..., "mad": ...},
+          "payload": {...last run's payload...},
+          "env": {"python": "3.11.9", "numpy": "1.26.4", ...}
+        }, ...
+      },
+      "legacy": {...the pre-matrix v1 sections, preserved verbatim...}
+    }
+
+v1 files (a flat dict of ad-hoc sections) are still readable: known
+sections are surfaced as n=1 point-estimate pseudo-cells so the
+variance gate can compare across the format change without crashing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "bench_root",
+    "results_dir",
+    "trajectory_path",
+    "environment_metadata",
+    "load_trajectory",
+    "merge_cell",
+    "write_trajectory",
+    "legacy_point_cells",
+    "save_results",
+]
+
+SCHEMA_VERSION = 2
+
+#: v1 section name -> (metric key extractor path, unit, direction).
+#: Extractors reach into the old ad-hoc payload shapes; a missing key
+#: simply drops the section from the legacy view.
+_LEGACY_SECTIONS = {
+    "soft_sweep": ("speedup", "x", "higher"),
+    "enrollment": ("crps_per_sec", "crps/s", "higher"),
+    "identify": ("identifies_per_sec", "calls/s", "higher"),
+}
+
+
+def bench_root() -> Path:
+    """The ``benchmarks/`` directory of the working tree.
+
+    Resolution order: ``REPRO_BENCH_DIR``, the current directory, then
+    the source checkout the installed package came from (``pip install
+    -e`` keeps ``src/repro`` inside the repo, two levels below root).
+    """
+    override = os.environ.get("REPRO_BENCH_DIR", "")
+    if override:
+        return Path(override)
+    local = Path.cwd() / "benchmarks"
+    if local.is_dir():
+        return local
+    import repro
+
+    return Path(repro.__file__).resolve().parents[2] / "benchmarks"
+
+
+def results_dir() -> Path:
+    return bench_root() / "results"
+
+
+def trajectory_path() -> Path:
+    return bench_root().parent / "BENCH_throughput.json"
+
+
+def environment_metadata() -> Dict[str, Any]:
+    """Provenance stamped into every cell result."""
+    import numpy
+    import scipy
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+
+
+def save_results(name: str, payload: Mapping[str, Any]) -> Path:
+    """Persist one benchmark's payload under ``benchmarks/results/``."""
+    from .scale import full_scale
+
+    directory = results_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.json"
+    payload = dict(payload)
+    payload.setdefault("full_scale", full_scale())
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=float)
+    return path
+
+
+def load_trajectory(path: Optional[Path] = None) -> Dict[str, Any]:
+    """Read a trajectory file of either schema generation.
+
+    Returns a v2-shaped dict (``schema_version``/``cells``/``legacy``);
+    a v1 file comes back with its sections preserved under ``legacy``
+    and an empty ``cells`` map.  A missing file is an empty trajectory.
+    """
+    path = Path(path) if path is not None else trajectory_path()
+    if not path.exists():
+        return {"schema_version": SCHEMA_VERSION, "cells": {}, "legacy": {}}
+    raw = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(raw, dict):
+        raise ValueError(f"{path}: trajectory file must hold a JSON object")
+    if raw.get("schema_version", 1) >= 2:
+        raw.setdefault("cells", {})
+        raw.setdefault("legacy", {})
+        return raw
+    return {"schema_version": SCHEMA_VERSION, "cells": {}, "legacy": raw}
+
+
+def legacy_point_cells(trajectory: Mapping[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """v1 sections as n=1 point-estimate pseudo-cells, keyed by case.
+
+    The pre-matrix file recorded one scalar per section (sometimes
+    twice, under backend-tagged keys like ``soft_sweep:numpy``).  Those
+    become single-sample cells so a comparison against an old committed
+    file degrades to a wide-tolerance point check instead of a crash.
+    """
+    cells: Dict[str, Dict[str, Any]] = {}
+    legacy = trajectory.get("legacy", {})
+    for section, payload in legacy.items():
+        case = section.split(":", 1)[0]
+        if case not in _LEGACY_SECTIONS or not isinstance(payload, Mapping):
+            continue
+        metric, unit, direction = _LEGACY_SECTIONS[case]
+        value = payload.get(metric)
+        if value is None:
+            continue
+        cells.setdefault(
+            case,
+            {
+                "case": case,
+                "metric": metric,
+                "unit": unit,
+                "direction": direction,
+                "samples": [float(value)],
+                "stats": {
+                    "n": 1,
+                    "min": float(value),
+                    "max": float(value),
+                    "mean": float(value),
+                    "median": float(value),
+                    "mad": 0.0,
+                },
+                "legacy": True,
+            },
+        )
+    return cells
+
+
+def merge_cell(
+    trajectory: Dict[str, Any], cell_id: str, entry: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """Insert/replace one cell entry in a v2 trajectory dict."""
+    trajectory.setdefault("schema_version", SCHEMA_VERSION)
+    trajectory.setdefault("cells", {})
+    trajectory.setdefault("legacy", {})
+    trajectory["cells"][cell_id] = dict(entry)
+    return trajectory
+
+
+def write_trajectory(
+    trajectory: Mapping[str, Any], path: Optional[Path] = None
+) -> Path:
+    """Write a v2 trajectory dict, cells sorted for stable diffs."""
+    path = Path(path) if path is not None else trajectory_path()
+    out = dict(trajectory)
+    out["schema_version"] = SCHEMA_VERSION
+    out["cells"] = {key: out.get("cells", {})[key] for key in sorted(out.get("cells", {}))}
+    path.write_text(
+        json.dumps(out, indent=2, default=float) + "\n", encoding="utf-8"
+    )
+    return path

@@ -1,0 +1,62 @@
+"""Shared timing primitives and robust sample statistics.
+
+These replace the min-of-k loops that used to be copy-pasted across
+``bench_kernels.py``, ``bench_codebook_sync.py`` and
+``bench_identify_scale.py``: one vocabulary for "time this callable
+honestly" and one for "summarize these samples robustly".
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["best_of", "time_per_call", "sample_stats"]
+
+
+def best_of(fn: Callable[[], object], repeats: int = 5) -> float:
+    """Minimum wall-clock seconds of *repeats* calls to ``fn``.
+
+    The min is the standard single-machine estimator: scheduler
+    preemptions and page-fault bursts only ever *add* time, so the
+    fastest observed run is the closest to the code's true cost.
+    """
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def time_per_call(fn: Callable[[], object], calls: int) -> float:
+    """Mean seconds per call over one timed batch of *calls* runs."""
+    calls = max(1, calls)
+    start = time.perf_counter()
+    for _ in range(calls):
+        fn()
+    return (time.perf_counter() - start) / calls
+
+
+def sample_stats(samples: Sequence[float]) -> Dict[str, float]:
+    """Robust summary of a benchmark metric's timed samples.
+
+    Median and MAD (median absolute deviation) are the location/spread
+    pair the variance gate reasons about -- a single outlier sample
+    moves neither.  Min/max/mean are recorded for the humans.
+    """
+    values: List[float] = [float(v) for v in samples]
+    if not values:
+        raise ValueError("sample_stats needs at least one sample")
+    arr = np.asarray(values, dtype=float)
+    median = float(np.median(arr))
+    return {
+        "n": int(arr.size),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "mean": float(arr.mean()),
+        "median": median,
+        "mad": float(np.median(np.abs(arr - median))),
+    }

@@ -11,6 +11,7 @@ Lets a user exercise the library without writing Python::
     repro-puf serve-sim  --report report.json --audit audit.jsonl
     repro-puf lifecycle-sim --ticks 12 --chaos --report life.json
     repro-puf revoke     db-dir chip-3 --reason "key compromise"
+    repro-puf bench      run --tier smoke --compare
 
 (Installed as ``repro-puf``; also runnable as ``python -m repro.cli``.)
 Each subcommand prints a compact report and exits non-zero on failure,
@@ -224,6 +225,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("chip_id", help="identity to revoke")
     p.add_argument("--reason", default="",
                    help="free-text reason recorded in the revocation table")
+
+    from repro.bench.cli import add_bench_subparser
+
+    add_bench_subparser(sub)
 
     p = sub.add_parser("aging", help="selected-CRP flips over an aging life")
     p.add_argument("--n-pufs", type=int, default=4)
@@ -576,7 +581,14 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.cli import cmd_bench
+
+    return cmd_bench(args)
+
+
 _COMMANDS = {
+    "bench": _cmd_bench,
     "stability": _cmd_stability,
     "enroll": _cmd_enroll,
     "attack": _cmd_attack,

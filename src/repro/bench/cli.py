@@ -144,6 +144,15 @@ def _print_report(report: Mapping[str, Any]) -> None:
         enforced = "" if verdict["enforced"] else " [informational]"
         print(f" {flag} {verdict['cell_id']}: {verdict['status']}"
               f"{enforced} -- {verdict['detail']}")
+    if report["new_cells"]:
+        # A cell the baseline has never seen is a warning, not a
+        # failure: the gate cannot judge it, but refusing to run would
+        # block every PR that *adds* a benchmark.  Exit codes stay
+        # reserved: 1 for regressions, 2 for unusable inputs.
+        print(
+            f"warning: {report['new_cells']} cell(s) have no baseline "
+            "yet and were not gated; they will be once recorded"
+        )
     print(
         f"compared {report['compared']} cells "
         f"({report['new_cells']} new): "

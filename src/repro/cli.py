@@ -214,6 +214,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-availability", type=float, default=0.95,
                    help="fail (exit 1) if active-fleet availability "
                         "falls below this")
+    p.add_argument("--sharded", action="store_true",
+                   help="serve identification traffic through the inline "
+                        "sharded fleet plane (exercises shard refresh and "
+                        "re-layout under churn)")
+    p.add_argument("--shards", type=int, default=2,
+                   help="shard count for --sharded")
+
+    p = sub.add_parser(
+        "serve-shards",
+        help="stand up a supervised shard fleet (real worker processes) "
+             "over a synthetic enrolled population, replay identification "
+             "traffic -- optionally under injected worker chaos -- and "
+             "gate on zero wrong identifications + full final coverage",
+    )
+    p.add_argument("--chips", type=int, default=6, help="enrolled identities")
+    p.add_argument("--n-pufs", type=int, default=4)
+    p.add_argument("--n-stages", type=int, default=32)
+    p.add_argument("--shards", type=int, default=2)
+    p.add_argument("--batches", type=int, default=4,
+                   help="identification batches to serve")
+    p.add_argument("--n-challenges", type=int, default=64,
+                   help="identification block length per identity")
+    p.add_argument("--chaos", action="store_true",
+                   help="kill one worker mid-query and hang another: the "
+                        "fleet must degrade (coverage < 1, never a wrong "
+                        "id) and recover to full coverage")
+    p.add_argument("--request-timeout", type=float, default=5.0)
+    p.add_argument("--report", metavar="PATH", default=None,
+                   help="write the serve report JSON here")
 
     p = sub.add_parser(
         "revoke",
@@ -450,6 +479,8 @@ def _cmd_lifecycle_sim(args: argparse.Namespace) -> int:
         max_stale_rows=args.max_stale_rows,
         max_nominal_frr=args.max_nominal_frr,
         min_availability=args.min_availability,
+        sharded=args.sharded,
+        n_shards=args.shards,
     )
     faults = None
     if args.chaos:
@@ -488,11 +519,101 @@ def _cmd_lifecycle_sim(args: argparse.Namespace) -> int:
           f"{report.persist_failures}/{report.persist_saves} persists "
           f"failed, {report.corrupt_recoveries} corrupt codebooks rebuilt")
     print(f"no challenge replayed: {report.no_replay}")
+    fleet = report.params.get("fleet")
+    if fleet:
+        print(f"fleet plane: {fleet['n_shards']} shards, "
+              f"min coverage {fleet['min_coverage']:.3f}, "
+              f"events {fleet['events']}")
     failures = [
         f"{name}: {gate['value']} vs bound {gate['bound']}"
         for name, gate in report.gates.items()
         if not gate["ok"]
     ]
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_serve_shards(args: argparse.Namespace) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.core.server import AuthenticationServer
+    from repro.faults import FaultPlan, FaultSpec, Site
+    from repro.service.fleet import FleetConfig, ShardDispatcher
+    from repro.silicon.chip import fabricate_lot
+
+    lot = fabricate_lot(args.chips, args.n_pufs, args.n_stages,
+                        seed=args.seed + 160)
+    server = AuthenticationServer()
+    for index, chip in enumerate(lot):
+        server.enroll(chip, seed=args.seed + 161 + index,
+                      n_enroll_challenges=1200,
+                      n_validation_challenges=5000)
+    print(f"enrolled {args.chips} chips; partitioning into "
+          f"{args.shards} shard(s)")
+
+    faults = None
+    if args.chaos:
+        # Request 1 kills whoever serves shard 0 mid-query; the next
+        # spawn generation of shard 1's worker stalls its heartbeat.
+        # Both must be detected, restarted, and healed.
+        faults = FaultPlan([
+            FaultSpec(Site.SHARD_SCORE, kind="crash", at=0, fail_attempts=2),
+            FaultSpec(Site.SHARD_SCORE, kind="hang", at=1, fail_attempts=3,
+                      seconds=max(30.0, 4 * args.request_timeout)),
+        ])
+
+    config = FleetConfig(
+        n_shards=args.shards,
+        n_challenges=args.n_challenges,
+        request_timeout=args.request_timeout,
+        heartbeat_timeout=max(1.0, args.request_timeout / 2),
+    )
+    wrong = 0
+    batches = []
+    with ShardDispatcher(server, config, seed=args.seed + 173,
+                         faults=faults) as dispatcher:
+        print(f"fleet up: {dispatcher.shard_states()}")
+        for batch in range(args.batches):
+            results = dispatcher.identify_many(lot)
+            hits = sum(
+                1 for chip, r in zip(lot, results)
+                if r.chip_id == chip.chip_id
+            )
+            wrong += sum(
+                1 for chip, r in zip(lot, results)
+                if r.chip_id is not None and r.chip_id != chip.chip_id
+            )
+            coverage = min(r.coverage for r in results)
+            batches.append({"batch": batch, "hits": hits,
+                            "coverage": coverage})
+            print(f"batch {batch}: {hits}/{len(lot)} identified, "
+                  f"coverage {coverage:.3f}")
+        final_coverage = batches[-1]["coverage"] if batches else 0.0
+        status = dispatcher.status()
+    print(f"events: {status['events']}")
+    failures = []
+    if wrong:
+        failures.append(f"{wrong} WRONG identification(s)")
+    if final_coverage < 1.0:
+        failures.append(f"final coverage {final_coverage:.3f} < 1.0")
+    report = {
+        "chips": args.chips,
+        "shards": args.shards,
+        "batches": batches,
+        "chaos": args.chaos,
+        "wrong_identifications": wrong,
+        "final_coverage": final_coverage,
+        "fleet": status,
+        "passed": not failures,
+    }
+    if args.report:
+        Path(args.report).write_text(
+            json_module.dumps(report, indent=2, default=float) + "\n",
+            encoding="utf-8",
+        )
+        print(f"serve report -> {args.report}")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0
@@ -596,6 +717,7 @@ _COMMANDS = {
     "identify": _cmd_identify,
     "serve-sim": _cmd_serve_sim,
     "lifecycle-sim": _cmd_lifecycle_sim,
+    "serve-shards": _cmd_serve_shards,
     "revoke": _cmd_revoke,
     "aging": _cmd_aging,
     "figure": _cmd_figure,

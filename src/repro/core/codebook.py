@@ -58,6 +58,7 @@ from typing import (
     Optional,
     Sequence,
     Set,
+    Tuple,
     Union,
 )
 
@@ -339,6 +340,36 @@ class IdentificationCodebook:
     def row(self, chip_id: str) -> CodebookRow:
         """The stored row for *chip_id* (KeyError if absent)."""
         return self._rows[chip_id]
+
+    def row_position(self, chip_id: str) -> int:
+        """Stacked-matrix row index of *chip_id* (KeyError if absent).
+
+        Because :attr:`ids` is sorted and the packed matrix follows it,
+        this is the global row coordinate shard layouts are built on.
+        """
+        return self._index[chip_id]
+
+    def shard_bounds(self, n_shards: int) -> List[Tuple[int, int]]:
+        """Contiguous near-equal ``[start, stop)`` row slices for sharding.
+
+        The partition covers every row exactly once in :attr:`ids`
+        order, so per-shard winners merged by (distance, shard index,
+        local row) reproduce the global argmax tie-break -- highest
+        score, then lexicographically lowest chip id -- bit for bit.
+        More shards than rows yields trailing empty slices rather than
+        an error: a fixed fleet geometry must survive the population
+        shrinking under it.
+        """
+        check_positive_int(n_shards, "n_shards")
+        n_rows = len(self._ids)
+        base, extra = divmod(n_rows, n_shards)
+        bounds: List[Tuple[int, int]] = []
+        start = 0
+        for shard in range(n_shards):
+            stop = start + base + (1 if shard < extra else 0)
+            bounds.append((start, stop))
+            start = stop
+        return bounds
 
     @property
     def stacked_challenges(self) -> np.ndarray:

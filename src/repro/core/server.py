@@ -650,6 +650,11 @@ class AuthenticationServer:
                 n_challenges,
                 seed=seed if isinstance(seed, (int, np.integer)) else None,
             )
+            if not len(book):
+                # Every identity revoked: sync compacted the book to
+                # zero rows.  Same typed refusal as the dense plane,
+                # instead of a raw empty-codebook RuntimeError.
+                raise UnknownChipError("no active identities enrolled")
             responses = np.asarray(
                 responder.xor_response(book.stacked_challenges, condition)
             )
@@ -740,7 +745,11 @@ class AuthenticationServer:
         Results are identical to calling :meth:`identify` with
         *use_codebook=True* once per responder.
         """
+        if not self._records:
+            raise UnknownChipError("no identities enrolled")
         book = self.codebook(n_challenges, seed=seed)
+        if not len(book):
+            raise UnknownChipError("no active identities enrolled")
         if not responders:
             return []
         responses = np.stack(

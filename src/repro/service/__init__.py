@@ -20,10 +20,22 @@ compromising the zero-HD protocol's no-replay invariant.
   (drifting V/T schedule, injected faults, reliability report);
 * :mod:`repro.service.lifecycle` -- the fleet-lifecycle chaos driver
   (enrollment churn, aging-driven retighten storms, revocation waves,
-  persistence chaos, gated acceptance report).
+  persistence chaos, gated acceptance report);
+* :mod:`repro.service.fleet` -- the supervised sharded identification
+  plane (shared-memory codebook shards, heartbeat supervision,
+  degraded partial-coverage serving that survives worker death
+  mid-query).
 """
 
 from repro.service.budget import ChallengeBudget, PoolExhaustedError
+from repro.service.fleet import (
+    FleetConfig,
+    FleetIdentificationResult,
+    FleetLog,
+    FleetOutcome,
+    OverloadError,
+    ShardDispatcher,
+)
 from repro.service.drift import DriftMonitor, DriftPolicy, MAX_RUNG
 from repro.service.events import AuditLog, AuthEvent, AuthOutcome, challenge_digests
 from repro.service.lifecycle import (
@@ -50,11 +62,17 @@ __all__ = [
     "CircuitBreaker",
     "DriftMonitor",
     "DriftPolicy",
+    "FleetConfig",
+    "FleetIdentificationResult",
+    "FleetLog",
+    "FleetOutcome",
     "LifecycleConfig",
     "LifecycleReport",
     "MAX_RUNG",
+    "OverloadError",
     "PoolExhaustedError",
     "RateLimiter",
+    "ShardDispatcher",
     "ServiceConfig",
     "ServiceResult",
     "SimReport",

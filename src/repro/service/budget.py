@@ -57,6 +57,10 @@ class ChallengeBudget:
     released:
         Unspent capacity reclaimed when the chip left the fleet
         (revocation).  A released pool can never reserve again.
+    closed:
+        Latched by the first :meth:`release`; every later release is a
+        guaranteed no-op regardless of how the counters move in
+        between, so replayed revocations cannot inflate the ledger.
     """
 
     chip_id: str
@@ -64,6 +68,7 @@ class ChallengeBudget:
     low_water_fraction: float = 0.10
     spent: int = 0
     released: int = 0
+    closed: bool = False
 
     def __post_init__(self) -> None:
         check_positive_int(self.capacity, "capacity")
@@ -118,9 +123,16 @@ class ChallengeBudget:
         never be issued under this identity, so their provisioning cost
         is returned to the operator's ledger instead of leaking.  The
         reclaimed count is recorded in :attr:`released` and surfaced in
-        the service's budget stats.  Idempotent -- a second call
-        reclaims nothing; a released pool can never reserve again.
+        the service's budget stats.  Idempotent by construction: the
+        first call latches :attr:`closed`, so a replayed revocation
+        (retry loops, at-least-once event delivery) reclaims exactly
+        zero instead of compounding -- previously this relied on the
+        ``remaining`` arithmetic alone, which a future refund path
+        could silently break.  A released pool can never reserve again.
         """
+        if self.closed:
+            return 0
+        self.closed = True
         reclaimed = self.remaining
         self.released += reclaimed
         return reclaimed

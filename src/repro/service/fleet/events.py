@@ -1,0 +1,156 @@
+"""Structured supervision events of the sharded identification fleet.
+
+The fleet's robustness claims -- crashes detected, workers restarted,
+degraded serving flagged, overload shed instead of silently dropped --
+are all *observable* claims.  Every supervision decision is recorded as
+one :class:`FleetEvent` in an append-only :class:`FleetLog`, the fleet
+counterpart of :class:`repro.service.events.AuditLog`; chaos tests
+assert recovery behaviour from the log alone, without trusting the
+dispatcher's return values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["FleetOutcome", "FleetEvent", "FleetLog"]
+
+
+class FleetOutcome(str, enum.Enum):
+    """Event taxonomy of the shard supervisor and dispatcher.
+
+    * ``WORKER_SPAWNED`` -- a shard worker process was started (initial
+      spawn or respawn; ``generation`` distinguishes them).
+    * ``WORKER_ATTACHED`` -- the worker acknowledged its shared-memory
+      attach and is serving.
+    * ``WORKER_CRASHED`` -- the supervisor found a worker process dead.
+    * ``WORKER_HUNG`` -- the worker process is alive but its heartbeat
+      went stale past the configured timeout; it is killed.
+    * ``WORKER_RESTARTED`` -- a crashed/hung worker was respawned
+      (after the retry policy's backoff delay).
+    * ``SHARD_DOWN`` -- a shard exhausted its restart budget and is
+      degraded out of the serving set until revived.
+    * ``SHARD_RECOVERED`` -- a previously crashed/hung/down shard is
+      attached and serving again.
+    * ``SHARD_RELAYOUT`` -- a membership change (register/revoke
+      compaction) re-partitioned the codebook into fresh segments.
+    * ``SHARD_REFRESHED`` -- content-only mutations were written into
+      existing segments in place (epoch bump, no re-layout).
+    * ``DEGRADED_SERVE`` -- a request batch was answered from a proper
+      subset of shards; ``coverage`` carries the active-row fraction
+      actually searched.
+    * ``EPOCH_MISMATCH`` -- a shard reply carried a stale epoch and was
+      discarded rather than merged.
+    * ``OVERLOAD_SHED`` -- a request was refused with a typed
+      :class:`~repro.service.fleet.dispatcher.OverloadError` because
+      the bounded queue was full (never a silent drop).
+    """
+
+    WORKER_SPAWNED = "worker-spawned"
+    WORKER_ATTACHED = "worker-attached"
+    WORKER_CRASHED = "worker-crashed"
+    WORKER_HUNG = "worker-hung"
+    WORKER_RESTARTED = "worker-restarted"
+    SHARD_DOWN = "shard-down"
+    SHARD_RECOVERED = "shard-recovered"
+    SHARD_RELAYOUT = "shard-relayout"
+    SHARD_REFRESHED = "shard-refreshed"
+    DEGRADED_SERVE = "degraded-serve"
+    EPOCH_MISMATCH = "epoch-mismatch"
+    OVERLOAD_SHED = "overload-shed"
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetEvent:
+    """One supervision decision.
+
+    Attributes
+    ----------
+    seq:
+        Monotone event sequence number (log order).
+    outcome:
+        The :class:`FleetOutcome` taxonomy entry.
+    shard:
+        Shard index the event concerns (``None`` for fleet-wide events).
+    generation:
+        Worker spawn generation in force when the event fired.
+    coverage:
+        Active-row coverage fraction, where the event carries one
+        (``DEGRADED_SERVE``).
+    detail:
+        Free-form human-readable context.
+    """
+
+    seq: int
+    outcome: FleetOutcome
+    shard: Optional[int] = None
+    generation: int = 0
+    coverage: Optional[float] = None
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dictionary (enum flattened to its string value)."""
+        payload = dataclasses.asdict(self)
+        payload["outcome"] = self.outcome.value
+        return payload
+
+
+class FleetLog:
+    """Append-only supervision log with query helpers for tests/reports."""
+
+    def __init__(self) -> None:
+        self._events: List[FleetEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FleetEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> Tuple[FleetEvent, ...]:
+        """All events in log order."""
+        return tuple(self._events)
+
+    def record(
+        self,
+        outcome: FleetOutcome,
+        *,
+        shard: Optional[int] = None,
+        generation: int = 0,
+        coverage: Optional[float] = None,
+        detail: str = "",
+    ) -> FleetEvent:
+        """Append one event; returns it for call-site chaining."""
+        event = FleetEvent(
+            seq=len(self._events),
+            outcome=outcome,
+            shard=shard,
+            generation=generation,
+            coverage=coverage,
+            detail=detail,
+        )
+        self._events.append(event)
+        return event
+
+    def with_outcome(self, outcome: FleetOutcome) -> List[FleetEvent]:
+        """Events carrying one outcome."""
+        return [e for e in self._events if e.outcome is outcome]
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """``outcome value -> count`` over the whole log."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.outcome.value] = counts.get(event.outcome.value, 0) + 1
+        return counts
+
+    def min_coverage(self) -> float:
+        """Lowest coverage any served batch saw (1.0 if never degraded)."""
+        degraded = [
+            e.coverage
+            for e in self._events
+            if e.outcome is FleetOutcome.DEGRADED_SERVE and e.coverage is not None
+        ]
+        return min(degraded) if degraded else 1.0

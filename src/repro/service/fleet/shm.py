@@ -1,0 +1,225 @@
+"""Shared-memory codebook shards: zero-copy slices workers score in place.
+
+One :class:`ShardSegment` holds a contiguous row slice of the packed
+``(N, n_bytes)`` codebook matrix plus its tombstone mask and the epoch
+it was written at, laid out in a single
+:class:`multiprocessing.shared_memory.SharedMemory` block::
+
+    offset 0   int64  epoch     -- journal epoch the bytes reflect
+    offset 8   int32  n_rows    -- rows in this shard (layout check)
+    offset 12  int32  n_bytes   -- packed bytes per row (layout check)
+    offset 16  uint8[n_rows]          active mask (1 = serveable)
+    offset 16+n_rows uint8[n_rows * n_bytes]  packed predictions
+
+The dispatcher owns the segments (creates, rewrites, unlinks); workers
+attach read-only by name and echo the header epoch in every reply, so a
+reply scored against stale bytes is detectable at merge time.  Rewrites
+happen only between dispatches (the dispatcher serializes refresh and
+scoring), so workers never observe a torn row.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+__all__ = ["ShardSpec", "ShardSegment", "HEADER_BYTES"]
+
+#: epoch (int64) + n_rows (int32) + n_bytes (int32).
+HEADER_BYTES = 16
+_HEADER = struct.Struct("<qii")
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardSpec:
+    """Picklable description of one shard segment (travels to workers).
+
+    Attributes
+    ----------
+    shard_index:
+        Position of this shard in the fleet's contiguous partition.
+    name:
+        Shared-memory segment name to attach.
+    start / stop:
+        Global codebook row bounds ``[start, stop)`` the shard covers;
+        ``start`` is what turns a local argmin row back into the global
+        (lowest-chip-id tie-break) coordinate.
+    n_bytes:
+        Packed bytes per row.
+    n_challenges:
+        Identification block length (for score reconstruction).
+    epoch:
+        Journal epoch the segment held when this spec was issued;
+        replies carrying a different header epoch are stale.
+    """
+
+    shard_index: int
+    name: str
+    start: int
+    stop: int
+    n_bytes: int
+    n_challenges: int
+    epoch: int
+
+    @property
+    def n_rows(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def size(self) -> int:
+        """Total segment size in bytes (header + mask + matrix)."""
+        return HEADER_BYTES + self.n_rows + self.n_rows * self.n_bytes
+
+
+def _untrack(name: str) -> None:
+    """Drop a segment from this process's resource tracker.
+
+    Attaching registers the segment with the *attaching* process's
+    tracker, which would try to unlink it again at exit (and warn about
+    leaks) even though the dispatcher owns the lifecycle.  Best-effort:
+    tracker internals are not a stable API.
+    """
+    try:  # pragma: no cover - depends on interpreter internals
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:
+        pass
+
+
+class ShardSegment:
+    """One mapped shard: header + active mask + packed rows.
+
+    Create with :meth:`create` (owner side: allocates and fills) or
+    :meth:`attach` (worker side: maps existing bytes by name).
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, spec: ShardSpec,
+                 *, owner: bool) -> None:
+        self._shm = shm
+        self.spec = spec
+        self._owner = owner
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        spec: ShardSpec,
+        packed_rows: np.ndarray,
+        active: np.ndarray,
+    ) -> "ShardSegment":
+        """Allocate the segment and write header + rows + mask."""
+        # max(size, 1): SharedMemory refuses zero-byte blocks, and an
+        # empty shard is legal (more shards than rows).
+        shm = shared_memory.SharedMemory(
+            name=spec.name, create=True, size=max(spec.size, 1)
+        )
+        segment = cls(shm, spec, owner=True)
+        segment.write(packed_rows, active, spec.epoch)
+        return segment
+
+    @classmethod
+    def attach(cls, spec: ShardSpec) -> "ShardSegment":
+        """Map an existing segment by name; validates the header layout."""
+        shm = shared_memory.SharedMemory(name=spec.name)
+        _untrack(spec.name)
+        segment = cls(shm, spec, owner=False)
+        _, n_rows, n_bytes = segment._header()
+        if (n_rows, n_bytes) != (spec.n_rows, spec.n_bytes):
+            segment.close()
+            raise ValueError(
+                f"shard {spec.shard_index}: segment {spec.name} holds "
+                f"{n_rows}x{n_bytes} rows but the spec says "
+                f"{spec.n_rows}x{spec.n_bytes}"
+            )
+        return segment
+
+    def close(self) -> None:
+        """Unmap the segment (both sides); idempotent."""
+        if not self._closed:
+            self._closed = True
+            self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side only); idempotent."""
+        if self._owner:
+            try:
+                # A forked worker's attach-side unregister may have
+                # already dropped this name from the (shared) tracker
+                # cache; re-register so unlink's own unregister finds
+                # it instead of spewing a KeyError in the tracker.
+                resource_tracker.register(
+                    f"/{self.spec.name}", "shared_memory"
+                )
+            except Exception:  # pragma: no cover - tracker internals
+                pass
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
+
+    # ------------------------------------------------------------------
+    # Header / views
+    # ------------------------------------------------------------------
+    def _header(self):
+        return _HEADER.unpack_from(self._shm.buf, 0)
+
+    @property
+    def epoch(self) -> int:
+        """Journal epoch the current bytes reflect."""
+        return self._header()[0]
+
+    @property
+    def active(self) -> np.ndarray:
+        """Bool view of the tombstone mask (1 = row may win argmax)."""
+        return np.ndarray(
+            (self.spec.n_rows,), dtype=np.bool_,
+            buffer=self._shm.buf, offset=HEADER_BYTES,
+        )
+
+    @property
+    def packed(self) -> np.ndarray:
+        """Uint8 view of the packed prediction rows ``(n_rows, n_bytes)``."""
+        return np.ndarray(
+            (self.spec.n_rows, self.spec.n_bytes), dtype=np.uint8,
+            buffer=self._shm.buf, offset=HEADER_BYTES + self.spec.n_rows,
+        )
+
+    def set_epoch(self, epoch: int) -> None:
+        """Stamp a new epoch without touching rows (content unchanged)."""
+        _HEADER.pack_into(
+            self._shm.buf, 0, int(epoch), self.spec.n_rows, self.spec.n_bytes
+        )
+        self.spec = dataclasses.replace(self.spec, epoch=int(epoch))
+
+    def write(
+        self, packed_rows: np.ndarray, active: np.ndarray, epoch: int
+    ) -> None:
+        """Rewrite rows + mask in place and stamp the new epoch.
+
+        Owner-side refresh path; the dispatcher guarantees no scoring
+        pass is in flight while this runs.
+        """
+        packed_rows = np.ascontiguousarray(packed_rows, dtype=np.uint8)
+        if packed_rows.shape != (self.spec.n_rows, self.spec.n_bytes):
+            raise ValueError(
+                f"shard {self.spec.shard_index}: cannot write shape "
+                f"{packed_rows.shape} into a "
+                f"{(self.spec.n_rows, self.spec.n_bytes)} segment"
+            )
+        mask = np.ascontiguousarray(active, dtype=np.bool_)
+        if mask.shape != (self.spec.n_rows,):
+            raise ValueError(
+                f"shard {self.spec.shard_index}: active mask shape "
+                f"{mask.shape} != ({self.spec.n_rows},)"
+            )
+        self.active[:] = mask
+        self.packed[:] = packed_rows
+        _HEADER.pack_into(
+            self._shm.buf, 0, int(epoch), self.spec.n_rows, self.spec.n_bytes
+        )
+        self.spec = dataclasses.replace(self.spec, epoch=int(epoch))

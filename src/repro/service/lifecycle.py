@@ -105,6 +105,16 @@ class LifecycleConfig:
     identify_probes:
         Active chips identified through the codebook plane per tick
         (also how staleness-at-serve-time is sampled).
+    sharded / n_shards:
+        With *sharded* on, identification traffic is served by an
+        inline-mode :class:`~repro.service.fleet.ShardDispatcher` over
+        *n_shards* shared-memory shards instead of the in-process
+        codebook -- same results (the fleet plane is bit-identical at
+        full coverage), but the run additionally exercises shard
+        refresh and re-layout under enrollment churn, revocation waves
+        and retighten storms.  Note the fleet serves from fully
+        materialized bytes, so deferred-codebook staleness reads as
+        zero in this mode.
     max_nominal_frr / min_availability:
         Acceptance gates over the active-fleet authentication probes.
     """
@@ -126,6 +136,8 @@ class LifecycleConfig:
     n_validation_challenges: int = 5000
     aging: AgingModel = AgingModel()
     identify_probes: int = 3
+    sharded: bool = False
+    n_shards: int = 2
     max_nominal_frr: float = 0.02
     min_availability: float = 0.95
 
@@ -145,6 +157,7 @@ class LifecycleConfig:
                 "storm betas must satisfy 0 < beta0 <= 1 <= beta1, got "
                 f"{self.storm_beta0}, {self.storm_beta1}"
             )
+        check_positive_int(self.n_shards, "n_shards")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -330,6 +343,29 @@ def run_lifecycle_sim(
     book_seed = seed if isinstance(seed, int) else None
     server.codebook(service_config.n_challenges, seed=book_seed)
 
+    dispatcher = None
+    if cfg.sharded:
+        from repro.service.fleet import FleetConfig, ShardDispatcher
+
+        # Inline mode: same shard partition, scoring and merge code as
+        # the worker fleet, without process churn inside the sim --
+        # what this run exercises is refresh + re-layout under the
+        # lifecycle's register/retighten/revoke interleavings.
+        dispatcher = ShardDispatcher(
+            server,
+            FleetConfig(
+                n_shards=cfg.n_shards,
+                n_challenges=service_config.n_challenges,
+                inline=True,
+            ),
+            seed=book_seed,
+        )
+        service.attach_fleet(dispatcher)
+        say(
+            f"sharded identification plane: {cfg.n_shards} inline "
+            f"shards over {len(server.active_ids)} identities"
+        )
+
     # ------------------------------------------------------------------
     # The life.
     # ------------------------------------------------------------------
@@ -487,6 +523,17 @@ def run_lifecycle_sim(
     # ------------------------------------------------------------------
     # Gates and report.
     # ------------------------------------------------------------------
+    fleet_stats: Optional[Dict[str, object]] = None
+    if dispatcher is not None:
+        fleet_stats = {
+            "n_shards": cfg.n_shards,
+            "min_coverage": dispatcher.log.min_coverage(),
+            "events": dispatcher.log.outcome_counts(),
+            "epoch": dispatcher.epoch,
+        }
+        service.detach_fleet()
+        dispatcher.close()
+
     scored = active_approved + active_rejected
     probes = scored + active_denied
     frr = active_rejected / scored if scored else 0.0
@@ -559,6 +606,8 @@ def run_lifecycle_sim(
             "identified_misses": identified_misses,
             "chaos": faults is not None,
             "persistence_chaos": workdir is not None,
+            "sharded": cfg.sharded,
+            "fleet": fleet_stats,
         },
     )
     if report_path is not None:

@@ -271,6 +271,7 @@ class AuthenticationService:
         self._chips: Dict[str, _ChipState] = {}
         self._requests = 0
         self._reads = 0
+        self._fleet = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -279,6 +280,21 @@ class AuthenticationService:
     def server(self) -> AuthenticationServer:
         """The wrapped protocol server."""
         return self._server
+
+    def attach_fleet(self, dispatcher) -> None:
+        """Route :meth:`identify_many` through a sharded fleet.
+
+        *dispatcher* is a :class:`~repro.service.fleet.ShardDispatcher`
+        (duck-typed: anything with a compatible ``identify_many``).
+        The service keeps emitting its usual IDENTIFIED/UNIDENTIFIED
+        audit events; degraded batches additionally note their
+        coverage in the event detail.
+        """
+        self._fleet = dispatcher
+
+    def detach_fleet(self) -> None:
+        """Return :meth:`identify_many` to the in-process codebook."""
+        self._fleet = None
 
     @property
     def flagged_chips(self) -> List[str]:
@@ -559,28 +575,47 @@ class AuthenticationService:
         :attr:`AuthOutcome.IDENTIFIED` / ``UNIDENTIFIED`` event --
         without challenge digests, since codebook blocks are persistent
         identification material outside the no-replay pool accounting.
+
+        With a fleet attached (:meth:`attach_fleet`) the batch is
+        served by the sharded dispatcher instead of the in-process
+        codebook; results then carry a ``coverage`` attribute and may
+        be degraded (never wrong) while shards are down.
         """
         start = self._clock()
         seed = self._seed if isinstance(self._seed, int) else None
-        results = self._server.identify_many(
-            responders,
-            n_challenges=self.config.n_challenges,
-            min_match_fraction=min_match_fraction,
-            condition=condition,
-            seed=seed,
-            return_scores=return_scores,
-        )
+        if self._fleet is not None:
+            results = self._fleet.identify_many(
+                responders,
+                min_match_fraction=min_match_fraction,
+                condition=condition,
+                return_scores=return_scores,
+            )
+        else:
+            results = self._server.identify_many(
+                responders,
+                n_challenges=self.config.n_challenges,
+                min_match_fraction=min_match_fraction,
+                condition=condition,
+                seed=seed,
+                return_scores=return_scores,
+            )
         for result in results:
             request = self._requests
             self._requests += 1
             matched = result.chip_id is not None
+            coverage = getattr(result, "coverage", 1.0)
+            detail = (
+                f"best match {result.match_fraction:.4f} across "
+                f"{len(self._server.active_ids)} identities"
+            )
+            if coverage < 1.0:
+                detail += f" (degraded: coverage {coverage:.3f})"
             self._emit(
                 request, result.chip_id,
                 AuthOutcome.IDENTIFIED if matched else AuthOutcome.UNIDENTIFIED,
                 start=start,
                 n_challenges=self.config.n_challenges,
-                detail=f"best match {result.match_fraction:.4f} across "
-                       f"{len(self._server.active_ids)} identities",
+                detail=detail,
                 condition=str(condition),
             )
         return results

@@ -113,6 +113,44 @@ class TestCompareExitCodes:
         assert main(["bench", "compare", str(tmp_path / "missing.json"),
                      "--against", str(base), "--dir", str(empty)]) == 2
 
+    def test_new_cell_warns_but_exits_zero(self, tmp_path, capsys):
+        # A candidate cell the baseline has never seen is NOT a
+        # regression: warn loudly, gate nothing, and keep exit 0 so a
+        # PR adding a benchmark is not blocked by its own novelty.
+        empty = bench_dir(tmp_path)
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        base.write_text(json.dumps(
+            {"schema_version": 2, "legacy": {}, "cells": {}}
+        ))
+        cand.write_text(json.dumps(self._cells([10.0, 10.1, 9.9])))
+        assert main(["bench", "compare", str(cand), "--against", str(base),
+                     "--dir", str(empty)]) == 0
+        out = capsys.readouterr().out
+        assert "warning" in out
+        assert "no baseline" in out
+
+    def test_new_cell_warning_rides_with_a_real_regression(self, tmp_path,
+                                                           capsys):
+        # Mixed report: one regressed known cell + one unknown cell.
+        # The regression still wins the exit code; the unknown cell is
+        # still surfaced as a warning, not silently dropped.
+        empty = bench_dir(tmp_path)
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        base.write_text(json.dumps(self._cells([10.0, 10.1, 9.9])))
+        doc = self._cells([6.0, 6.05, 5.95])
+        doc["cells"]["b:smoke:j1:numpy"] = {
+            "case": "b", "metric": "speedup", "direction": "higher",
+            "gated": True, "samples": [3.0, 3.1, 2.9],
+            "stats": sample_stats([3.0, 3.1, 2.9]),
+        }
+        cand.write_text(json.dumps(doc))
+        assert main(["bench", "compare", str(cand), "--against", str(base),
+                     "--dir", str(empty)]) == 1
+        out = capsys.readouterr().out
+        assert "no baseline" in out
+
 
 class TestList:
     def test_lists_discovered_cells(self, tmp_path, capsys):
@@ -159,6 +197,21 @@ class TestRun:
                 "--compare", "--dir", str(directory)]
         assert main(argv + ["--against", str(inflated)]) == 1
         assert main(argv + ["--against", str(honest)]) == 0
+
+    def test_run_compare_with_unseen_cell_warns_and_passes(self, tmp_path,
+                                                           capsys):
+        # `run --compare` for a brand-new cell (committed trajectory
+        # has never recorded it): surfaced as a warning, exit 0.
+        directory = bench_dir(tmp_path, case="clinew")
+        empty_traj = tmp_path / "empty.json"
+        empty_traj.write_text(json.dumps(
+            {"schema_version": 2, "cells": {}, "legacy": {}}
+        ))
+        assert main(["bench", "run", "clinew", "--tier", "smoke",
+                     "--no-record", "--compare",
+                     "--against", str(empty_traj),
+                     "--dir", str(directory)]) == 0
+        assert "no baseline" in capsys.readouterr().out
 
     def test_saved_run_document_feeds_compare(self, tmp_path):
         directory = bench_dir(tmp_path, case="clisave")

@@ -41,7 +41,11 @@ except ImportError:
 #: Per-test wall-clock ceiling (seconds) for the fallback guard.
 DEFAULT_TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
 
-if not _HAVE_PYTEST_TIMEOUT and hasattr(signal, "SIGALRM"):
+#: Whether the SIGALRM fallback can arm at all (POSIX main thread only;
+#: Windows and some embedded interpreters lack the signal entirely).
+_HAVE_SIGALRM = hasattr(signal, "SIGALRM")
+
+if not _HAVE_PYTEST_TIMEOUT and _HAVE_SIGALRM:
 
     @pytest.hookimpl(wrapper=True)
     def pytest_runtest_call(item):
@@ -64,6 +68,23 @@ if not _HAVE_PYTEST_TIMEOUT and hasattr(signal, "SIGALRM"):
         finally:
             signal.setitimer(signal.ITIMER_REAL, 0)
             signal.signal(signal.SIGALRM, previous)
+
+elif not _HAVE_PYTEST_TIMEOUT:  # pragma: no cover - non-POSIX platforms
+
+    def pytest_configure(config):
+        # No pytest-timeout and no SIGALRM: the suite still runs, but a
+        # genuine hang will wedge instead of failing fast.  Warn at
+        # collection rather than erroring -- a missing guard must never
+        # be the reason the suite cannot run at all.
+        import warnings
+
+        warnings.warn(
+            "no hang guard available: pytest-timeout is not installed "
+            "and this platform has no signal.SIGALRM; hanging tests "
+            "will block instead of timing out",
+            RuntimeWarning,
+            stacklevel=2,
+        )
 
 #: Counter depth for fast tests; stability semantics are depth-dependent
 #: but every module accepts any depth.

@@ -48,6 +48,38 @@ class TestChallengeBudget:
         assert budget.remaining == 0
         assert not budget.can_reserve(1)
 
+    def test_release_reclaims_the_unspent_pool(self):
+        budget = ChallengeBudget(chip_id="chip-0", capacity=100)
+        budget.reserve(30)
+        assert budget.release() == 70
+        assert budget.closed
+        assert budget.remaining == 0
+        assert not budget.can_reserve(1)
+
+    def test_double_release_cannot_inflate_the_ledger(self):
+        """A replayed revocation reclaims exactly zero (regression).
+
+        Revocation events can be delivered more than once (retry
+        loops, at-least-once pipelines); only the first release may
+        move the counters, or ``released`` would compound past what
+        was ever provisioned.
+        """
+        budget = ChallengeBudget(chip_id="chip-0", capacity=100)
+        budget.reserve(30)
+        first = budget.release()
+        assert first == 70
+        for _ in range(5):
+            assert budget.release() == 0
+        assert budget.released == 70
+        assert budget.released + budget.spent == budget.capacity
+        assert budget.remaining == 0
+
+    def test_release_on_untouched_pool_is_total_and_final(self):
+        budget = ChallengeBudget(chip_id="chip-0", capacity=50)
+        assert budget.release() == 50
+        assert budget.release() == 0
+        assert budget.released == 50
+
     def test_validation(self):
         with pytest.raises(ValueError):
             ChallengeBudget(chip_id="chip-0", capacity=0)

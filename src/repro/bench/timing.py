@@ -45,7 +45,16 @@ def sample_stats(samples: Sequence[float]) -> Dict[str, float]:
 
     Median and MAD (median absolute deviation) are the location/spread
     pair the variance gate reasons about -- a single outlier sample
-    moves neither.  Min/max/mean are recorded for the humans.
+    moves neither.  Min/max/mean are recorded for the humans, and the
+    p50/p95/p99 percentiles for tail-latency reporting (with the
+    handful of samples a smoke cell takes, the upper percentiles lean
+    on numpy's linear interpolation -- treat them as indicative there;
+    they earn their keep on the per-request latency distributions of
+    the serving benchmarks, where n is in the hundreds).  The
+    percentile keys are additive: the variance gate
+    (:func:`repro.bench.variance.compare_cell`) reads only
+    ``median`` / ``mad`` / ``n``, so baselines recorded before they
+    existed stay comparable.
     """
     values: List[float] = [float(v) for v in samples]
     if not values:
@@ -59,4 +68,7 @@ def sample_stats(samples: Sequence[float]) -> Dict[str, float]:
         "mean": float(arr.mean()),
         "median": median,
         "mad": float(np.median(np.abs(arr - median))),
+        "p50": median,
+        "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
     }

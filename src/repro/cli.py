@@ -185,6 +185,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-corner-availability", type=float, default=0.95,
                    help="fail (exit 1) if healthy-chip corner availability "
                         "falls below this")
+    p.add_argument("--clients", type=int, default=0,
+                   help="replay the trace through the micro-batching front "
+                        "end with this many concurrent clients (0 = "
+                        "sequential); gates are unchanged")
 
     p = sub.add_parser(
         "lifecycle-sim",
@@ -220,6 +224,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "re-layout under churn)")
     p.add_argument("--shards", type=int, default=2,
                    help="shard count for --sharded")
+    p.add_argument("--clients", type=int, default=0,
+                   help="pump all traffic through the micro-batching front "
+                        "end with this many concurrent clients (0 = "
+                        "sequential); gates are unchanged")
 
     p = sub.add_parser(
         "serve-shards",
@@ -241,6 +249,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "fleet must degrade (coverage < 1, never a wrong "
                         "id) and recover to full coverage")
     p.add_argument("--request-timeout", type=float, default=5.0)
+    p.add_argument("--clients", type=int, default=0,
+                   help="serve each batch as this many concurrent client "
+                        "submissions through the micro-batching front end "
+                        "(AuthenticationService + BatchingFrontend over the "
+                        "fleet) instead of one direct dispatcher call; the "
+                        "degraded-not-wrong gates are unchanged")
     p.add_argument("--report", metavar="PATH", default=None,
                    help="write the serve report JSON here")
 
@@ -430,6 +444,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         return_steps=args.return_steps,
         fault_chip=None if args.fault_chip < 0 else args.fault_chip,
         fault_failed_reads=args.fault_reads,
+        clients=args.clients,
         report_path=args.report,
         audit_path=args.audit,
         progress=print,
@@ -481,6 +496,7 @@ def _cmd_lifecycle_sim(args: argparse.Namespace) -> int:
         min_availability=args.min_availability,
         sharded=args.sharded,
         n_shards=args.shards,
+        clients=args.clients,
     )
     faults = None
     if args.chaos:
@@ -572,11 +588,43 @@ def _cmd_serve_shards(args: argparse.Namespace) -> int:
     )
     wrong = 0
     batches = []
+    frontend_stats = None
     with ShardDispatcher(server, config, seed=args.seed + 173,
                          faults=faults) as dispatcher:
         print(f"fleet up: {dispatcher.shard_states()}")
+        frontend = None
+        if args.clients:
+            from repro.service import (
+                AuthenticationService,
+                BatchingFrontend,
+                FrontendConfig,
+                ServiceConfig,
+            )
+
+            # The full serving stack: concurrent client submissions ->
+            # micro-batching front end -> service -> dispatcher
+            # submit/flush -> shard round-trip.  Under --chaos this is
+            # the degraded-not-wrong contract exercised end to end.
+            service = AuthenticationService(
+                server, ServiceConfig(n_challenges=args.n_challenges),
+                seed=args.seed + 173,
+            )
+            service.attach_fleet(dispatcher)
+            frontend = BatchingFrontend(
+                service,
+                FrontendConfig(
+                    max_batch=args.clients,
+                    max_pending=max(4 * args.clients, 64),
+                ),
+            )
+            print(f"micro-batching front end: {args.clients} "
+                  f"concurrent clients")
         for batch in range(args.batches):
-            results = dispatcher.identify_many(lot)
+            if frontend is not None:
+                futures = [frontend.submit_identify(chip) for chip in lot]
+                results = [future.result() for future in futures]
+            else:
+                results = dispatcher.identify_many(lot)
             hits = sum(
                 1 for chip, r in zip(lot, results)
                 if r.chip_id == chip.chip_id
@@ -590,6 +638,9 @@ def _cmd_serve_shards(args: argparse.Namespace) -> int:
                             "coverage": coverage})
             print(f"batch {batch}: {hits}/{len(lot)} identified, "
                   f"coverage {coverage:.3f}")
+        if frontend is not None:
+            frontend_stats = frontend.stats
+            frontend.close()
         final_coverage = batches[-1]["coverage"] if batches else 0.0
         status = dispatcher.status()
     print(f"events: {status['events']}")
@@ -603,6 +654,8 @@ def _cmd_serve_shards(args: argparse.Namespace) -> int:
         "shards": args.shards,
         "batches": batches,
         "chaos": args.chaos,
+        "clients": args.clients,
+        "frontend": frontend_stats,
         "wrong_identifications": wrong,
         "final_coverage": final_coverage,
         "fleet": status,

@@ -110,8 +110,25 @@ def pack_responses(bits: np.ndarray) -> np.ndarray:
     distance.
     """
     bits = np.asarray(bits)
-    if bits.size and not np.isin(bits, (0, 1)).all():
-        raise ValueError("response bits must be 0/1")
+    # Validation must not allocate grid-sized temporaries: a batched
+    # serving pass packs (n_requests, n_identities * n_challenges)
+    # grids that dwarf the cache, where the old
+    # ``np.isin(bits, (0, 1))`` sort was the dominant cost of the
+    # whole pass.  Integer/bool grids are range-checked with two
+    # read-only reductions; only odd dtypes (floats, objects) pay for
+    # elementwise comparisons.
+    if bits.size:
+        if bits.dtype == np.bool_:
+            pass
+        elif np.issubdtype(bits.dtype, np.integer):
+            if int(bits.min()) < 0 or int(bits.max()) > 1:
+                raise ValueError("response bits must be 0/1")
+        elif not ((bits == 0) | (bits == 1)).all():
+            raise ValueError("response bits must be 0/1")
+    if bits.dtype.itemsize == 1 and bits.dtype != np.uint8:
+        # A validated 0/1 int8/bool array reinterprets as uint8 for
+        # free; astype would copy the full grid.
+        bits = bits.view(np.uint8)
     return np.packbits(bits.astype(np.uint8, copy=False), axis=-1)
 
 
@@ -629,7 +646,33 @@ class IdentificationCodebook:
             raise RuntimeError("codebook is empty; sync it against a database")
         responses = np.asarray(responses)
         responses = responses.reshape(-1, n, self.n_challenges)
-        packed = pack_responses(responses)
+        return self.match_packed(pack_responses(responses), use_lut=use_lut)
+
+    def match_packed(
+        self, packed: np.ndarray, *, use_lut: bool = False
+    ) -> np.ndarray:
+        """Scores for responses that are *already* bit-packed.
+
+        *packed* is ``(n_requests, n_identities, n_bytes)`` as produced
+        by :func:`pack_responses` on per-identity response rows.  This
+        is the batched serving fast path: packing each transcript at
+        read time keeps the per-item work cache-resident, instead of
+        materializing one unpacked ``(n_requests, n_identities *
+        n_challenges)`` grid that a large batch pushes out to DRAM.
+        Scores are bit-identical to :meth:`match_many` on the unpacked
+        bits.
+        """
+        n = len(self._ids)
+        if n == 0:
+            raise RuntimeError("codebook is empty; sync it against a database")
+        packed = np.asarray(packed, dtype=np.uint8)
+        expected = self._packed_matrix.shape[-1]
+        if packed.shape[-2:] != (n, expected):
+            raise ValueError(
+                f"packed responses shaped {packed.shape}, codebook expects "
+                f"(..., {n}, {expected})"
+            )
+        packed = packed.reshape(-1, n, expected)
         return packed_match_fractions(
             packed, self.packed_matrix[None, :, :], self.n_challenges,
             use_lut=use_lut,

@@ -733,6 +733,7 @@ class AuthenticationServer:
         n_challenges: int = 64,
         min_match_fraction: float = 0.95,
         condition: OperatingCondition = NOMINAL_CONDITION,
+        conditions: Optional[Sequence[OperatingCondition]] = None,
         seed: Optional[int] = None,
         return_scores: bool = False,
     ) -> List[IdentificationResult]:
@@ -744,6 +745,10 @@ class AuthenticationServer:
         per-request matching cost is amortized across the batch.
         Results are identical to calling :meth:`identify` with
         *use_codebook=True* once per responder.
+
+        *conditions* optionally gives each responder its own operating
+        condition (the batching front end coalesces requests observed
+        at different V/T points); it overrides *condition* per item.
         """
         if not self._records:
             raise UnknownChipError("no identities enrolled")
@@ -752,13 +757,28 @@ class AuthenticationServer:
             raise UnknownChipError("no active identities enrolled")
         if not responders:
             return []
-        responses = np.stack(
+        if conditions is None:
+            conditions = [condition] * len(responders)
+        elif len(conditions) != len(responders):
+            raise ValueError(
+                f"{len(responders)} responders but {len(conditions)} conditions"
+            )
+        # Pack each transcript as it is read: per-item packing works on
+        # a cache-resident row block, and the stacked batch grid is the
+        # 8x smaller packed form (large unpacked grids spill to DRAM
+        # and dominate the pass).
+        n_rows = len(book)
+        packed = np.stack(
             [
-                np.asarray(r.xor_response(book.stacked_challenges, condition))
-                for r in responders
+                pack_responses(
+                    np.asarray(
+                        r.xor_response(book.stacked_challenges, cond)
+                    ).reshape(n_rows, n_challenges)
+                )
+                for r, cond in zip(responders, conditions)
             ]
         )
-        scores = book.match_many(responses)
+        scores = book.match_packed(packed)
         active = book.active_mask
         return [
             self._best_match(

@@ -108,6 +108,12 @@ _LOADED: Dict[str, KernelBackend] = {}
 #: Explicit :func:`set_backend` choice (``None`` = env var / auto).
 _SELECTED: Optional[str] = None
 
+#: Memoized auto-detection verdict.  A *failed* ``import numba`` is
+#: never cached by the interpreter, so without this an auto-policy
+#: process re-walks sys.path on every ``get_backend()`` call -- which
+#: sits on the per-request serving path.
+_AUTO_DETECTED: Optional[str] = None
+
 
 def _check_name(name: str, *, allow_auto: bool) -> str:
     valid = BACKEND_NAMES + (("auto",) if allow_auto else ())
@@ -168,16 +174,19 @@ def set_backend(name: Optional[str]) -> None:
 
 def _policy_name() -> str:
     """The backend name the current policy resolves to."""
+    global _AUTO_DETECTED
     if _SELECTED is not None:
         return _SELECTED
     env = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
     if env and env != "auto":
         return _check_name(env, allow_auto=False)
-    try:
-        _load("numba")
-        return "numba"
-    except BackendUnavailableError:
-        return "numpy"
+    if _AUTO_DETECTED is None:
+        try:
+            _load("numba")
+            _AUTO_DETECTED = "numba"
+        except BackendUnavailableError:
+            _AUTO_DETECTED = "numpy"
+    return _AUTO_DETECTED
 
 
 def get_backend() -> KernelBackend:

@@ -10,6 +10,12 @@ compromising the zero-HD protocol's no-replay invariant.
 * :mod:`repro.service.service` -- :class:`AuthenticationService`, the
   supervised front end (deadlines, bounded retries, per-chip circuit
   breaker, rate limiting, budget accounting);
+* :mod:`repro.service.frontend` -- :class:`BatchingFrontend`, the
+  micro-batching request coalescer: concurrent client threads and
+  asyncio coroutines submit into a bounded queue, a batching loop
+  drains it into single packed ``authenticate_many`` /
+  ``identify_many`` passes (and, with a fleet attached, single
+  shard round-trips), bit-identical to sequential serving;
 * :mod:`repro.service.drift` -- rolling-FRR drift monitor and the
   graceful-degradation ladder;
 * :mod:`repro.service.resilience` -- circuit breaker and rate limiter
@@ -38,6 +44,7 @@ from repro.service.fleet import (
 )
 from repro.service.drift import DriftMonitor, DriftPolicy, MAX_RUNG
 from repro.service.events import AuditLog, AuthEvent, AuthOutcome, challenge_digests
+from repro.service.frontend import BatchingFrontend, FrontendConfig
 from repro.service.lifecycle import (
     LifecycleConfig,
     LifecycleReport,
@@ -57,6 +64,7 @@ __all__ = [
     "AuthEvent",
     "AuthOutcome",
     "AuthenticationService",
+    "BatchingFrontend",
     "BreakerState",
     "ChallengeBudget",
     "CircuitBreaker",
@@ -66,6 +74,7 @@ __all__ = [
     "FleetIdentificationResult",
     "FleetLog",
     "FleetOutcome",
+    "FrontendConfig",
     "LifecycleConfig",
     "LifecycleReport",
     "MAX_RUNG",

@@ -57,6 +57,12 @@ class AuthOutcome(str, enum.Enum):
       carries the *negative* of the reclaimed pool balance and
       ``detail`` the operator's reason.
     * ``BUDGET_LOW`` -- the challenge pool crossed its low-water mark.
+    * ``OVERLOAD_SHED`` -- the batching front end's bounded queue was
+      full and the submission was refused with a typed
+      :class:`~repro.service.fleet.OverloadError` *before* admission:
+      no request number is consumed, no challenge is issued, and no
+      per-chip state is touched (the event's ``chip_id`` is the
+      claimed identity when the caller supplied one).
 
     Identification outcomes (one per :meth:`identify_many` item):
 
@@ -83,6 +89,7 @@ class AuthOutcome(str, enum.Enum):
     RETIGHTEN_APPLIED = "retighten-applied"
     REVOCATION_COMMITTED = "revocation-committed"
     BUDGET_LOW = "budget-low"
+    OVERLOAD_SHED = "overload-shed"
     IDENTIFIED = "identified"
     UNIDENTIFIED = "unidentified"
 

@@ -132,9 +132,13 @@ class ShardDispatcher:
         self._seed = seed
         self._faults = faults
         self._lock = threading.RLock()
-        self._pending: List[object] = []
+        self._pending: List[Tuple[object, Optional[OperatingCondition]]] = []
         self._req_seq = 0
         self._closed = False
+        #: Packed scoring passes dispatched across the fleet (one per
+        #: coalesced batch, not one per request) -- the counter the
+        #: front-end coalescing regression test pins.
+        self.score_passes = 0
 
         self._book = self._synced_book()
         if not len(self._book):
@@ -405,8 +409,15 @@ class ShardDispatcher:
         """Identify one device (a coalesced batch of one)."""
         return self.identify_many([responder], **kwargs)[0]
 
-    def submit(self, responder) -> int:
+    def submit(
+        self, responder, condition: Optional[OperatingCondition] = None
+    ) -> int:
         """Queue a device for the next coalesced pass; returns its slot.
+
+        *condition* optionally pins the operating condition this
+        device will be read at when the buffer is flushed (``None``
+        defers to :meth:`flush`'s batch-wide default) -- concurrent
+        clients observed at different V/T points can share one pass.
 
         Raises :class:`OverloadError` (and records ``OVERLOAD_SHED``)
         when the bounded buffer is full -- the caller must back off;
@@ -423,22 +434,36 @@ class ShardDispatcher:
                 )
                 raise OverloadError(len(self._pending),
                                     self.config.max_pending)
-            self._pending.append(responder)
+            self._pending.append((responder, condition))
             return len(self._pending) - 1
 
-    def flush(self, **kwargs) -> List[FleetIdentificationResult]:
+    def flush(
+        self,
+        *,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+        **kwargs,
+    ) -> List[FleetIdentificationResult]:
         """Serve every queued device in one pass (slot-ordered results)."""
         with self._lock:
             batch, self._pending = self._pending, []
             if not batch:
                 return []
-            return self.identify_many(batch, **kwargs)
+            return self.identify_many(
+                [responder for responder, _ in batch],
+                condition=condition,
+                conditions=[
+                    condition if pinned is None else pinned
+                    for _, pinned in batch
+                ],
+                **kwargs,
+            )
 
     def identify_many(
         self,
         responders: Sequence[object],
         *,
         condition: OperatingCondition = NOMINAL_CONDITION,
+        conditions: Optional[Sequence[OperatingCondition]] = None,
         min_match_fraction: Optional[float] = None,
         return_scores: bool = False,
     ) -> List[FleetIdentificationResult]:
@@ -447,7 +472,9 @@ class ShardDispatcher:
         One stacked device read per responder, one packed scoring pass
         per shard for the whole batch, one deterministic merge.  At
         full coverage the ``(chip_id, match_fraction, scores)`` triple
-        is bit-identical to ``server.identify_many``.
+        is bit-identical to ``server.identify_many``.  *conditions*
+        optionally gives each responder its own operating condition
+        (overriding the batch-wide *condition* per item).
         """
         if self._closed:
             raise RuntimeError("dispatcher is closed")
@@ -467,13 +494,20 @@ class ShardDispatcher:
                     ),
                 )
                 raise OverloadError(len(responders), self.config.max_pending)
+            if conditions is None:
+                conditions = [condition] * len(responders)
+            elif len(conditions) != len(responders):
+                raise ValueError(
+                    f"{len(responders)} responders but "
+                    f"{len(conditions)} conditions"
+                )
             self.refresh()
             book = self._book
             stacked = book.stacked_challenges
             responses = np.stack(
                 [
-                    np.asarray(r.xor_response(stacked, condition))
-                    for r in responders
+                    np.asarray(r.xor_response(stacked, cond))
+                    for r, cond in zip(responders, conditions)
                 ]
             )
             packed = pack_responses(
@@ -491,6 +525,7 @@ class ShardDispatcher:
         self, packed: np.ndarray, want_scores: bool
     ) -> Tuple[Dict[int, _ShardPayload], Tuple[int, ...]]:
         """Score the packed batch on every shard; returns payloads + holes."""
+        self.score_passes += 1
         if self.config.inline:
             payloads: Dict[int, _ShardPayload] = {}
             for index, segment in enumerate(self._segments):

@@ -105,6 +105,14 @@ class LifecycleConfig:
     identify_probes:
         Active chips identified through the codebook plane per tick
         (also how staleness-at-serve-time is sampled).
+    clients:
+        0 (default) serves every probe sequentially.  Positive values
+        pump all authentication and identification traffic through a
+        :class:`~repro.service.frontend.BatchingFrontend` with up to
+        this many requests in flight at once -- the coalescing loop
+        packs them into shared scoring passes (and, combined with
+        *sharded*, into shared shard round-trips) while the acceptance
+        gates hold unchanged.
     sharded / n_shards:
         With *sharded* on, identification traffic is served by an
         inline-mode :class:`~repro.service.fleet.ShardDispatcher` over
@@ -136,6 +144,7 @@ class LifecycleConfig:
     n_validation_challenges: int = 5000
     aging: AgingModel = AgingModel()
     identify_probes: int = 3
+    clients: int = 0
     sharded: bool = False
     n_shards: int = 2
     max_nominal_frr: float = 0.02
@@ -158,6 +167,8 @@ class LifecycleConfig:
                 f"{self.storm_beta0}, {self.storm_beta1}"
             )
         check_positive_int(self.n_shards, "n_shards")
+        if self.clients < 0:
+            raise ValueError(f"clients must be >= 0, got {self.clients}")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -366,6 +377,45 @@ def run_lifecycle_sim(
             f"shards over {len(server.active_ids)} identities"
         )
 
+    frontend = None
+    if cfg.clients:
+        from repro.service.frontend import BatchingFrontend, FrontendConfig
+
+        frontend = BatchingFrontend(
+            service,
+            FrontendConfig(
+                max_batch=cfg.clients,
+                max_pending=max(4 * cfg.clients, 64),
+            ),
+        )
+        say(
+            f"traffic through the batching front end: {cfg.clients} "
+            f"concurrent clients"
+        )
+
+    def serve_auth(traffic: List[PufChip]) -> List:
+        """Authenticate *traffic*, sequentially or in concurrent waves.
+
+        Wave mode advances the clock one tick per request up front, so
+        the batch's decisions never race the virtual time; every wave
+        is joined before the next (or any fleet mutation) starts.
+        """
+        results = []
+        if frontend is None:
+            for responder in traffic:
+                clock.advance(1.0)
+                results.append(service.authenticate(responder))
+        else:
+            for start in range(0, len(traffic), cfg.clients):
+                wave = traffic[start:start + cfg.clients]
+                clock.advance(float(len(wave)))
+                futures = [
+                    frontend.submit_authenticate(responder)
+                    for responder in wave
+                ]
+                results.extend(future.result() for future in futures)
+        return results
+
     # ------------------------------------------------------------------
     # The life.
     # ------------------------------------------------------------------
@@ -446,23 +496,32 @@ def run_lifecycle_sim(
             retightens += 1
 
         # -- traffic: the active fleet authenticates ------------------
-        for chip_id in server.active_ids:
-            responder = aged[chip_id]
-            for _ in range(cfg.requests_per_chip):
-                clock.advance(1.0)
-                result = service.authenticate(responder)
-                count(result.outcome)
-                if result.outcome is AuthOutcome.APPROVED:
-                    active_approved += 1
-                elif result.outcome is AuthOutcome.REJECTED:
-                    active_rejected += 1
-                else:
-                    active_denied += 1
+        fleet_traffic = [
+            aged[chip_id]
+            for chip_id in server.active_ids
+            for _ in range(cfg.requests_per_chip)
+        ]
+        for result in serve_auth(fleet_traffic):
+            count(result.outcome)
+            if result.outcome is AuthOutcome.APPROVED:
+                active_approved += 1
+            elif result.outcome is AuthOutcome.REJECTED:
+                active_rejected += 1
+            else:
+                active_denied += 1
 
         # -- traffic: identification through the (possibly stale) book
         probe_ids = server.active_ids[: cfg.identify_probes]
         if probe_ids:
-            results = service.identify_many([aged[c] for c in probe_ids])
+            if frontend is None:
+                results = service.identify_many(
+                    [aged[c] for c in probe_ids]
+                )
+            else:
+                futures = [
+                    frontend.submit_identify(aged[c]) for c in probe_ids
+                ]
+                results = [future.result() for future in futures]
             for chip_id, result in zip(probe_ids, results):
                 if result.chip_id == chip_id:
                     identified_hits += 1
@@ -478,8 +537,7 @@ def run_lifecycle_sim(
         # -- traffic: revoked devices keep knocking -------------------
         for chip_id in sorted(server.revocations)[:3]:
             responder = aged[chip_id]
-            clock.advance(1.0)
-            result = service.authenticate(responder)
+            result = serve_auth([responder])[0]
             count(result.outcome)
             revoked_probes += 1
             if result.outcome is AuthOutcome.APPROVED:
@@ -523,6 +581,11 @@ def run_lifecycle_sim(
     # ------------------------------------------------------------------
     # Gates and report.
     # ------------------------------------------------------------------
+    frontend_stats: Optional[Dict[str, object]] = None
+    if frontend is not None:
+        frontend_stats = frontend.stats
+        frontend.close()
+
     fleet_stats: Optional[Dict[str, object]] = None
     if dispatcher is not None:
         fleet_stats = {
@@ -608,6 +671,7 @@ def run_lifecycle_sim(
             "persistence_chaos": workdir is not None,
             "sharded": cfg.sharded,
             "fleet": fleet_stats,
+            "frontend": frontend_stats,
         },
     )
     if report_path is not None:

@@ -33,6 +33,7 @@ failure surface is exercisable deterministically in tests and in the
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -53,6 +54,7 @@ from repro.faults import FaultPlan, Site
 from repro.service.budget import ChallengeBudget, PoolExhaustedError
 from repro.service.drift import MAX_RUNG, DriftMonitor, DriftPolicy
 from repro.service.events import AuditLog, AuthEvent, AuthOutcome, challenge_digests
+from repro.service.fleet.dispatcher import OverloadError
 from repro.service.resilience import CircuitBreaker, RateLimiter
 from repro.silicon.environment import NOMINAL_CONDITION, OperatingCondition
 from repro.utils.rng import SeedLike, derive_generator
@@ -272,6 +274,20 @@ class AuthenticationService:
         self._requests = 0
         self._reads = 0
         self._fleet = None
+        # Audit appends must stay atomic even when an overload shed is
+        # recorded from a submitter thread while the batching loop is
+        # mid-request (see BatchingFrontend): sequence numbers come
+        # from the log length, so two unsynchronized appends could
+        # claim one seq.
+        self._audit_lock = threading.Lock()
+        # When a sink is set (thread-locally, so a concurrent shed from
+        # a submitter thread is unaffected), _emit buffers events there
+        # instead of appending to the log.  authenticate_batch runs all
+        # admissions before the shared scoring pass, so a mid-batch
+        # denial would otherwise land in the log BEFORE an earlier
+        # slot's decision; buffering per slot and flushing in slot
+        # order keeps the event stream identical to sequential serving.
+        self._emit_local = threading.local()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -510,13 +526,65 @@ class AuthenticationService:
             )
         raise AssertionError("unreachable")  # pragma: no cover
 
+    def _per_item(
+        self,
+        name: str,
+        n_items: int,
+        values: Optional[Sequence],
+        default,
+    ) -> List:
+        """Normalize a per-item override sequence against a batch default."""
+        if values is None:
+            return [default] * n_items
+        if len(values) != n_items:
+            raise ValueError(
+                f"{n_items} responders but {len(values)} {name}"
+            )
+        return list(values)
+
+    def _score_packed(
+        self,
+        pending: Sequence[Tuple[int, _Session]],
+        results: List,
+        sinks: Optional[Sequence[List[AuthEvent]]] = None,
+    ) -> None:
+        """Score completed sessions in one packed pass, in request order.
+
+        All sessions are bit-packed and XOR + popcount scored together;
+        each mismatch count is identical to the dense per-request
+        comparison, so :meth:`_score` renders bit-identical decisions.
+        *sinks* (slot-indexed, from :meth:`authenticate_batch`) routes
+        each slot's decision events into that slot's buffer.
+        """
+        if not pending:
+            return
+        packed_predicted = pack_responses(
+            np.stack([session.predicted for _, session in pending])
+        )
+        packed_responses = pack_responses(
+            np.stack([session.responses for _, session in pending])
+        )
+        mismatches = popcount(
+            np.bitwise_xor(packed_responses, packed_predicted)
+        ).sum(axis=-1, dtype=np.int64)
+        for (index, session), count in zip(pending, mismatches):
+            if sinks is not None:
+                self._emit_local.sink = sinks[index]
+            try:
+                results[index] = self._score(session, n_mismatches=int(count))
+            finally:
+                if sinks is not None:
+                    self._emit_local.sink = None
+
     def authenticate_many(
         self,
         responders: Sequence[Responder],
         claimed_ids: Optional[Sequence[Optional[str]]] = None,
         *,
         condition: OperatingCondition = NOMINAL_CONDITION,
+        conditions: Optional[Sequence[OperatingCondition]] = None,
         deadline: Optional[float] = None,
+        deadlines: Optional[Sequence[Optional[float]]] = None,
     ) -> List[ServiceResult]:
         """Batched supervised authentication sharing one scoring pass.
 
@@ -528,6 +596,11 @@ class AuthenticationService:
         XOR + popcount scored in a single pass, then finalized in
         request order.  Results are identical to calling
         :meth:`authenticate` per request.
+
+        *conditions* / *deadlines* optionally give every request its
+        own operating condition and time budget (the batching front
+        end coalesces requests that arrived with different ones); each
+        overrides the batch-wide *condition* / *deadline* per item.
         """
         if claimed_ids is None:
             claimed_ids = [None] * len(responders)
@@ -535,35 +608,108 @@ class AuthenticationService:
             raise ValueError(
                 f"{len(responders)} responders but {len(claimed_ids)} claimed ids"
             )
+        conditions = self._per_item(
+            "conditions", len(responders), conditions, condition
+        )
+        deadlines = self._per_item(
+            "deadlines", len(responders), deadlines, deadline
+        )
         results: List[Optional[ServiceResult]] = [None] * len(responders)
         pending: List[Tuple[int, _Session]] = []
         for index, (responder, claimed_id) in enumerate(
             zip(responders, claimed_ids)
         ):
-            outcome = self._run_session(responder, claimed_id, condition, deadline)
+            outcome = self._run_session(
+                responder, claimed_id, conditions[index], deadlines[index]
+            )
             if isinstance(outcome, ServiceResult):
                 results[index] = outcome
             else:
                 pending.append((index, outcome))
-        if pending:
-            packed_predicted = pack_responses(
-                np.stack([session.predicted for _, session in pending])
-            )
-            packed_responses = pack_responses(
-                np.stack([session.responses for _, session in pending])
-            )
-            mismatches = popcount(
-                np.bitwise_xor(packed_responses, packed_predicted)
-            ).sum(axis=-1, dtype=np.int64)
-            for (index, session), count in zip(pending, mismatches):
-                results[index] = self._score(session, n_mismatches=int(count))
+        self._score_packed(pending, results)
         return [result for result in results if result is not None]
+
+    def authenticate_batch(
+        self,
+        responders: Sequence[Responder],
+        claimed_ids: Optional[Sequence[Optional[str]]] = None,
+        *,
+        condition: OperatingCondition = NOMINAL_CONDITION,
+        conditions: Optional[Sequence[OperatingCondition]] = None,
+        deadline: Optional[float] = None,
+        deadlines: Optional[Sequence[Optional[float]]] = None,
+    ) -> List["ServiceResult | BaseException"]:
+        """:meth:`authenticate_many` with per-item exception capture.
+
+        The coalescing front end's demux path: where
+        :meth:`authenticate_many` propagates the first raised exception
+        (aborting un-run batchmates), this variant runs *every*
+        request and returns, slot for slot, either its
+        :class:`ServiceResult` or the exception it raised -- exactly
+        the exception the same request would have raised as a
+        sequential :meth:`authenticate` call (e.g. the typed
+        :class:`PoolExhaustedError` after its audit event).  One
+        poisoned request therefore never takes its batchmates down.
+
+        Audit events are buffered per slot and flushed in slot order
+        after the scoring pass: admissions all run before scoring, so
+        direct emission would let a later slot's denial precede an
+        earlier slot's decision in the log.  The flushed stream is
+        exactly what sequential serving would have written.
+        """
+        if claimed_ids is None:
+            claimed_ids = [None] * len(responders)
+        if len(claimed_ids) != len(responders):
+            raise ValueError(
+                f"{len(responders)} responders but {len(claimed_ids)} claimed ids"
+            )
+        conditions = self._per_item(
+            "conditions", len(responders), conditions, condition
+        )
+        deadlines = self._per_item(
+            "deadlines", len(responders), deadlines, deadline
+        )
+        results: List[Optional["ServiceResult | BaseException"]] = (
+            [None] * len(responders)
+        )
+        pending: List[Tuple[int, _Session]] = []
+        sinks: List[List[AuthEvent]] = [[] for _ in responders]
+        try:
+            for index, (responder, claimed_id) in enumerate(
+                zip(responders, claimed_ids)
+            ):
+                self._emit_local.sink = sinks[index]
+                try:
+                    outcome = self._run_session(
+                        responder, claimed_id,
+                        conditions[index], deadlines[index],
+                    )
+                except Exception as exc:
+                    results[index] = exc
+                    continue
+                finally:
+                    self._emit_local.sink = None
+                if isinstance(outcome, ServiceResult):
+                    results[index] = outcome
+                else:
+                    pending.append((index, outcome))
+            self._score_packed(pending, results, sinks)
+        finally:
+            self._emit_local.sink = None
+            with self._audit_lock:
+                for buffered in sinks:
+                    for event in buffered:
+                        self.audit.append(
+                            dataclasses.replace(event, seq=len(self.audit))
+                        )
+        return list(results)
 
     def identify_many(
         self,
         responders: Sequence[Responder],
         *,
         condition: OperatingCondition = NOMINAL_CONDITION,
+        conditions: Optional[Sequence[OperatingCondition]] = None,
         min_match_fraction: float = 0.95,
         return_scores: bool = False,
     ) -> List[IdentificationResult]:
@@ -575,20 +721,46 @@ class AuthenticationService:
         :attr:`AuthOutcome.IDENTIFIED` / ``UNIDENTIFIED`` event --
         without challenge digests, since codebook blocks are persistent
         identification material outside the no-replay pool accounting.
+        *conditions* optionally gives each responder its own operating
+        condition, overriding *condition* per item.
 
         With a fleet attached (:meth:`attach_fleet`) the batch is
-        served by the sharded dispatcher instead of the in-process
-        codebook; results then carry a ``coverage`` attribute and may
-        be degraded (never wrong) while shards are down.
+        driven through the dispatcher's coalescing buffer
+        (:meth:`~repro.service.fleet.ShardDispatcher.submit` /
+        :meth:`~repro.service.fleet.ShardDispatcher.flush`) instead of
+        the in-process codebook, so one service-level batch costs one
+        shard round-trip; a batch larger than the fleet's
+        ``max_pending`` bound is served in bound-sized passes rather
+        than shed (identification rows are scored independently, so
+        the split is invisible in the results).  Fleet results carry a
+        ``coverage`` attribute and may be degraded (never wrong) while
+        shards are down.
         """
         start = self._clock()
         seed = self._seed if isinstance(self._seed, int) else None
+        conditions = self._per_item(
+            "conditions", len(responders), conditions, condition
+        )
         if self._fleet is not None:
-            results = self._fleet.identify_many(
-                responders,
-                min_match_fraction=min_match_fraction,
-                condition=condition,
-                return_scores=return_scores,
+            results = []
+            for responder, item_condition in zip(responders, conditions):
+                try:
+                    self._fleet.submit(responder, condition=item_condition)
+                except OverloadError:
+                    results.extend(
+                        self._fleet.flush(
+                            condition=condition,
+                            min_match_fraction=min_match_fraction,
+                            return_scores=return_scores,
+                        )
+                    )
+                    self._fleet.submit(responder, condition=item_condition)
+            results.extend(
+                self._fleet.flush(
+                    condition=condition,
+                    min_match_fraction=min_match_fraction,
+                    return_scores=return_scores,
+                )
             )
         else:
             results = self._server.identify_many(
@@ -596,10 +768,11 @@ class AuthenticationService:
                 n_challenges=self.config.n_challenges,
                 min_match_fraction=min_match_fraction,
                 condition=condition,
+                conditions=conditions,
                 seed=seed,
                 return_scores=return_scores,
             )
-        for result in results:
+        for result, item_condition in zip(results, conditions):
             request = self._requests
             self._requests += 1
             matched = result.chip_id is not None
@@ -616,9 +789,28 @@ class AuthenticationService:
                 start=start,
                 n_challenges=self.config.n_challenges,
                 detail=detail,
-                condition=str(condition),
+                condition=str(item_condition),
             )
         return results
+
+    def record_shed(
+        self, claimed_id: Optional[str], detail: str = ""
+    ) -> None:
+        """Audit one overload shed decided *upstream* of admission.
+
+        The batching front end (:mod:`repro.service.frontend`) refuses
+        submissions with a typed
+        :class:`~repro.service.fleet.OverloadError` when its bounded
+        queue is full; this hook makes the refusal audible in the
+        service's own audit log.  A shed request never reached
+        admission, so -- like the operator events -- it consumes no
+        request number, issues no challenges and touches no per-chip
+        state.
+        """
+        self._emit(
+            self._requests, claimed_id, AuthOutcome.OVERLOAD_SHED,
+            start=self._clock(), detail=detail,
+        )
 
     def apply_retightening(self, chip_id: str) -> EnrollmentRecord:
         """Commit a drift-flagged chip's re-tightening into the database.
@@ -879,26 +1071,31 @@ class AuthenticationService:
         challenges_spent: int = 0,
         condition: str = "",
     ) -> AuthEvent:
-        return self.audit.append(
-            AuthEvent(
-                seq=len(self.audit),
-                request=request,
-                chip_id=chip_id,
-                outcome=outcome,
-                rung=rung,
-                attempt=attempt,
-                n_challenges=n_challenges,
-                n_mismatches=n_mismatches,
-                challenges_spent=challenges_spent,
-                condition=condition,
-                budget_remaining=(
-                    state.budget.remaining if state is not None else None
-                ),
-                breaker_state=(
-                    state.breaker.state.value if state is not None else ""
-                ),
-                latency=self._clock() - start,
-                detail=detail,
-                digests=digests,
-            )
+        event = AuthEvent(
+            seq=-1,  # assigned at append (or at batch flush)
+            request=request,
+            chip_id=chip_id,
+            outcome=outcome,
+            rung=rung,
+            attempt=attempt,
+            n_challenges=n_challenges,
+            n_mismatches=n_mismatches,
+            challenges_spent=challenges_spent,
+            condition=condition,
+            budget_remaining=(
+                state.budget.remaining if state is not None else None
+            ),
+            breaker_state=(
+                state.breaker.state.value if state is not None else ""
+            ),
+            latency=self._clock() - start,
+            detail=detail,
+            digests=digests,
         )
+        sink = getattr(self._emit_local, "sink", None)
+        if sink is not None:
+            sink.append(event)
+            return event
+        with self._audit_lock:
+            event = dataclasses.replace(event, seq=len(self.audit))
+            return self.audit.append(event)

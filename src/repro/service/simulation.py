@@ -262,6 +262,8 @@ def run_serve_sim(
     n_validation_challenges: int = 6000,
     config: Optional[ServiceConfig] = None,
     tick_seconds: float = 1.0,
+    clients: int = 0,
+    frontend_config=None,
     report_path=None,
     audit_path=None,
     progress: Optional[Callable[[str], None]] = None,
@@ -299,6 +301,21 @@ def run_serve_sim(
         pool sized so the low-water warning fires near the end).
     tick_seconds:
         Virtual-clock advance per request.
+    clients:
+        0 (default) serves the trace sequentially, one
+        :meth:`AuthenticationService.authenticate` call per request.
+        Positive values replay the same trace through a
+        :class:`~repro.service.frontend.BatchingFrontend` with real
+        concurrency: up to *clients* requests are in flight at once
+        (submitted as futures in schedule order), so the coalescing
+        loop serves them in packed batches.  Per-chip request order is
+        preserved by the front end's queue, and the virtual clock
+        advances ``tick_seconds`` per request (a wave at a time), so
+        the acceptance gates -- FRR, availability, no-replay -- hold
+        exactly as in sequential mode.
+    frontend_config:
+        Optional :class:`~repro.service.frontend.FrontendConfig` for
+        the *clients* mode (defaults to ``max_batch=clients``).
     report_path / audit_path:
         Optional output files (reliability JSON, audit JSONL).
     progress:
@@ -311,6 +328,8 @@ def run_serve_sim(
     """
     check_positive_int(n_chips, "n_chips")
     check_positive_int(fault_failed_reads, "fault_failed_reads")
+    if clients < 0:
+        raise ValueError(f"clients must be >= 0, got {clients}")
     if fault_chip is not None and not 0 <= fault_chip < n_chips:
         raise ValueError(
             f"fault_chip must be in [0, {n_chips}), got {fault_chip}"
@@ -410,12 +429,9 @@ def run_serve_sim(
     rows: List[Tuple[str, str, AuthOutcome]] = []
     latencies: List[float] = []
     outcome_counts: Dict[str, int] = {}
-    for step, (phase, condition) in enumerate(schedule):
-        clock.advance(tick_seconds)
-        responder = responders[step % n_chips]
-        w0 = time.perf_counter()
-        result = service.authenticate(responder, condition=condition)
-        latencies.append(time.perf_counter() - w0)
+    frontend_stats: Optional[Dict[str, object]] = None
+
+    def account(step: int, phase: str, condition, result) -> None:
         rows.append((phase, result.chip_id, result.outcome))
         outcome_counts[result.outcome.value] = (
             outcome_counts.get(result.outcome.value, 0) + 1
@@ -425,6 +441,46 @@ def run_serve_sim(
                 f"  step {step + 1}/{len(schedule)} ({phase} at {condition}): "
                 f"{result.outcome.value}"
             )
+
+    if clients:
+        from repro.service.frontend import BatchingFrontend, FrontendConfig
+
+        fe_config = frontend_config or FrontendConfig(
+            max_batch=clients, max_pending=max(4 * clients, 64)
+        )
+        say(
+            f"replaying through the batching front end: {clients} "
+            f"concurrent clients, max_batch {fe_config.max_batch}"
+        )
+        with BatchingFrontend(service, fe_config) as frontend:
+            for wave_start in range(0, len(schedule), clients):
+                wave = schedule[wave_start:wave_start + clients]
+                # One tick per request, advanced up front so the wave's
+                # decisions never race the clock.
+                clock.advance(tick_seconds * len(wave))
+                w0 = time.perf_counter()
+                futures = [
+                    frontend.submit_authenticate(
+                        responders[(wave_start + i) % n_chips],
+                        condition=condition,
+                    )
+                    for i, (_, condition) in enumerate(wave)
+                ]
+                for i, ((phase, condition), future) in enumerate(
+                    zip(wave, futures)
+                ):
+                    result = future.result()
+                    latencies.append(time.perf_counter() - w0)
+                    account(wave_start + i, phase, condition, result)
+            frontend_stats = frontend.stats
+    else:
+        for step, (phase, condition) in enumerate(schedule):
+            clock.advance(tick_seconds)
+            responder = responders[step % n_chips]
+            w0 = time.perf_counter()
+            result = service.authenticate(responder, condition=condition)
+            latencies.append(time.perf_counter() - w0)
+            account(step, phase, condition, result)
 
     # ------------------------------------------------------------------
     # Report.
@@ -494,6 +550,8 @@ def run_serve_sim(
             "fault_chip": fault_chip,
             "fault_failed_reads": fault_failed_reads,
             "tick_seconds": tick_seconds,
+            "clients": clients,
+            "frontend": frontend_stats,
         },
         feature_cache=service.server.feature_cache_stats,
     )

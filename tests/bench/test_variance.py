@@ -26,6 +26,33 @@ def entry(samples, direction="higher", metric="speedup", gated=True, **extra):
     }
 
 
+class TestSampleStats:
+    def test_percentiles_present_and_consistent(self):
+        stats = sample_stats(list(range(1, 101)))
+        assert stats["p50"] == stats["median"]
+        assert stats["p50"] <= stats["p95"] <= stats["p99"] <= stats["max"]
+        assert stats["p95"] == pytest.approx(95.05)
+        assert stats["p99"] == pytest.approx(99.01)
+
+    def test_single_sample_percentiles_collapse(self):
+        stats = sample_stats([3.0])
+        assert stats["p50"] == stats["p95"] == stats["p99"] == 3.0
+
+    def test_percentile_keys_are_additive_for_the_gate(self):
+        """A baseline recorded before p50/p95/p99 existed must still
+        compare cleanly -- the gate reads only median/mad/n."""
+        old = entry([10.0, 10.1, 9.9])
+        for key in ("p50", "p95", "p99"):
+            del old["stats"][key]
+        verdict = compare_cell("c", old, entry([10.0, 9.9, 10.1]))
+        assert verdict.status == "ok"
+        assert not verdict.failed
+        # ... and a real shift is still caught without them.
+        assert compare_cell(
+            "c", old, entry([6.0, 6.0, 6.0])
+        ).status == "regression"
+
+
 class TestCompareCell:
     def test_real_regression_is_rejected(self):
         # Tight baseline at 10x, candidate drops to 7x: -30% and ~20

@@ -18,11 +18,13 @@ from repro.kernels import backend as backend_mod
 def restore_backend_state(monkeypatch):
     selected = backend_mod._SELECTED
     loaded = dict(backend_mod._LOADED)
+    detected = backend_mod._AUTO_DETECTED
     monkeypatch.delenv(backend_mod.BACKEND_ENV_VAR, raising=False)
     yield
     backend_mod._SELECTED = selected
     backend_mod._LOADED.clear()
     backend_mod._LOADED.update(loaded)
+    backend_mod._AUTO_DETECTED = detected
 
 
 @pytest.fixture()
@@ -35,3 +37,4 @@ def no_numba(monkeypatch):
     monkeypatch.setattr(backend_mod, "_load_numba_backend", fail)
     backend_mod._LOADED.pop("numba", None)
     backend_mod._SELECTED = None
+    backend_mod._AUTO_DETECTED = None

@@ -6,6 +6,8 @@ plan is marked ``chaos`` and runs in its own CI job (`pytest -m chaos`).
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
 from repro.faults import FaultPlan, FaultSpec, Site
@@ -60,6 +62,20 @@ class TestLifecycleSmoke:
         assert first.outcome_counts == second.outcome_counts
         assert first.frr == second.frr
         assert first.codebook == second.codebook
+
+    def test_concurrent_clients_pass_the_same_gates(self, tmp_path):
+        config = dataclasses.replace(QUICK, clients=4)
+        report = run_lifecycle_sim(config, seed=11, workdir=tmp_path / "db")
+        assert report.passed, report.gates
+        assert report.no_replay
+        assert report.revoked_approvals == 0
+        assert report.frr <= config.max_nominal_frr
+        assert report.availability >= config.min_availability
+        stats = report.params["frontend"]
+        assert report.params["config"]["clients"] == 4
+        assert stats["shed"] == 0
+        assert stats["batches"] > 0
+        assert stats["submitted"] > 0
 
 
 @pytest.mark.chaos

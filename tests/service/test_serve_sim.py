@@ -33,6 +33,12 @@ def sim(tmp_path_factory):
     return report, report_path, audit_path
 
 
+@pytest.fixture(scope="session")
+def sim_concurrent():
+    """The same trace replayed through the batching front end."""
+    return run_serve_sim(clients=4)
+
+
 class TestServeSimAcceptance:
     def test_trace_completes(self, sim):
         report, _, _ = sim
@@ -110,3 +116,31 @@ class TestServeSimAcceptance:
         assert payload["nominal_frr"] == report.nominal_frr
         assert payload["no_replay"] is True
         assert payload["params"]["seed"] == 5
+
+
+class TestServeSimConcurrentClients:
+    """``clients=4``: the same gates must hold through the front end."""
+
+    def test_gates_hold_under_concurrency(self, sim_concurrent):
+        report = sim_concurrent
+        assert report.n_requests > 0
+        assert sum(report.outcome_counts.values()) == report.n_requests
+        assert report.no_replay
+        assert report.nominal_frr <= 0.01
+        assert report.corner_availability >= 0.95
+        assert report.breaker_opened and report.breaker_recovered
+
+    def test_report_carries_coalescing_stats(self, sim_concurrent):
+        report = sim_concurrent
+        assert report.params["clients"] == 4
+        stats = report.params["frontend"]
+        assert stats["submitted"] == report.n_requests
+        assert stats["shed"] == 0
+        # Real coalescing happened: fewer drained batches than requests.
+        assert 0 < stats["batches"] < report.n_requests
+        assert stats["largest_batch"] > 1
+
+    def test_sequential_report_leaves_frontend_unset(self, sim):
+        report, _, _ = sim
+        assert report.params["clients"] == 0
+        assert report.params["frontend"] is None
